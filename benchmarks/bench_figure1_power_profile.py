@@ -1,0 +1,58 @@
+"""Figure 1 — undesired vs. desired power schedule.
+
+The paper's Figure 1 contrasts a schedule whose per-cycle power spikes
+above the budget ``P`` (undesired) with one stretched to stay below it
+(desired).  This benchmark regenerates both profiles for the HAL
+benchmark at T = 17, P = 11:
+
+* *undesired*: plain ASAP schedule with one functional unit per operation
+  (no power awareness),
+* *desired*: the output of the combined power-constrained synthesis.
+
+The assertions check the defining properties: the undesired profile
+exceeds ``P`` in at least one cycle, the desired profile never does, and
+the desired schedule still meets the latency bound.
+"""
+
+from __future__ import annotations
+
+from repro.power.analysis import flatness, spike_report
+from repro.power.profile import PowerProfile
+from repro.reporting.experiments import figure1_experiment
+
+BENCHMARK = "hal"
+LATENCY = 17
+POWER_BUDGET = 11.0
+
+
+def run_figure1():
+    return figure1_experiment(
+        benchmark=BENCHMARK, latency=LATENCY, power_budget=POWER_BUDGET
+    )
+
+
+def test_figure1_reproduction(benchmark):
+    data = benchmark(run_figure1)
+
+    undesired = PowerProfile.of(data.unconstrained_profile, label="undesired")
+    desired = PowerProfile.of(data.constrained_profile, label="desired")
+
+    # Undesired: at least one spike above the power budget.
+    spikes = spike_report(undesired, POWER_BUDGET)
+    assert spikes.has_spikes
+    assert data.unconstrained_peak > POWER_BUDGET
+
+    # Desired: every cycle within the budget, latency bound respected.
+    assert not spike_report(desired, POWER_BUDGET).has_spikes
+    assert data.constrained_peak <= POWER_BUDGET + 1e-9
+    assert len(desired) <= LATENCY
+
+    # Flattening: the desired profile uses the budget more evenly.
+    assert flatness(desired) > flatness(undesired)
+
+    print()
+    print(data.report)
+    print()
+    print(f"undesired peak = {data.unconstrained_peak:.1f}  "
+          f"(spikes in cycles {list(spikes.violating_cycles)})")
+    print(f"desired   peak = {data.constrained_peak:.1f}  (budget {POWER_BUDGET})")

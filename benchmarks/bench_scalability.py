@@ -1,0 +1,47 @@
+"""Engine scalability — synthesis run time vs. problem size.
+
+Not a paper artifact, but a useful engineering benchmark: the greedy
+partial-clique engine is quadratic-ish in the number of operations, and
+this benchmark tracks the wall-clock cost of one synthesis run on random
+layered graphs of growing size so regressions in the engine's complexity
+show up in the benchmark history.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.analysis import critical_path_length
+from repro.library.selection import MinPowerSelection, selection_delays
+from repro.suite.generators import GeneratorConfig, random_cdfg
+from repro.synthesis.engine import synthesize
+
+
+def make_case(operations: int, library):
+    cdfg = random_cdfg(
+        GeneratorConfig(
+            operations=operations,
+            inputs=4,
+            levels=max(3, operations // 6),
+            mul_fraction=0.3,
+            sub_fraction=0.2,
+            outputs=3,
+            seed=operations,
+        )
+    )
+    selection = MinPowerSelection().select(cdfg, library)
+    latency = critical_path_length(cdfg, selection_delays(selection, cdfg)) + 8
+    return cdfg, latency
+
+
+@pytest.mark.parametrize("operations", [10, 20, 40])
+def test_synthesis_scalability(benchmark, library, operations):
+    cdfg, latency = make_case(operations, library)
+    result = benchmark.pedantic(
+        synthesize,
+        args=(cdfg, library, latency, 30.0),
+        rounds=3,
+        iterations=1,
+    )
+    result.verify()
+    assert result.latency <= latency

@@ -1,0 +1,50 @@
+"""Table 1 — the functional-unit library.
+
+Regenerates the paper's Table 1 from :func:`repro.library.default_library`
+and asserts every row matches the published values.  The timed section is
+the library construction plus candidate queries (the operations every
+synthesis run performs constantly).
+"""
+
+from __future__ import annotations
+
+from repro.ir.operation import OpType
+from repro.library import TABLE1_ROWS, default_library
+from repro.reporting import table1_report
+
+EXPECTED = {
+    "add": (87, 1, 2.5),
+    "sub": (87, 1, 2.5),
+    "comp": (8, 1, 2.5),
+    "ALU": (97, 1, 2.5),
+    "Mult (ser.)": (103, 4, 2.7),
+    "Mult (par.)": (339, 2, 8.1),
+    "input": (16, 1, 0.2),
+    "output": (16, 1, 1.7),
+}
+
+
+def build_and_query_library():
+    library = default_library()
+    for optype in (OpType.ADD, OpType.SUB, OpType.MUL, OpType.GT, OpType.INPUT, OpType.OUTPUT):
+        library.candidates(optype)
+        library.cheapest(optype)
+        library.fastest(optype)
+        library.lowest_power(optype)
+    return library
+
+
+def test_table1_reproduction(benchmark):
+    library = benchmark(build_and_query_library)
+
+    # Every row of the paper's Table 1 must be reproduced exactly.
+    assert len(library) == len(EXPECTED) == len(TABLE1_ROWS)
+    for name, (area, cycles, power) in EXPECTED.items():
+        module = library.module(name)
+        assert module.area == area
+        assert module.latency == cycles
+        assert module.power == power
+
+    report = table1_report(library)
+    print()
+    print(report)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark file reproduces one artifact of the paper's evaluation
+(Table 1, Figure 1, Figure 2) or one of the ablation studies described in
+DESIGN.md.  The pytest-benchmark plugin times the reproduction while the
+assertions check the qualitative shape the paper reports; the printed
+tables/series are the regenerated artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.library import default_library
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-sweep",
+        action="store_true",
+        default=False,
+        help="Run the Figure-2 sweep with a finer power grid (slower).",
+    )
+
+
+@pytest.fixture(scope="session")
+def library():
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def sweep_steps(request):
+    return 10 if request.config.getoption("--full-sweep") else 6

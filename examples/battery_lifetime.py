@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Battery lifetime: why flattening the power profile matters.
+
+Run with::
+
+    python examples/battery_lifetime.py
+
+The script synthesizes the cosine benchmark twice — once without any power
+awareness (ASAP, one functional unit per operation) and once with the
+paper's power-constrained synthesis — and then discharges two batteries
+(a cheap one and a good one) with each design's per-cycle power profile.
+The cheap battery shows the larger lifetime extension, mirroring the
+20–30 % figures the paper cites for battery-aware design.
+"""
+
+from __future__ import annotations
+
+from repro import build_benchmark, default_library, naive_synthesis, synthesize
+from repro.power.battery import high_quality_battery, low_quality_battery
+from repro.power.lifetime import compare_lifetimes
+from repro.power.profile import profile_from_schedule
+from repro.reporting.table import render_table
+
+BENCHMARK = "cosine"
+LATENCY = 15
+POWER_BUDGET = 26.0
+CAPACITY = 2_000_000.0
+
+
+def main() -> None:
+    library = default_library()
+    cdfg = build_benchmark(BENCHMARK)
+
+    unconstrained = naive_synthesis(cdfg, library)
+    constrained = synthesize(cdfg, library, LATENCY, POWER_BUDGET)
+
+    print("Per-cycle power profiles:")
+    print(profile_from_schedule(unconstrained.schedule).describe())
+    print()
+    print(profile_from_schedule(constrained.schedule).describe())
+    print()
+
+    rows = []
+    for battery_name, battery in (
+        ("low quality", low_quality_battery(CAPACITY)),
+        ("high quality", high_quality_battery(CAPACITY)),
+    ):
+        comparison = compare_lifetimes(
+            battery, unconstrained.schedule, constrained.schedule
+        )
+        rows.append(
+            [
+                battery_name,
+                comparison["reference_peak"],
+                comparison["improved_peak"],
+                comparison["reference_iterations"],
+                comparison["improved_iterations"],
+                100.0 * comparison["extension"],
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "battery",
+                "peak (unconstrained)",
+                "peak (constrained)",
+                "iterations (unconstrained)",
+                "iterations (constrained)",
+                "lifetime extension %",
+            ],
+            rows,
+            title=f"Battery lifetime on {BENCHMARK!r} (T={LATENCY}, P={POWER_BUDGET})",
+        )
+    )
+    print()
+    print(
+        "The power-constrained design trades "
+        f"{constrained.total_area - unconstrained.total_area:+.0f} area units "
+        "for the flattened profile (negative = it is actually smaller thanks "
+        "to functional-unit sharing) and runs "
+        f"{rows[0][5]:.1f}% longer on the cheap battery."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Inspect a synthesized design: Gantt charts, FSM controller, Verilog skeleton.
+
+Run with::
+
+    python examples/datapath_inspection.py [benchmark] [latency] [budget]
+
+After synthesis this script prints everything a hardware designer would
+want to review before committing to the design:
+
+* the schedule Gantt chart (which operation runs when),
+* the datapath occupancy chart (which FU instance runs what, and how busy
+  each instance is),
+* the derived FSM controller (states, started operations, register loads),
+* the structural-Verilog skeleton of the datapath.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import build_benchmark, default_library, synthesize
+from repro.datapath import build_controller
+from repro.reporting import datapath_gantt, schedule_gantt, utilization
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "hal"
+    latency = int(sys.argv[2]) if len(sys.argv) > 2 else 17
+    budget = float(sys.argv[3]) if len(sys.argv) > 3 else 11.0
+
+    library = default_library()
+    cdfg = build_benchmark(benchmark)
+    result = synthesize(cdfg, library, latency, budget)
+
+    print(result.describe())
+    print()
+    print(schedule_gantt(result.schedule, cell_width=2))
+    print()
+    print(datapath_gantt(result.datapath))
+    print()
+
+    busiest = max(utilization(result.datapath).items(), key=lambda kv: kv[1])
+    print(f"busiest functional unit: {busiest[0]} ({100 * busiest[1]:.0f}% of cycles)")
+    print()
+
+    controller = build_controller(result.datapath)
+    print(controller.describe())
+    print()
+    print(
+        f"controller contribution: area {controller.area:.1f}, "
+        f"power {controller.power:.1f}/cycle "
+        f"(datapath area {result.total_area:.1f}, peak power {result.peak_power:.1f})"
+    )
+    print()
+    print(result.datapath.to_structural_verilog())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Design-space exploration: regenerate the paper's Figure 2 interactively.
+
+Run with::
+
+    python examples/design_space_exploration.py [--steps N] [--cap P]
+
+For every (benchmark, latency) case of the paper's Figure 2 the script
+finds the minimum feasible power budget, sweeps budgets up to the cap and
+prints the resulting area curve as a table, an ASCII plot and CSV text
+(ready to paste into any plotting tool).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.reporting.experiments import figure2_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=8, help="budgets per sweep")
+    parser.add_argument("--cap", type=float, default=150.0, help="largest power budget")
+    args = parser.parse_args()
+
+    print("Running the Figure-2 sweep (six cases); this takes a few seconds...\n")
+    data = figure2_experiment(power_cap=args.cap, steps=args.steps)
+
+    print(data.table)
+    print()
+    print(data.plot)
+    print()
+    print("CSV (series,x,y):")
+    print(data.csv)
+
+    print("Qualitative checks:")
+    for (name, latency), sweep in sorted(data.sweeps.items()):
+        minimum = sweep.feasible_points()[0]
+        loosest = sweep.feasible_points()[-1]
+        print(
+            f"  {name:8s} T={latency:2d}: "
+            f"P_min={minimum.power_budget:6.1f} -> area {minimum.area:7.1f}   "
+            f"loose P={loosest.power_budget:5.1f} -> area {loosest.area:7.1f}   "
+            f"monotone={sweep.is_monotone_non_increasing()}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: synthesize the HAL benchmark under time and power constraints.
+
+Run with::
+
+    python examples/quickstart.py
+
+This walks through the core API in five steps:
+
+1. build (or load) a CDFG,
+2. pick the functional-unit library (the paper's Table 1),
+3. run the combined power-constrained synthesis,
+4. inspect the resulting schedule, datapath and area,
+5. compare against the power-unconstrained baseline.
+"""
+
+from __future__ import annotations
+
+from repro import default_library, hal_cdfg, synthesize, time_constrained_synthesis
+from repro.power.profile import profile_from_schedule
+
+
+def main() -> None:
+    # 1. The behavioural description: the HAL differential-equation solver.
+    cdfg = hal_cdfg()
+    print(f"benchmark: {cdfg.name}  ({len(cdfg)} operations, {cdfg.num_edges()} edges)")
+
+    # 2. The technology library (Table 1 of the paper).
+    library = default_library()
+    print(library.describe())
+    print()
+
+    # 3. Combined scheduling + allocation + binding under T = 17, P = 11.
+    result = synthesize(cdfg, library, latency=17, max_power=11.0)
+    print(result.describe())
+    print()
+
+    # 4. The schedule and the per-cycle power profile it produces.
+    print(result.schedule.describe())
+    print()
+    profile = profile_from_schedule(result.schedule)
+    print(profile.describe())
+    print()
+
+    # The synthesized datapath (functional units, registers, multiplexers).
+    print(result.datapath.describe())
+    print()
+
+    # 5. What the power constraint cost us: compare with the unconstrained run.
+    unconstrained = time_constrained_synthesis(cdfg, library, latency=17)
+    print(
+        f"power-unconstrained area: {unconstrained.total_area:.0f} "
+        f"(peak power {unconstrained.peak_power:.1f})"
+    )
+    print(
+        f"power-constrained   area: {result.total_area:.0f} "
+        f"(peak power {result.peak_power:.1f}, budget 11.0)"
+    )
+    delta = result.total_area - unconstrained.total_area
+    print(f"area traded for the power guarantee: {delta:+.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scheduler shoot-out: ASAP vs. force-directed vs. two-step vs. pasap.
+
+Run with::
+
+    python examples/scheduling_comparison.py [benchmark] [latency] [budget]
+
+For one benchmark the script runs four schedulers with the same
+functional-unit selection and prints, for each, the makespan, the peak
+power and whether it satisfies the (T, P) constraints — the comparison the
+paper's Section 1 makes informally when contrasting combined scheduling
+with the classical two-step approaches.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import build_benchmark, default_library
+from repro.library import MinPowerSelection, selection_delays, selection_powers
+from repro.power.profile import profile_from_schedule
+from repro.reporting.table import render_table
+from repro.scheduling import (
+    PowerConstraint,
+    TimeConstraint,
+    asap_schedule,
+    force_directed_schedule,
+    pasap_schedule,
+    two_step_schedule,
+)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "cosine"
+    latency = int(sys.argv[2]) if len(sys.argv) > 2 else 19
+    budget = float(sys.argv[3]) if len(sys.argv) > 3 else 16.0
+
+    library = default_library()
+    cdfg = build_benchmark(benchmark)
+    selection = MinPowerSelection().select(cdfg, library)
+    delays = selection_delays(selection, cdfg)
+    powers = selection_powers(selection, cdfg)
+    time = TimeConstraint(latency)
+    power = PowerConstraint(budget)
+
+    schedules = {}
+    schedules["asap"] = asap_schedule(cdfg, delays, powers)
+    schedules["force-directed"] = force_directed_schedule(cdfg, delays, powers, latency)
+    schedules["two-step"] = two_step_schedule(cdfg, delays, powers, power, time).schedule
+    schedules["pasap"] = pasap_schedule(cdfg, delays, powers, power)
+
+    rows = []
+    for name, schedule in schedules.items():
+        rows.append(
+            [
+                name,
+                schedule.makespan,
+                schedule.peak_power,
+                schedule.average_power,
+                schedule.respects_time(time),
+                schedule.respects_power(power),
+            ]
+        )
+
+    print(
+        render_table(
+            ["scheduler", "makespan", "peak power", "avg power", f"meets T={latency}", f"meets P={budget}"],
+            rows,
+            title=f"Scheduler comparison on {benchmark!r}",
+        )
+    )
+    print()
+    for name in ("asap", "pasap"):
+        print(profile_from_schedule(schedules[name]).describe())
+        print()
+
+
+if __name__ == "__main__":
+    main()

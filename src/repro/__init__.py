@@ -1,0 +1,90 @@
+"""repro — power-constrained high-level synthesis of battery-powered systems.
+
+A from-scratch reproduction of Nielsen & Madsen, *"Power Constrained
+High-Level Synthesis of Battery Powered Digital Systems"* (DATE 2003).
+
+The package provides:
+
+* :mod:`repro.ir` — the CDFG intermediate representation,
+* :mod:`repro.library` — the functional-unit library (the paper's Table 1),
+* :mod:`repro.scheduling` — classical schedulers plus the paper's
+  power-constrained pasap/palap,
+* :mod:`repro.binding` — compatibility graphs, clique partitioning,
+  register allocation and interconnect estimation,
+* :mod:`repro.synthesis` — the combined power-constrained synthesis
+  engine, baselines and design-space exploration,
+* :mod:`repro.power` — power profiles, spike analysis and a battery model,
+* :mod:`repro.datapath` — the synthesized RTL datapath and its area model,
+* :mod:`repro.suite` — the hal/cosine/elliptic benchmark CDFGs and more,
+* :mod:`repro.reporting` — the experiment drivers reproducing the paper's
+  Table 1, Figure 1 and Figure 2.
+
+Quickstart::
+
+    from repro import default_library, hal_cdfg, synthesize
+
+    result = synthesize(hal_cdfg(), default_library(), latency=17, max_power=12.0)
+    print(result.describe())
+"""
+
+from .ir import CDFG, CDFGBuilder, Operation, OpType
+from .library import FULibrary, FUModule, default_library
+from .scheduling import (
+    PowerConstraint,
+    Schedule,
+    SynthesisConstraints,
+    TimeConstraint,
+    asap_schedule_with_library,
+    pasap_schedule_with_library,
+)
+from .synthesis import (
+    EngineOptions,
+    PowerConstrainedSynthesizer,
+    SynthesisResult,
+    naive_synthesis,
+    synthesize,
+    time_constrained_synthesis,
+)
+from .power import BatteryParameters, PowerProfile, estimate_lifetime
+from .suite import (
+    ar_cdfg,
+    build_benchmark,
+    cosine_cdfg,
+    elliptic_cdfg,
+    fir_cdfg,
+    hal_cdfg,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CDFG",
+    "CDFGBuilder",
+    "Operation",
+    "OpType",
+    "FULibrary",
+    "FUModule",
+    "default_library",
+    "PowerConstraint",
+    "Schedule",
+    "SynthesisConstraints",
+    "TimeConstraint",
+    "asap_schedule_with_library",
+    "pasap_schedule_with_library",
+    "EngineOptions",
+    "PowerConstrainedSynthesizer",
+    "SynthesisResult",
+    "naive_synthesis",
+    "synthesize",
+    "time_constrained_synthesis",
+    "BatteryParameters",
+    "PowerProfile",
+    "estimate_lifetime",
+    "ar_cdfg",
+    "build_benchmark",
+    "cosine_cdfg",
+    "elliptic_cdfg",
+    "fir_cdfg",
+    "hal_cdfg",
+    "__version__",
+]

@@ -1,0 +1,74 @@
+"""Allocation and binding: compatibility graphs, clique partitioning, registers, interconnect."""
+
+from .intervals import (
+    Interval,
+    any_overlap,
+    intervals_overlap,
+    max_overlap_count,
+    union_length,
+)
+from .compatibility import (
+    CompatibilityGraph,
+    CompatiblePair,
+    build_compatibility_graph,
+    instance_accepts_operation,
+    shared_modules,
+    windows_allow_sharing,
+)
+from .clique import (
+    Clique,
+    CliquePartition,
+    area_saving_gain,
+    exhaustive_clique_partition,
+    greedy_clique_partition,
+)
+from .register import (
+    RegisterAllocation,
+    ValueLifetime,
+    allocate_registers,
+    left_edge_allocation,
+    register_lower_bound,
+    value_lifetimes,
+)
+from .interconnect import (
+    MUX_INPUT_AREA,
+    InterconnectReport,
+    fu_mux_inputs,
+    interconnect_report,
+    register_mux_inputs,
+    sharing_penalty,
+)
+from .merge import BindingDecision, better
+
+__all__ = [
+    "Interval",
+    "any_overlap",
+    "intervals_overlap",
+    "max_overlap_count",
+    "union_length",
+    "CompatibilityGraph",
+    "CompatiblePair",
+    "build_compatibility_graph",
+    "instance_accepts_operation",
+    "shared_modules",
+    "windows_allow_sharing",
+    "Clique",
+    "CliquePartition",
+    "area_saving_gain",
+    "exhaustive_clique_partition",
+    "greedy_clique_partition",
+    "RegisterAllocation",
+    "ValueLifetime",
+    "allocate_registers",
+    "left_edge_allocation",
+    "register_lower_bound",
+    "value_lifetimes",
+    "MUX_INPUT_AREA",
+    "InterconnectReport",
+    "fu_mux_inputs",
+    "interconnect_report",
+    "register_mux_inputs",
+    "sharing_penalty",
+    "BindingDecision",
+    "better",
+]

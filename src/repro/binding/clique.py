@@ -1,0 +1,226 @@
+"""Clique partitioning of compatibility graphs.
+
+Sharing functional units among operations is a *clique partitioning*
+problem: every clique of the compatibility graph can be implemented by a
+single functional unit, and the cost of a partition is the total area of
+the modules chosen for its cliques (plus interconnect).  Exact clique
+partitioning is NP-hard; the paper (following Jou et al.) solves it
+greedily, always merging the "best" pair first.
+
+Two solvers are provided:
+
+* :func:`greedy_clique_partition` — the production path: repeatedly merge
+  the highest-gain compatible pair of clusters until no merge is possible.
+* :func:`exhaustive_clique_partition` — brute force over set partitions
+  for graphs of up to ~10 operations; used by tests to check that the
+  greedy solution is a valid partition and close to optimal on small
+  inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..library.module import FUModule
+from .compatibility import CompatibilityGraph
+
+
+@dataclass
+class Clique:
+    """A group of operations sharing one functional unit."""
+
+    members: FrozenSet[str]
+    module: Optional[FUModule] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, op_name: str) -> bool:
+        return op_name in self.members
+
+    def merged_with(self, other: "Clique", module: Optional[FUModule] = None) -> "Clique":
+        return Clique(self.members | other.members, module or self.module)
+
+
+@dataclass
+class CliquePartition:
+    """A partition of operations into cliques (one FU instance per clique)."""
+
+    cliques: List[Clique] = field(default_factory=list)
+
+    def all_members(self) -> FrozenSet[str]:
+        members: set = set()
+        for clique in self.cliques:
+            members |= clique.members
+        return frozenset(members)
+
+    def clique_of(self, op_name: str) -> Optional[Clique]:
+        for clique in self.cliques:
+            if op_name in clique:
+                return clique
+        return None
+
+    def total_area(self, area_of: Callable[[Clique], float]) -> float:
+        return sum(area_of(clique) for clique in self.cliques)
+
+    def is_partition_of(self, operations: Sequence[str]) -> bool:
+        """True if the cliques exactly cover ``operations`` without overlap."""
+        seen: set = set()
+        for clique in self.cliques:
+            if clique.members & seen:
+                return False
+            seen |= clique.members
+        return seen == set(operations)
+
+    def is_valid(self, compatibility: CompatibilityGraph) -> bool:
+        """True if every clique is actually a clique of the graph."""
+        return all(compatibility.is_clique(clique.members) for clique in self.cliques)
+
+
+#: Gain function: (clique_a, clique_b, shared modules) -> score; higher is
+#: better; return None to forbid the merge.
+GainFn = Callable[[Clique, Clique, List[FUModule]], Optional[float]]
+
+
+def area_saving_gain(clique_a: Clique, clique_b: Clique, modules: List[FUModule]) -> Optional[float]:
+    """Default gain: area saved by sharing one module instead of two.
+
+    When several modules could host the merged clique the cheapest is
+    assumed.  A merge is never worth a negative saving (the caller keeps
+    separate instances instead), so such merges return ``None``.
+    """
+    if not modules:
+        return None
+    merged_area = min(m.area for m in modules)
+    separate_area = 0.0
+    for clique in (clique_a, clique_b):
+        if clique.module is not None:
+            separate_area += clique.module.area
+        elif modules:
+            separate_area += merged_area
+    saving = separate_area - merged_area
+    if saving < 0:
+        return None
+    return saving
+
+
+def _cluster_compatible(
+    compatibility: CompatibilityGraph,
+    clique_a: Clique,
+    clique_b: Clique,
+) -> bool:
+    """All-pairs compatibility between two clusters."""
+    for a in clique_a.members:
+        for b in clique_b.members:
+            if not compatibility.compatible(a, b):
+                return False
+    return True
+
+
+def greedy_clique_partition(
+    compatibility: CompatibilityGraph,
+    gain: GainFn = area_saving_gain,
+    module_chooser: Optional[Callable[[List[FUModule]], FUModule]] = None,
+) -> CliquePartition:
+    """Greedy clique partitioning by repeated best-pair merging.
+
+    Args:
+        compatibility: The compatibility graph to partition.
+        gain: Scoring function for candidate merges (higher is better).
+        module_chooser: Picks the module for a merged clique from the set
+            of modules shared by all members (default: smallest area).
+
+    Returns:
+        A valid :class:`CliquePartition` covering every operation of the
+        compatibility graph.
+    """
+    if module_chooser is None:
+        module_chooser = lambda modules: min(modules, key=lambda m: (m.area, m.latency, m.power))
+
+    clusters: List[Clique] = [Clique(frozenset({op})) for op in sorted(compatibility.operations())]
+
+    while True:
+        best: Optional[Tuple[float, int, int, List[FUModule]]] = None
+        for i, clique_a in enumerate(clusters):
+            for j in range(i + 1, len(clusters)):
+                clique_b = clusters[j]
+                if not _cluster_compatible(compatibility, clique_a, clique_b):
+                    continue
+                members = list(clique_a.members | clique_b.members)
+                if len(members) == 2:
+                    pair = compatibility.pair(*sorted(members))
+                    modules = list(pair.modules) if pair else []
+                else:
+                    modules = compatibility.common_modules(members)
+                score = gain(clique_a, clique_b, modules)
+                if score is None:
+                    continue
+                key = (score, -min(i, j), -max(i, j))
+                if best is None or key > (best[0], -best[1], -best[2]):
+                    best = (score, i, j, modules)
+        if best is None:
+            break
+        _, i, j, modules = best
+        merged = clusters[i].merged_with(clusters[j], module_chooser(modules) if modules else None)
+        clusters = [c for k, c in enumerate(clusters) if k not in (i, j)] + [merged]
+
+    return CliquePartition(cliques=clusters)
+
+
+def exhaustive_clique_partition(
+    compatibility: CompatibilityGraph,
+    cost: Callable[[Clique], float],
+    max_operations: int = 10,
+) -> CliquePartition:
+    """Optimal clique partition by brute force (small graphs only).
+
+    Args:
+        compatibility: The compatibility graph to partition.
+        cost: Cost of one clique (e.g. the area of its cheapest module);
+            the partition minimizing the summed cost is returned.
+        max_operations: Safety cap; larger graphs raise ``ValueError``.
+    """
+    operations = sorted(compatibility.operations())
+    if len(operations) > max_operations:
+        raise ValueError(
+            f"exhaustive partitioning limited to {max_operations} operations, "
+            f"got {len(operations)}"
+        )
+
+    best_partition: Optional[CliquePartition] = None
+    best_cost = float("inf")
+
+    for partition in _set_partitions(operations):
+        cliques = [Clique(frozenset(block)) for block in partition]
+        candidate = CliquePartition(cliques=cliques)
+        if not candidate.is_valid(compatibility):
+            continue
+        total = sum(cost(clique) for clique in cliques)
+        if total < best_cost:
+            best_cost = total
+            best_partition = candidate
+
+    if best_partition is None:
+        # Singletons are always a valid partition.
+        best_partition = CliquePartition(
+            cliques=[Clique(frozenset({op})) for op in operations]
+        )
+    return best_partition
+
+
+def _set_partitions(items: Sequence[str]):
+    """Yield all set partitions of ``items`` (Bell-number many)."""
+    items = list(items)
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _set_partitions(rest):
+        # Put ``first`` into each existing block...
+        for index in range(len(partition)):
+            yield partition[:index] + [[first] + partition[index]] + partition[index + 1:]
+        # ...or into a block of its own.
+        yield [[first]] + partition

@@ -1,0 +1,90 @@
+"""Merge-candidate scoring for the combined synthesis engine.
+
+At every iteration the engine contemplates a set of *decisions*: bind one
+still-unbound operation either onto an existing functional-unit instance
+(sharing it) or onto a freshly allocated instance of some library module.
+This module defines the decision record and the scoring that decides
+which candidate is "best", mirroring the cost structure of the paper
+(minimum area first, least interconnect second, preserve scheduling
+freedom third).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..library.module import FUModule
+
+
+@dataclass(frozen=True)
+class BindingDecision:
+    """One candidate synthesis step.
+
+    Attributes:
+        op_name: The operation being scheduled/allocated/bound.
+        module: The library module implementing it.
+        instance_name: Name of the existing instance to share, or ``None``
+            when a new instance of ``module`` is to be allocated.
+        start_time: The start cycle the operation would be locked to.
+        area_increase: Additional datapath area this decision causes
+            (0 when sharing, ``module.area`` when allocating).
+        interconnect_penalty: Estimated new mux inputs caused by sharing.
+        mobility_loss: Total window-width reduction over the remaining
+            unbound operations after tentatively committing the decision
+            (smaller is better — it preserves freedom for later steps).
+        effective_area: Amortized area used for *scoring* a new-instance
+            decision: the module area divided by an estimate of how many
+            still-unbound compatible operations the new instance could
+            eventually host.  ``None`` falls back to ``area_increase``.
+            This is how the engine compares "allocate one big shareable
+            module" against "allocate one small single-use module" — the
+            trade-off the paper's multi-implementation library enables.
+    """
+
+    op_name: str
+    module: FUModule
+    instance_name: Optional[str]
+    start_time: int
+    area_increase: float
+    interconnect_penalty: int = 0
+    mobility_loss: int = 0
+    effective_area: Optional[float] = None
+
+    @property
+    def shares_instance(self) -> bool:
+        return self.instance_name is not None
+
+    def sort_key(self) -> Tuple:
+        """Smaller keys are better decisions.
+
+        Ordering: least (amortized) area increase, then least interconnect,
+        then least mobility loss, then earliest start, then stable name
+        ordering so results are deterministic.
+        """
+        scored_area = (
+            self.effective_area if self.effective_area is not None else self.area_increase
+        )
+        return (
+            scored_area,
+            self.interconnect_penalty,
+            self.mobility_loss,
+            self.start_time,
+            self.op_name,
+            self.module.name,
+            self.instance_name or "",
+        )
+
+    def describe(self) -> str:
+        """One-line description used in synthesis traces."""
+        target = self.instance_name or f"new {self.module.name}"
+        return (
+            f"bind {self.op_name} -> {target} @ cycle {self.start_time} "
+            f"(+area {self.area_increase:g}, +mux {self.interconnect_penalty}, "
+            f"-mobility {self.mobility_loss})"
+        )
+
+
+def better(first: BindingDecision, second: BindingDecision) -> BindingDecision:
+    """The preferable of two decisions under :meth:`BindingDecision.sort_key`."""
+    return first if first.sort_key() <= second.sort_key() else second

@@ -1,0 +1,136 @@
+"""Value lifetime analysis and left-edge register allocation.
+
+After scheduling and FU binding, every data value produced by an
+operation must be stored in a register from the cycle its producer
+finishes until the last cycle in which a consumer reads it.  Values whose
+lifetimes do not overlap can share a register; minimizing register count
+for fixed lifetimes is solved optimally by the classical *left-edge*
+algorithm (sort by start, greedily pack into the first free register).
+
+Register area contributes to the total datapath area reported by the
+synthesis results (see :mod:`repro.datapath` for the area constants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..ir.cdfg import CDFG
+from ..ir.operation import OpType
+from ..scheduling.schedule import Schedule
+from .intervals import Interval, max_overlap_count
+
+
+@dataclass(frozen=True)
+class ValueLifetime:
+    """The storage interval of one produced value.
+
+    Attributes:
+        producer: Operation producing the value.
+        interval: Half-open cycle interval during which the value must be
+            held in a register.
+    """
+
+    producer: str
+    interval: Interval
+
+
+@dataclass
+class RegisterAllocation:
+    """Assignment of values to registers."""
+
+    #: register index -> producers whose values share that register
+    registers: Dict[int, List[str]] = field(default_factory=dict)
+    lifetimes: Dict[str, ValueLifetime] = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        return len(self.registers)
+
+    def register_of(self, producer: str) -> Optional[int]:
+        for index, producers in self.registers.items():
+            if producer in producers:
+                return index
+        return None
+
+    def is_consistent(self) -> bool:
+        """No two values sharing a register have overlapping lifetimes."""
+        for producers in self.registers.values():
+            spans = [self.lifetimes[p].interval for p in producers]
+            for i, a in enumerate(spans):
+                for b in spans[i + 1:]:
+                    if a.overlaps(b):
+                        return False
+        return True
+
+
+def value_lifetimes(schedule: Schedule) -> Dict[str, ValueLifetime]:
+    """Compute the register lifetime of every produced value.
+
+    A value is born when its producer finishes and dies when its last
+    consumer *finishes reading it*, which we conservatively model as the
+    last consumer's start cycle + 1 (the operand must be stable while the
+    consumer launches).  Values produced by outputs, and values with no
+    consumers, need no register.
+    """
+    cdfg = schedule.cdfg
+    lifetimes: Dict[str, ValueLifetime] = {}
+    for name in schedule.start_times:
+        op = cdfg.operation(name)
+        if op.optype is OpType.OUTPUT or op.is_virtual:
+            continue
+        consumers = [c for c in cdfg.successors(name) if c in schedule.start_times]
+        if not consumers:
+            continue
+        birth = schedule.finish(name)
+        death = max(schedule.start(c) for c in consumers) + 1
+        if death <= birth:
+            # Consumed in the same cycle it becomes available (chaining);
+            # the value still occupies a register for that cycle.
+            death = birth + 1
+        lifetimes[name] = ValueLifetime(name, Interval(birth, death))
+    return lifetimes
+
+
+def left_edge_allocation(lifetimes: Mapping[str, ValueLifetime]) -> RegisterAllocation:
+    """Left-edge register allocation (optimal for interval graphs).
+
+    Args:
+        lifetimes: Value lifetimes keyed by producer operation name.
+
+    Returns:
+        A :class:`RegisterAllocation` with the minimum number of registers.
+    """
+    ordered = sorted(
+        lifetimes.values(), key=lambda lt: (lt.interval.start, lt.interval.end, lt.producer)
+    )
+    registers: Dict[int, List[str]] = {}
+    register_end: Dict[int, int] = {}
+
+    for lifetime in ordered:
+        placed = False
+        for index in sorted(registers):
+            if register_end[index] <= lifetime.interval.start:
+                registers[index].append(lifetime.producer)
+                register_end[index] = lifetime.interval.end
+                placed = True
+                break
+        if not placed:
+            index = len(registers)
+            registers[index] = [lifetime.producer]
+            register_end[index] = lifetime.interval.end
+
+    return RegisterAllocation(registers=registers, lifetimes=dict(lifetimes))
+
+
+def allocate_registers(schedule: Schedule) -> RegisterAllocation:
+    """Lifetimes + left-edge allocation in one call."""
+    return left_edge_allocation(value_lifetimes(schedule))
+
+
+def register_lower_bound(schedule: Schedule) -> int:
+    """Maximum number of simultaneously live values (lower bound on registers)."""
+    return max_overlap_count(
+        lifetime.interval for lifetime in value_lifetimes(schedule).values()
+    )

@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the main flows without writing any
+Python:
+
+* ``table1`` — print the functional-unit library (the paper's Table 1),
+* ``bench list`` (via ``benchmarks``) — list the registered benchmark CDFGs,
+* ``synthesize`` — run the combined power-constrained synthesis on a
+  benchmark (or a CDFG JSON file) and print the result,
+* ``sweep`` — the Figure-2 power/area sweep for one benchmark and latency,
+* ``profile`` — print the per-cycle power profile of the unconstrained vs.
+  the power-constrained design (Figure 1 for any benchmark).
+
+The CLI is a thin shell over the library API; every command returns a
+process exit code of 0 on success and 2 on infeasible constraint sets so
+it can be scripted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .ir import load as load_cdfg
+from .library import default_library
+from .power.profile import profile_from_schedule
+from .reporting.experiments import figure1_experiment, table1_report
+from .reporting.series import Series, ascii_plot
+from .reporting.table import render_table
+from .suite.registry import benchmark_names, build_benchmark, get_benchmark
+from .synthesis.baseline import naive_synthesis
+from .synthesis.explore import (
+    default_power_grid,
+    minimum_feasible_power,
+    power_area_sweep,
+)
+from .synthesis.engine import synthesize
+from .synthesis.result import SynthesisError
+
+#: Exit code used for infeasible constraint combinations.
+EXIT_INFEASIBLE = 2
+
+
+def _load_graph(args: argparse.Namespace):
+    """Resolve the --benchmark / --cdfg options into a CDFG."""
+    if args.cdfg is not None:
+        return load_cdfg(Path(args.cdfg))
+    return build_benchmark(args.benchmark)
+
+
+def _cmd_table1(_: argparse.Namespace) -> int:
+    print(table1_report())
+    return 0
+
+
+def _cmd_benchmarks(_: argparse.Namespace) -> int:
+    rows = []
+    for name in benchmark_names():
+        spec = get_benchmark(name)
+        graph = spec.build()
+        rows.append(
+            [
+                name,
+                len(graph),
+                graph.num_edges(),
+                ", ".join(str(t) for t in spec.latencies),
+                spec.in_paper,
+            ]
+        )
+    print(
+        render_table(
+            ["benchmark", "operations", "edges", "paper latencies", "in paper"],
+            rows,
+            title="Registered benchmark CDFGs",
+        )
+    )
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    library = default_library()
+    cdfg = _load_graph(args)
+    try:
+        result = synthesize(cdfg, library, args.latency, args.power)
+    except SynthesisError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+    print(result.describe())
+    if args.schedule:
+        print()
+        print(result.schedule.describe())
+    if args.datapath:
+        print()
+        print(result.datapath.describe())
+    if args.verilog is not None:
+        Path(args.verilog).write_text(result.datapath.to_structural_verilog())
+        print(f"\nwrote structural Verilog skeleton to {args.verilog}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    library = default_library()
+    cdfg = _load_graph(args)
+    try:
+        p_min = minimum_feasible_power(cdfg, library, args.latency)
+    except SynthesisError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+    budgets = default_power_grid(p_min, args.cap, args.steps)
+    sweep = power_area_sweep(
+        cdfg, library, args.latency, budgets, cumulative_best=not args.raw
+    )
+    rows = [
+        [point.power_budget, point.feasible, point.area, point.peak_power]
+        for point in sweep.points
+    ]
+    print(
+        render_table(
+            ["P budget", "feasible", "area", "peak power"],
+            rows,
+            title=f"Power/area sweep: {cdfg.name} (T={args.latency})",
+        )
+    )
+    series = Series(f"{cdfg.name} (T={args.latency})")
+    for point in sweep.feasible_points():
+        series.add(point.power_budget, point.area)
+    print()
+    print(ascii_plot([series], x_label="power budget", y_label="area"))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    library = default_library()
+    cdfg = _load_graph(args)
+    if args.power is None:
+        unconstrained = naive_synthesis(cdfg, library)
+        print(profile_from_schedule(unconstrained.schedule).describe())
+        return 0
+    try:
+        data = figure1_experiment(
+            benchmark=args.benchmark, latency=args.latency, power_budget=args.power
+        )
+    except SynthesisError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+    print(data.report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Power-constrained high-level synthesis (DATE 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the functional-unit library").set_defaults(
+        handler=_cmd_table1
+    )
+    sub.add_parser("benchmarks", help="list the registered benchmarks").set_defaults(
+        handler=_cmd_benchmarks
+    )
+
+    def add_graph_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--benchmark", "-b", default="hal", choices=benchmark_names())
+        p.add_argument("--cdfg", help="path to a CDFG JSON file (overrides --benchmark)")
+
+    synth = sub.add_parser("synthesize", help="run the combined synthesis")
+    add_graph_options(synth)
+    synth.add_argument("--latency", "-T", type=int, required=True)
+    synth.add_argument("--power", "-P", type=float, default=None)
+    synth.add_argument("--schedule", action="store_true", help="print the schedule")
+    synth.add_argument("--datapath", action="store_true", help="print the datapath")
+    synth.add_argument("--verilog", help="write a structural Verilog skeleton to this path")
+    synth.set_defaults(handler=_cmd_synthesize)
+
+    sweep = sub.add_parser("sweep", help="power/area sweep (one Figure-2 curve)")
+    add_graph_options(sweep)
+    sweep.add_argument("--latency", "-T", type=int, required=True)
+    sweep.add_argument("--cap", type=float, default=150.0)
+    sweep.add_argument("--steps", type=int, default=8)
+    sweep.add_argument("--raw", action="store_true", help="disable the running-best convention")
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    profile = sub.add_parser("profile", help="per-cycle power profile (Figure 1)")
+    add_graph_options(profile)
+    profile.add_argument("--latency", "-T", type=int, default=17)
+    profile.add_argument("--power", "-P", type=float, default=None)
+    profile.set_defaults(handler=_cmd_profile)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

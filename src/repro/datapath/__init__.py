@@ -1,0 +1,28 @@
+"""Datapath model, controller generation and area accounting for synthesized designs."""
+
+from .area import REGISTER_AREA, AreaBreakdown, register_area
+from .rtl import Datapath, DatapathError
+from .controller import (
+    CONTROL_SIGNAL_AREA,
+    CONTROLLER_POWER,
+    STATE_AREA,
+    ControlStep,
+    Controller,
+    build_controller,
+    controller_power_profile,
+)
+
+__all__ = [
+    "REGISTER_AREA",
+    "AreaBreakdown",
+    "register_area",
+    "Datapath",
+    "DatapathError",
+    "CONTROL_SIGNAL_AREA",
+    "CONTROLLER_POWER",
+    "STATE_AREA",
+    "ControlStep",
+    "Controller",
+    "build_controller",
+    "controller_power_profile",
+]

@@ -1,0 +1,56 @@
+"""Datapath area model.
+
+The paper reports circuit *area* as the synthesis objective; its Table 1
+gives the area of each functional-unit module, and the cost function also
+considers interconnect ("using least interconnect").  Registers and
+multiplexers therefore enter the total through a simple, documented model
+that is held constant across every experiment so comparisons stay fair:
+
+* functional units: the module areas of Table 1,
+* registers: :data:`REGISTER_AREA` area units each,
+* multiplexers: :data:`~repro.binding.interconnect.MUX_INPUT_AREA` per
+  mux input (see :mod:`repro.binding.interconnect`).
+
+``AreaBreakdown`` carries the components separately so reports can show
+where the area goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Area of one data register, in the paper's area units.  Chosen in the
+#: same order of magnitude as the small library cells (comp = 8).
+REGISTER_AREA = 12.0
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Datapath area split into its components (all in Table-1 units)."""
+
+    functional_units: float
+    registers: float
+    interconnect: float
+
+    @property
+    def total(self) -> float:
+        return self.functional_units + self.registers + self.interconnect
+
+    @property
+    def fu_only(self) -> float:
+        """Functional-unit area alone (closest to the paper's headline axis)."""
+        return self.functional_units
+
+    def describe(self) -> str:
+        return (
+            f"area total={self.total:.1f} "
+            f"(FUs={self.functional_units:.1f}, registers={self.registers:.1f}, "
+            f"muxes={self.interconnect:.1f})"
+        )
+
+
+def register_area(count: int) -> float:
+    """Total register area for ``count`` registers."""
+    if count < 0:
+        raise ValueError("register count cannot be negative")
+    return count * REGISTER_AREA

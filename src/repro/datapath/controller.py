@@ -1,0 +1,165 @@
+"""Controller (FSM) generation for synthesized datapaths.
+
+A complete RTL design needs, besides the datapath, a controller that walks
+through the schedule cycle by cycle and asserts the right control signals:
+which functional unit starts which operation, which registers load, and
+how the multiplexers are steered.  The paper focuses on the datapath, but
+a downstream user of this reproduction needs the controller to judge the
+overall design, so this module derives a simple Moore FSM from a
+synthesis result:
+
+* one state per clock cycle of the schedule (plus an idle state),
+* per state: the set of operations started, the FU instances that are
+  busy, and the registers loaded at the end of the cycle,
+* an area/power estimate using a documented per-state / per-signal model
+  so the controller contribution can be included in reports when desired.
+
+The controller model is intentionally simple — states are not re-encoded
+or minimized — but it is sufficient to expose the control cost of a
+schedule and to emit a readable FSM table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from ..binding.register import RegisterAllocation
+from ..scheduling.schedule import Schedule
+from .rtl import Datapath, DatapathError
+
+#: Area of one FSM state's worth of next-state/output logic (area units).
+STATE_AREA = 4.0
+#: Area of one distinct control signal driver.
+CONTROL_SIGNAL_AREA = 0.5
+#: Per-cycle power drawn by the controller while running.
+CONTROLLER_POWER = 0.4
+
+
+@dataclass(frozen=True)
+class ControlStep:
+    """Control activity of one clock cycle.
+
+    Attributes:
+        cycle: The schedule cycle this state corresponds to.
+        started_ops: Operations that start executing in this cycle.
+        busy_instances: FU instance names executing during this cycle.
+        loaded_registers: Register indices that latch a new value at the
+            end of this cycle (the producing operation finishes here).
+    """
+
+    cycle: int
+    started_ops: tuple
+    busy_instances: tuple
+    loaded_registers: tuple
+
+
+@dataclass
+class Controller:
+    """A Moore FSM driving a synthesized datapath through its schedule."""
+
+    steps: List[ControlStep] = field(default_factory=list)
+    control_signals: int = 0
+
+    @property
+    def num_states(self) -> int:
+        """Schedule states plus the idle/reset state."""
+        return len(self.steps) + 1
+
+    @property
+    def area(self) -> float:
+        return self.num_states * STATE_AREA + self.control_signals * CONTROL_SIGNAL_AREA
+
+    @property
+    def power(self) -> float:
+        """Per-cycle controller power (constant while the FSM is running)."""
+        return CONTROLLER_POWER
+
+    def step(self, cycle: int) -> ControlStep:
+        try:
+            return self.steps[cycle]
+        except IndexError:
+            raise DatapathError(f"controller has no state for cycle {cycle}") from None
+
+    def describe(self) -> str:
+        lines = [
+            f"controller: {self.num_states} states, "
+            f"{self.control_signals} control signals, area={self.area:.1f}"
+        ]
+        for step in self.steps:
+            lines.append(
+                f"  S{step.cycle:<3d} start=[{', '.join(step.started_ops) or '-'}] "
+                f"busy=[{', '.join(step.busy_instances) or '-'}] "
+                f"load regs={list(step.loaded_registers) or '-'}"
+            )
+        return "\n".join(lines)
+
+
+def _loaded_registers(
+    schedule: Schedule,
+    registers: RegisterAllocation,
+    cycle: int,
+) -> List[int]:
+    """Registers that latch a newly produced value at the end of ``cycle``."""
+    loaded = []
+    for index, producers in registers.registers.items():
+        for producer in producers:
+            if producer in schedule.start_times and schedule.finish(producer) == cycle + 1:
+                loaded.append(index)
+                break
+    return sorted(loaded)
+
+
+def build_controller(datapath: Datapath) -> Controller:
+    """Derive the FSM controller for a finalized datapath.
+
+    Raises:
+        DatapathError: if the datapath has not been finalized (no register
+            allocation available) or has no schedule attached.
+    """
+    if datapath.schedule is None:
+        raise DatapathError("datapath has no schedule; run synthesis first")
+    if datapath.registers is None:
+        raise DatapathError("datapath is not finalized; call finalize() first")
+
+    schedule = datapath.schedule
+    steps: List[ControlStep] = []
+    for cycle in range(schedule.makespan):
+        started = tuple(
+            sorted(
+                op
+                for op in datapath.binding
+                if schedule.start(op) == cycle
+            )
+        )
+        busy = tuple(
+            sorted(
+                {
+                    datapath.binding[op]
+                    for op in datapath.binding
+                    if schedule.start(op) <= cycle < schedule.finish(op)
+                }
+            )
+        )
+        loaded = tuple(_loaded_registers(schedule, datapath.registers, cycle))
+        steps.append(
+            ControlStep(
+                cycle=cycle,
+                started_ops=started,
+                busy_instances=busy,
+                loaded_registers=loaded,
+            )
+        )
+
+    # One start signal per (instance, distinct start cycle pattern) is a
+    # reasonable proxy; we count one signal per instance plus one load
+    # enable per register plus one select line per mux input.
+    signal_count = len(datapath.instances) + datapath.registers.count
+    if datapath.interconnect is not None:
+        signal_count += datapath.interconnect.total_mux_inputs
+    return Controller(steps=steps, control_signals=signal_count)
+
+
+def controller_power_profile(controller: Controller) -> List[float]:
+    """Constant controller power over the schedule (for combined profiles)."""
+    return [controller.power] * len(controller.steps)

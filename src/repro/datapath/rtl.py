@@ -1,0 +1,193 @@
+"""Register-transfer-level datapath model.
+
+The output of the combined synthesis is a :class:`Datapath`: the set of
+allocated functional-unit instances, the binding of operations to
+instances, the register allocation and the interconnect estimate.  The
+datapath knows how to compute its area breakdown and can render itself as
+a structural netlist-like text report (and a minimal structural Verilog
+skeleton for inspection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..binding.interconnect import InterconnectReport, interconnect_report
+from ..binding.register import RegisterAllocation, allocate_registers
+from ..ir.cdfg import CDFG
+from ..library.module import FUInstance, FUModule
+from ..scheduling.schedule import Schedule
+from .area import AreaBreakdown, register_area
+
+
+class DatapathError(Exception):
+    """Raised for inconsistent datapath construction."""
+
+
+@dataclass
+class Datapath:
+    """A synthesized datapath: instances, binding, registers, interconnect.
+
+    Attributes:
+        cdfg: The behavioural description the datapath implements.
+        schedule: The final schedule of all operations.
+        instances: Allocated FU instances, keyed by instance name.
+        binding: Operation name → instance name.
+        registers: Register allocation for produced values.
+        interconnect: Multiplexer estimate.
+    """
+
+    cdfg: CDFG
+    schedule: Schedule
+    instances: Dict[str, FUInstance] = field(default_factory=dict)
+    binding: Dict[str, str] = field(default_factory=dict)
+    registers: Optional[RegisterAllocation] = None
+    interconnect: Optional[InterconnectReport] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def add_instance(self, module: FUModule) -> FUInstance:
+        """Allocate a new instance of ``module`` and register it."""
+        index = sum(1 for inst in self.instances.values() if inst.module.name == module.name)
+        instance = FUInstance(module=module, index=index)
+        self.instances[instance.name] = instance
+        return instance
+
+    def bind(self, op_name: str, instance_name: str) -> None:
+        """Bind an operation to an existing instance."""
+        if op_name in self.binding:
+            raise DatapathError(f"operation {op_name!r} is already bound")
+        if instance_name not in self.instances:
+            raise DatapathError(f"unknown instance {instance_name!r}")
+        optype = self.cdfg.operation(op_name).optype
+        instance = self.instances[instance_name]
+        if not instance.module.supports(optype):
+            raise DatapathError(
+                f"instance {instance_name!r} ({instance.module.name}) cannot "
+                f"execute {optype.value!r}"
+            )
+        instance.bind(op_name)
+        self.binding[op_name] = instance_name
+
+    def finalize(self) -> None:
+        """Run register allocation and interconnect estimation.
+
+        Call once the schedule and all bindings are complete.
+        """
+        unbound = [
+            n
+            for n in self.cdfg.schedulable_operations()
+            if n not in self.binding
+        ]
+        if unbound:
+            raise DatapathError(f"operations left unbound: {sorted(unbound)}")
+        self.registers = allocate_registers(self.schedule)
+        self.interconnect = interconnect_report(self.cdfg, self.binding, self.registers)
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    def instance_of(self, op_name: str) -> FUInstance:
+        try:
+            return self.instances[self.binding[op_name]]
+        except KeyError:
+            raise DatapathError(f"operation {op_name!r} is not bound") from None
+
+    def operations_on(self, instance_name: str) -> List[str]:
+        if instance_name not in self.instances:
+            raise DatapathError(f"unknown instance {instance_name!r}")
+        return list(self.instances[instance_name].bound_ops)
+
+    def instance_count(self, module_name: Optional[str] = None) -> int:
+        """Number of instances, optionally restricted to one module type."""
+        if module_name is None:
+            return len(self.instances)
+        return sum(1 for inst in self.instances.values() if inst.module.name == module_name)
+
+    def allocation_summary(self) -> Dict[str, int]:
+        """Module name → number of allocated instances."""
+        summary: Dict[str, int] = {}
+        for instance in self.instances.values():
+            summary[instance.module.name] = summary.get(instance.module.name, 0) + 1
+        return dict(sorted(summary.items()))
+
+    def area(self) -> AreaBreakdown:
+        """Area breakdown (FUs + registers + interconnect)."""
+        fu_area = sum(instance.area for instance in self.instances.values())
+        reg_area = register_area(self.registers.count) if self.registers else 0.0
+        mux_area = self.interconnect.area if self.interconnect else 0.0
+        return AreaBreakdown(fu_area, reg_area, mux_area)
+
+    def operation_powers(self) -> Dict[str, float]:
+        """Per-operation per-cycle power as implied by the binding."""
+        powers: Dict[str, float] = {}
+        for op_name in self.cdfg.operation_names():
+            if op_name in self.binding:
+                powers[op_name] = self.instances[self.binding[op_name]].module.power
+            else:
+                powers[op_name] = 0.0
+        return powers
+
+    def check_no_conflicts(self) -> List[str]:
+        """Instance-sharing conflicts: overlapping executions on one instance.
+
+        Returns human-readable conflict descriptions; an empty list means
+        the binding is consistent with the schedule.
+        """
+        problems: List[str] = []
+        for instance in self.instances.values():
+            spans = []
+            for op_name in instance.bound_ops:
+                start = self.schedule.start(op_name)
+                spans.append((start, start + instance.module.latency, op_name))
+            spans.sort()
+            for (s1, e1, op1), (s2, e2, op2) in zip(spans, spans[1:]):
+                if s2 < e1:
+                    problems.append(
+                        f"instance {instance.name}: {op1} [{s1},{e1}) overlaps {op2} [{s2},{e2})"
+                    )
+        return problems
+
+    # ------------------------------------------------------------------ #
+    # Reports
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """Multi-line netlist-like description of the datapath."""
+        lines = [f"datapath for {self.cdfg.name!r}"]
+        lines.append(f"  {self.area().describe()}")
+        lines.append(f"  latency: {self.schedule.makespan} cycles")
+        lines.append(f"  peak power: {self.schedule.peak_power:.2f}")
+        for name in sorted(self.instances):
+            instance = self.instances[name]
+            ops = ", ".join(instance.bound_ops) or "(idle)"
+            lines.append(f"  {name}: area={instance.area:g} ops=[{ops}]")
+        if self.registers is not None:
+            lines.append(f"  registers: {self.registers.count}")
+        if self.interconnect is not None:
+            lines.append(f"  mux inputs: {self.interconnect.total_mux_inputs}")
+        return "\n".join(lines)
+
+    def to_structural_verilog(self, module_name: Optional[str] = None) -> str:
+        """A minimal structural-Verilog skeleton of the datapath.
+
+        The emitted text instantiates one module per FU instance and one
+        register per allocated register; it is meant for human inspection
+        and downstream tooling experiments, not for simulation.
+        """
+        module_name = module_name or f"{self.cdfg.name}_datapath"
+        sanitized = module_name.replace("-", "_").replace(" ", "_")
+        lines = [f"module {sanitized} (input clk);"]
+        for name in sorted(self.instances):
+            instance = self.instances[name]
+            cell = instance.module.name.replace(" ", "_").replace("(", "").replace(")", "").replace(".", "")
+            inst = name.replace("#", "_").replace(" ", "_").replace("(", "").replace(")", "").replace(".", "")
+            ops = " ".join(instance.bound_ops)
+            lines.append(f"  // executes: {ops}")
+            lines.append(f"  {cell} {inst} (.clk(clk));")
+        count = self.registers.count if self.registers else 0
+        for index in range(count):
+            lines.append(f"  reg_cell r{index} (.clk(clk));")
+        lines.append("endmodule")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,64 @@
+"""Intermediate representation: operations, CDFGs and static analyses."""
+
+from .operation import COMMUTATIVE_TYPES, Operation, OpType
+from .cdfg import CDFG, CDFGError
+from .builder import CDFGBuilder
+from .validate import ValidationError, collect_problems, is_valid, validate_cdfg
+from .analysis import (
+    alap_times,
+    asap_times,
+    concurrency_profile,
+    critical_path,
+    critical_path_length,
+    depth_levels,
+    energy_lower_bound_power,
+    mobility,
+    operation_intervals,
+    resource_lower_bound,
+    unit_delays,
+)
+from .transform import (
+    io_wrapped,
+    merge_graphs,
+    relabel,
+    remove_dead_operations,
+    strip_virtual_operations,
+)
+from .serialize import from_dict, from_json, load, save, to_dict, to_json
+from .dot import to_dot
+
+__all__ = [
+    "COMMUTATIVE_TYPES",
+    "Operation",
+    "OpType",
+    "CDFG",
+    "CDFGError",
+    "CDFGBuilder",
+    "ValidationError",
+    "collect_problems",
+    "is_valid",
+    "validate_cdfg",
+    "alap_times",
+    "asap_times",
+    "concurrency_profile",
+    "critical_path",
+    "critical_path_length",
+    "depth_levels",
+    "energy_lower_bound_power",
+    "mobility",
+    "operation_intervals",
+    "resource_lower_bound",
+    "unit_delays",
+    "io_wrapped",
+    "merge_graphs",
+    "relabel",
+    "remove_dead_operations",
+    "strip_virtual_operations",
+    "from_dict",
+    "from_json",
+    "load",
+    "save",
+    "to_dict",
+    "to_json",
+    "to_dot",
+]

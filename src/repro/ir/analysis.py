@@ -1,0 +1,214 @@
+"""Static analyses of a CDFG.
+
+These are the classic pre-scheduling analyses used throughout high-level
+synthesis:
+
+* **as-soon-as-possible (ASAP) levels** and **as-late-as-possible (ALAP)
+  levels** in *unit-delay* terms (structural depth, independent of the
+  functional-unit library),
+* **critical path length** (in operations and in cycles for a concrete
+  delay assignment),
+* **mobility** (slack between ASAP and ALAP under a latency bound),
+* lower bounds on resources and power (used to pick sensible constraint
+  ranges in the experiments).
+
+Delay-aware variants accept a ``delays`` mapping (operation name → cycles)
+so that multi-cycle operators such as the serial multiplier from the
+paper's Table 1 are handled correctly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .cdfg import CDFG, CDFGError
+from .operation import OpType
+
+
+def unit_delays(cdfg: CDFG) -> Dict[str, int]:
+    """A delay map giving every non-virtual operation one cycle."""
+    return {n: 0 if cdfg.operation(n).is_virtual else 1 for n in cdfg.operation_names()}
+
+
+def _check_delays(cdfg: CDFG, delays: Mapping[str, int]) -> None:
+    missing = [n for n in cdfg.operation_names() if n not in delays]
+    if missing:
+        raise CDFGError(f"delay map missing operations: {sorted(missing)}")
+    negative = [n for n, d in delays.items() if d < 0]
+    if negative:
+        raise CDFGError(f"negative delays for operations: {sorted(negative)}")
+
+
+def asap_times(cdfg: CDFG, delays: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+    """Earliest start time of every operation ignoring resources and power.
+
+    Args:
+        cdfg: The graph to analyse.
+        delays: Cycles per operation; defaults to unit delays.
+
+    Returns:
+        Mapping of operation name to earliest start cycle (cycle 0 based).
+    """
+    delays = dict(delays) if delays is not None else unit_delays(cdfg)
+    _check_delays(cdfg, delays)
+    start: Dict[str, int] = {}
+    for name in cdfg.topological_order():
+        ready = 0
+        for pred in cdfg.predecessors(name):
+            ready = max(ready, start[pred] + delays[pred])
+        start[name] = ready
+    return start
+
+
+def alap_times(
+    cdfg: CDFG,
+    latency: int,
+    delays: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """Latest start time of every operation under a latency bound.
+
+    Args:
+        cdfg: The graph to analyse.
+        latency: Total number of cycles available (all operations must
+            finish by cycle ``latency``).
+        delays: Cycles per operation; defaults to unit delays.
+
+    Returns:
+        Mapping of operation name to latest feasible start cycle.
+
+    Raises:
+        CDFGError: if the latency bound is smaller than the critical path.
+    """
+    delays = dict(delays) if delays is not None else unit_delays(cdfg)
+    _check_delays(cdfg, delays)
+    cp = critical_path_length(cdfg, delays)
+    if latency < cp:
+        raise CDFGError(
+            f"latency bound {latency} is below the critical path length {cp}"
+        )
+    start: Dict[str, int] = {}
+    for name in cdfg.reverse_topological_order():
+        latest_finish = latency
+        for succ in cdfg.successors(name):
+            latest_finish = min(latest_finish, start[succ])
+        start[name] = latest_finish - delays[name]
+    return start
+
+
+def critical_path_length(cdfg: CDFG, delays: Optional[Mapping[str, int]] = None) -> int:
+    """Length (in cycles) of the longest dependence chain."""
+    delays = dict(delays) if delays is not None else unit_delays(cdfg)
+    _check_delays(cdfg, delays)
+    start = asap_times(cdfg, delays)
+    if not start:
+        return 0
+    return max(start[n] + delays[n] for n in cdfg.operation_names())
+
+
+def critical_path(cdfg: CDFG, delays: Optional[Mapping[str, int]] = None) -> List[str]:
+    """One longest dependence chain, as an ordered list of operation names."""
+    delays = dict(delays) if delays is not None else unit_delays(cdfg)
+    _check_delays(cdfg, delays)
+    start = asap_times(cdfg, delays)
+    if not start:
+        return []
+    # Walk backwards from the operation with the latest finish time.
+    tail = max(cdfg.operation_names(), key=lambda n: start[n] + delays[n])
+    path = [tail]
+    current = tail
+    while cdfg.predecessors(current):
+        current = max(
+            cdfg.predecessors(current), key=lambda p: start[p] + delays[p]
+        )
+        path.append(current)
+    path.reverse()
+    return path
+
+
+def mobility(
+    cdfg: CDFG,
+    latency: int,
+    delays: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """Scheduling freedom (ALAP start minus ASAP start) for every operation."""
+    delays = dict(delays) if delays is not None else unit_delays(cdfg)
+    asap = asap_times(cdfg, delays)
+    alap = alap_times(cdfg, latency, delays)
+    return {n: alap[n] - asap[n] for n in cdfg.operation_names()}
+
+
+def depth_levels(cdfg: CDFG) -> Dict[str, int]:
+    """Structural depth (number of operations on the longest path from a source)."""
+    levels: Dict[str, int] = {}
+    for name in cdfg.topological_order():
+        preds = cdfg.predecessors(name)
+        levels[name] = 0 if not preds else 1 + max(levels[p] for p in preds)
+    return levels
+
+
+def concurrency_profile(
+    cdfg: CDFG,
+    start_times: Mapping[str, int],
+    delays: Optional[Mapping[str, int]] = None,
+) -> List[int]:
+    """Number of operations executing in each cycle for a given schedule.
+
+    Virtual operations are ignored.  The profile has one entry per cycle
+    from 0 to the schedule's makespan (exclusive).
+    """
+    delays = dict(delays) if delays is not None else unit_delays(cdfg)
+    horizon = 0
+    for name in cdfg.operation_names():
+        if name in start_times:
+            horizon = max(horizon, start_times[name] + delays[name])
+    profile = [0] * horizon
+    for name in cdfg.operation_names():
+        op = cdfg.operation(name)
+        if op.is_virtual or name not in start_times:
+            continue
+        for cycle in range(start_times[name], start_times[name] + delays[name]):
+            profile[cycle] += 1
+    return profile
+
+
+def resource_lower_bound(
+    cdfg: CDFG,
+    latency: int,
+    optype: OpType,
+    delays: Optional[Mapping[str, int]] = None,
+) -> int:
+    """Classic lower bound on the number of FUs of one type needed.
+
+    ``ceil(total busy cycles of that type / latency)`` — the usual
+    area/latency bound used to sanity-check synthesis results.
+    """
+    delays = dict(delays) if delays is not None else unit_delays(cdfg)
+    busy = sum(delays[n] for n in cdfg.operations_of_type(optype))
+    if busy == 0:
+        return 0
+    return math.ceil(busy / max(1, latency))
+
+
+def energy_lower_bound_power(
+    total_energy: float,
+    latency: int,
+) -> float:
+    """Minimum peak-power budget implied by total energy and a latency bound.
+
+    If the whole computation consumes ``total_energy`` (power × cycles
+    summed over operations) and must finish within ``latency`` cycles, no
+    schedule can keep the per-cycle power below ``total_energy / latency``.
+    Used to pick the lower end of the power sweep in the Figure-2 bench.
+    """
+    if latency <= 0:
+        raise ValueError("latency must be positive")
+    return total_energy / latency
+
+
+def operation_intervals(
+    start_times: Mapping[str, int],
+    delays: Mapping[str, int],
+) -> Dict[str, Tuple[int, int]]:
+    """Half-open execution intervals ``[start, start + delay)`` per operation."""
+    return {n: (start_times[n], start_times[n] + delays[n]) for n in start_times}

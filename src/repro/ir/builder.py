@@ -1,0 +1,106 @@
+"""Fluent builder for CDFGs.
+
+Writing benchmark graphs node-by-node with explicit
+:class:`~repro.ir.operation.Operation` objects is verbose.  The
+:class:`CDFGBuilder` offers a compact expression-like API::
+
+    b = CDFGBuilder("hal")
+    x = b.input("x")
+    u = b.input("u")
+    three = b.const("three", 3)
+    m1 = b.mul("m1", three, x)
+    m2 = b.mul("m2", u, m1)
+    b.output("out_u", m2)
+    graph = b.build()
+
+Every helper returns the operation *name* so results can be fed directly
+into later operations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from .cdfg import CDFG
+from .operation import Operation, OpType
+from .validate import validate_cdfg
+
+
+class CDFGBuilder:
+    """Incrementally construct a :class:`~repro.ir.cdfg.CDFG`."""
+
+    def __init__(self, name: str = "cdfg") -> None:
+        self._cdfg = CDFG(name)
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Generic node creation
+    # ------------------------------------------------------------------ #
+    def _fresh_name(self, prefix: str) -> str:
+        while True:
+            self._counter += 1
+            candidate = f"{prefix}{self._counter}"
+            if candidate not in self._cdfg:
+                return candidate
+
+    def op(
+        self,
+        optype: OpType,
+        name: Optional[str] = None,
+        inputs: Sequence[str] = (),
+        **attrs: Any,
+    ) -> str:
+        """Add an operation of ``optype`` fed by ``inputs``; return its name."""
+        if name is None:
+            name = self._fresh_name(optype.name.lower())
+        operation = Operation(name, optype, attrs=attrs)
+        self._cdfg.add_operation(operation)
+        for port, producer in enumerate(inputs):
+            self._cdfg.add_edge(producer, name, port=port)
+        return name
+
+    # ------------------------------------------------------------------ #
+    # Typed helpers
+    # ------------------------------------------------------------------ #
+    def input(self, name: Optional[str] = None, **attrs: Any) -> str:
+        """Add a primary input operation."""
+        return self.op(OpType.INPUT, name, (), **attrs)
+
+    def const(self, name: Optional[str] = None, value: Any = None, **attrs: Any) -> str:
+        """Add a constant (virtual) operation."""
+        if value is not None:
+            attrs["value"] = value
+        return self.op(OpType.CONST, name, (), **attrs)
+
+    def add(self, name: Optional[str] = None, a: str = "", b: str = "", **attrs: Any) -> str:
+        return self.op(OpType.ADD, name, (a, b), **attrs)
+
+    def sub(self, name: Optional[str] = None, a: str = "", b: str = "", **attrs: Any) -> str:
+        return self.op(OpType.SUB, name, (a, b), **attrs)
+
+    def mul(self, name: Optional[str] = None, a: str = "", b: str = "", **attrs: Any) -> str:
+        return self.op(OpType.MUL, name, (a, b), **attrs)
+
+    def gt(self, name: Optional[str] = None, a: str = "", b: str = "", **attrs: Any) -> str:
+        return self.op(OpType.GT, name, (a, b), **attrs)
+
+    def lt(self, name: Optional[str] = None, a: str = "", b: str = "", **attrs: Any) -> str:
+        return self.op(OpType.LT, name, (a, b), **attrs)
+
+    def output(self, name: Optional[str] = None, value: str = "", **attrs: Any) -> str:
+        """Add a primary output consuming ``value``."""
+        return self.op(OpType.OUTPUT, name, (value,), **attrs)
+
+    # ------------------------------------------------------------------ #
+    # Finalization
+    # ------------------------------------------------------------------ #
+    @property
+    def cdfg(self) -> CDFG:
+        """The graph under construction (not yet validated)."""
+        return self._cdfg
+
+    def build(self, validate: bool = True) -> CDFG:
+        """Return the constructed CDFG, validating it by default."""
+        if validate:
+            validate_cdfg(self._cdfg)
+        return self._cdfg

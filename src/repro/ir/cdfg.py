@@ -1,0 +1,233 @@
+"""Control/data-flow graph (CDFG) container.
+
+The :class:`CDFG` wraps a :class:`networkx.DiGraph` whose nodes are
+operation names and whose edges are data dependences.  It is the single
+intermediate representation shared by all schedulers, the compatibility
+graph construction, the binder and the power analysis.
+
+Design notes
+------------
+* Nodes are addressed by their *name* (a string); the full
+  :class:`~repro.ir.operation.Operation` object is stored as node data.
+  This keeps networkx algorithms directly applicable and serialization
+  trivial.
+* Edges may carry an optional ``port`` attribute identifying which input
+  of the consumer the value feeds (0 = left, 1 = right), used by the
+  interconnect estimator.
+* The graph must remain a DAG; :meth:`CDFG.validate` (see
+  :mod:`repro.ir.validate`) enforces this and other structural rules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from .operation import Operation, OpType
+
+
+class CDFGError(Exception):
+    """Raised for structural errors in a CDFG."""
+
+
+class CDFG:
+    """A data-flow graph of named, typed operations.
+
+    Args:
+        name: Name of the graph (benchmark name, function name, ...).
+
+    Example:
+        >>> g = CDFG("tiny")
+        >>> g.add_operation(Operation("a", OpType.INPUT))
+        >>> g.add_operation(Operation("b", OpType.INPUT))
+        >>> g.add_operation(Operation("s", OpType.ADD))
+        >>> g.add_edge("a", "s", port=0)
+        >>> g.add_edge("b", "s", port=1)
+        >>> sorted(g.predecessors("s"))
+        ['a', 'b']
+    """
+
+    def __init__(self, name: str = "cdfg") -> None:
+        if not name:
+            raise ValueError("CDFG name must be non-empty")
+        self.name = name
+        self._graph = nx.DiGraph()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_operation(self, op: Operation) -> Operation:
+        """Add an operation node.
+
+        Raises:
+            CDFGError: if an operation with the same name already exists.
+        """
+        if op.name in self._graph:
+            raise CDFGError(f"duplicate operation name: {op.name!r}")
+        self._graph.add_node(op.name, op=op)
+        return op
+
+    def add_edge(self, src: str, dst: str, port: Optional[int] = None) -> None:
+        """Add a data dependence ``src -> dst``.
+
+        Args:
+            src: Producer operation name (must exist).
+            dst: Consumer operation name (must exist).
+            port: Optional consumer input port index.
+
+        Raises:
+            CDFGError: if either endpoint is missing, the edge is a
+                self-loop, or the edge would create a cycle.
+        """
+        if src not in self._graph:
+            raise CDFGError(f"unknown source operation: {src!r}")
+        if dst not in self._graph:
+            raise CDFGError(f"unknown destination operation: {dst!r}")
+        if src == dst:
+            raise CDFGError(f"self-loop on operation {src!r} is not allowed")
+        if self._graph.has_edge(src, dst):
+            # Duplicate data edges are legal in expressions like ``x*x``;
+            # record multiplicity so interconnect estimation stays correct.
+            self._graph[src][dst]["multiplicity"] += 1
+            if port is not None:
+                self._graph[src][dst].setdefault("ports", []).append(port)
+            return
+        self._graph.add_edge(src, dst, multiplicity=1)
+        if port is not None:
+            self._graph[src][dst]["ports"] = [port]
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(src, dst)
+            raise CDFGError(f"edge {src!r} -> {dst!r} would create a cycle")
+
+    def remove_operation(self, name: str) -> None:
+        """Remove an operation and all incident edges."""
+        if name not in self._graph:
+            raise CDFGError(f"unknown operation: {name!r}")
+        self._graph.remove_node(name)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._graph.nodes)
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (treat as read-only)."""
+        return self._graph
+
+    def operation(self, name: str) -> Operation:
+        """Return the :class:`Operation` stored under ``name``."""
+        try:
+            return self._graph.nodes[name]["op"]
+        except KeyError:
+            raise CDFGError(f"unknown operation: {name!r}") from None
+
+    def operations(self) -> List[Operation]:
+        """All operations, in insertion order."""
+        return [self._graph.nodes[n]["op"] for n in self._graph.nodes]
+
+    def operation_names(self) -> List[str]:
+        """All operation names, in insertion order."""
+        return list(self._graph.nodes)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All data edges as (producer, consumer) pairs."""
+        return list(self._graph.edges)
+
+    def edge_multiplicity(self, src: str, dst: str) -> int:
+        """Number of distinct data values flowing along ``src -> dst``."""
+        return int(self._graph[src][dst].get("multiplicity", 1))
+
+    def num_edges(self) -> int:
+        return self._graph.number_of_edges()
+
+    def predecessors(self, name: str) -> List[str]:
+        """Direct data predecessors (producers feeding ``name``)."""
+        return list(self._graph.predecessors(name))
+
+    def successors(self, name: str) -> List[str]:
+        """Direct data successors (consumers of ``name``'s result)."""
+        return list(self._graph.successors(name))
+
+    def sources(self) -> List[str]:
+        """Operations with no predecessors."""
+        return [n for n in self._graph.nodes if self._graph.in_degree(n) == 0]
+
+    def sinks(self) -> List[str]:
+        """Operations with no successors."""
+        return [n for n in self._graph.nodes if self._graph.out_degree(n) == 0]
+
+    def topological_order(self) -> List[str]:
+        """Operation names in a topological order (stable for a fixed graph)."""
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    def reverse_topological_order(self) -> List[str]:
+        return list(reversed(self.topological_order()))
+
+    def operations_of_type(self, optype: OpType) -> List[str]:
+        """Names of all operations of a given type."""
+        return [n for n in self._graph.nodes if self.operation(n).optype is optype]
+
+    def type_histogram(self) -> Dict[OpType, int]:
+        """Count of operations per type."""
+        histogram: Dict[OpType, int] = {}
+        for op in self.operations():
+            histogram[op.optype] = histogram.get(op.optype, 0) + 1
+        return histogram
+
+    def arithmetic_operations(self) -> List[str]:
+        """Names of operations that require an arithmetic functional unit."""
+        return [n for n in self._graph.nodes if self.operation(n).is_arithmetic]
+
+    def schedulable_operations(self) -> List[str]:
+        """Operations the scheduler must place (everything but virtual ops)."""
+        return [n for n in self._graph.nodes if not self.operation(n).is_virtual]
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def copy(self, name: Optional[str] = None) -> "CDFG":
+        """Deep-ish copy (operations are immutable and shared)."""
+        clone = CDFG(name or self.name)
+        clone._graph = self._graph.copy()
+        return clone
+
+    def reversed(self) -> "CDFG":
+        """A copy with every edge direction flipped (used by ALAP/palap)."""
+        clone = CDFG(f"{self.name}.rev")
+        clone._graph = self._graph.reverse(copy=True)
+        return clone
+
+    def subgraph(self, names: Iterable[str], name: Optional[str] = None) -> "CDFG":
+        """Induced subgraph over ``names`` (copy, not a view)."""
+        names = list(names)
+        missing = [n for n in names if n not in self._graph]
+        if missing:
+            raise CDFGError(f"unknown operations in subgraph request: {missing}")
+        clone = CDFG(name or f"{self.name}.sub")
+        clone._graph = self._graph.subgraph(names).copy()
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, Any]:
+        """A small dictionary describing the graph (used in reports)."""
+        histogram = {t.value: c for t, c in sorted(self.type_histogram().items(), key=lambda kv: kv[0].value)}
+        return {
+            "name": self.name,
+            "operations": len(self),
+            "edges": self.num_edges(),
+            "types": histogram,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CDFG(name={self.name!r}, ops={len(self)}, edges={self.num_edges()})"

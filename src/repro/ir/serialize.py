@@ -1,0 +1,104 @@
+"""JSON (de)serialization of CDFGs.
+
+The format is deliberately simple so graphs can be exchanged with other
+tools or stored next to experiment results::
+
+    {
+      "name": "hal",
+      "operations": [
+        {"name": "m1", "type": "*", "label": "m1", "attrs": {}},
+        ...
+      ],
+      "edges": [
+        {"src": "x", "dst": "m1", "multiplicity": 1},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .cdfg import CDFG, CDFGError
+from .operation import Operation, OpType
+from .validate import validate_cdfg
+
+
+def to_dict(cdfg: CDFG) -> Dict[str, Any]:
+    """Convert a CDFG to a JSON-serializable dictionary."""
+    return {
+        "name": cdfg.name,
+        "operations": [
+            {
+                "name": op.name,
+                "type": op.optype.value,
+                "label": op.label,
+                "attrs": dict(op.attrs),
+            }
+            for op in cdfg.operations()
+        ],
+        "edges": [
+            {
+                "src": src,
+                "dst": dst,
+                "multiplicity": cdfg.edge_multiplicity(src, dst),
+            }
+            for src, dst in cdfg.edges()
+        ],
+    }
+
+
+def from_dict(data: Dict[str, Any], validate: bool = True) -> CDFG:
+    """Reconstruct a CDFG from :func:`to_dict` output.
+
+    Raises:
+        CDFGError: if required keys are missing or refer to unknown nodes.
+    """
+    try:
+        name = data["name"]
+        operations = data["operations"]
+        edges = data["edges"]
+    except KeyError as exc:
+        raise CDFGError(f"missing key in CDFG dictionary: {exc}") from None
+
+    cdfg = CDFG(name)
+    for entry in operations:
+        op = Operation(
+            name=entry["name"],
+            optype=OpType.from_mnemonic(entry["type"]),
+            label=entry.get("label", ""),
+            attrs=entry.get("attrs", {}),
+        )
+        cdfg.add_operation(op)
+    for entry in edges:
+        multiplicity = int(entry.get("multiplicity", 1))
+        for _ in range(multiplicity):
+            cdfg.add_edge(entry["src"], entry["dst"])
+    if validate:
+        validate_cdfg(cdfg)
+    return cdfg
+
+
+def to_json(cdfg: CDFG, indent: int = 2) -> str:
+    """Serialize a CDFG to a JSON string."""
+    return json.dumps(to_dict(cdfg), indent=indent, sort_keys=True)
+
+
+def from_json(text: str, validate: bool = True) -> CDFG:
+    """Deserialize a CDFG from a JSON string."""
+    return from_dict(json.loads(text), validate=validate)
+
+
+def save(cdfg: CDFG, path: Union[str, Path]) -> Path:
+    """Write a CDFG to a JSON file; returns the path written."""
+    path = Path(path)
+    path.write_text(to_json(cdfg), encoding="utf-8")
+    return path
+
+
+def load(path: Union[str, Path], validate: bool = True) -> CDFG:
+    """Read a CDFG from a JSON file."""
+    return from_json(Path(path).read_text(encoding="utf-8"), validate=validate)

@@ -1,0 +1,40 @@
+"""Functional-unit library: modules, instances, registries, selection policies."""
+
+from .module import FUInstance, FUModule, LibraryError, busy_intervals
+from .library import (
+    FULibrary,
+    TABLE1_ROWS,
+    default_library,
+    single_implementation_library,
+)
+from .selection import (
+    MinAreaSelection,
+    MinLatencySelection,
+    MinPowerSelection,
+    Selection,
+    SelectionPolicy,
+    check_selection,
+    selection_delays,
+    selection_powers,
+    total_energy,
+)
+
+__all__ = [
+    "FUInstance",
+    "FUModule",
+    "LibraryError",
+    "busy_intervals",
+    "FULibrary",
+    "TABLE1_ROWS",
+    "default_library",
+    "single_implementation_library",
+    "MinAreaSelection",
+    "MinLatencySelection",
+    "MinPowerSelection",
+    "Selection",
+    "SelectionPolicy",
+    "check_selection",
+    "selection_delays",
+    "selection_powers",
+    "total_energy",
+]

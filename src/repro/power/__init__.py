@@ -1,0 +1,53 @@
+"""Power profiles, spike analysis, battery model and lifetime estimation."""
+
+from .profile import (
+    PowerProfile,
+    combine_profiles,
+    current_profile,
+    profile_from_binding,
+    profile_from_schedule,
+)
+from .analysis import (
+    SpikeReport,
+    compare_profiles,
+    flatness,
+    headroom_profile,
+    peak_power,
+    power_variance,
+    spike_report,
+)
+from .battery import (
+    Battery,
+    BatteryError,
+    BatteryParameters,
+    high_quality_battery,
+    iterations_until_depleted,
+    lifetime_extension,
+    low_quality_battery,
+)
+from .lifetime import LifetimeEstimate, compare_lifetimes, estimate_lifetime
+
+__all__ = [
+    "PowerProfile",
+    "combine_profiles",
+    "current_profile",
+    "profile_from_binding",
+    "profile_from_schedule",
+    "SpikeReport",
+    "compare_profiles",
+    "flatness",
+    "headroom_profile",
+    "peak_power",
+    "power_variance",
+    "spike_report",
+    "Battery",
+    "BatteryError",
+    "BatteryParameters",
+    "high_quality_battery",
+    "iterations_until_depleted",
+    "lifetime_extension",
+    "low_quality_battery",
+    "LifetimeEstimate",
+    "compare_lifetimes",
+    "estimate_lifetime",
+]

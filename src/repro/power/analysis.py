@@ -1,0 +1,99 @@
+"""Power-profile analysis: spikes, headroom, smoothing metrics.
+
+These helpers quantify how "spiky" a schedule's power profile is — the
+property the paper's synthesis removes — and provide the comparison
+metrics used by the Figure-1 benchmark and the battery-lifetime ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .profile import PowerProfile
+
+
+@dataclass(frozen=True)
+class SpikeReport:
+    """Summary of power-constraint violations in a profile."""
+
+    threshold: float
+    violating_cycles: tuple
+    worst_cycle: Optional[int]
+    worst_excess: float
+    total_excess_energy: float
+
+    @property
+    def count(self) -> int:
+        return len(self.violating_cycles)
+
+    @property
+    def has_spikes(self) -> bool:
+        return self.count > 0
+
+
+def spike_report(profile: PowerProfile, threshold: float) -> SpikeReport:
+    """Locate and quantify cycles whose power exceeds ``threshold``."""
+    violating = []
+    worst_cycle: Optional[int] = None
+    worst_excess = 0.0
+    total_excess = 0.0
+    for cycle, value in enumerate(profile):
+        excess = value - threshold
+        if excess > 1e-12:
+            violating.append(cycle)
+            total_excess += excess
+            if excess > worst_excess:
+                worst_excess = excess
+                worst_cycle = cycle
+    return SpikeReport(
+        threshold=threshold,
+        violating_cycles=tuple(violating),
+        worst_cycle=worst_cycle,
+        worst_excess=worst_excess,
+        total_excess_energy=total_excess,
+    )
+
+
+def peak_power(profile: PowerProfile) -> float:
+    """Largest per-cycle power (alias of :attr:`PowerProfile.peak`)."""
+    return profile.peak
+
+
+def power_variance(profile: PowerProfile) -> float:
+    """Variance of the per-cycle power — a flatness measure."""
+    if len(profile) == 0:
+        return 0.0
+    mean = profile.average
+    return sum((value - mean) ** 2 for value in profile) / len(profile)
+
+
+def flatness(profile: PowerProfile) -> float:
+    """Average divided by peak power, in [0, 1]; 1 means perfectly flat."""
+    if profile.peak == 0:
+        return 1.0
+    return profile.average / profile.peak
+
+
+def headroom_profile(profile: PowerProfile, budget: float) -> List[float]:
+    """Remaining power budget per cycle (may be negative when violated)."""
+    return [budget - value for value in profile]
+
+
+def compare_profiles(reference: PowerProfile, candidate: PowerProfile) -> dict:
+    """Metric dictionary comparing two profiles (used in reports).
+
+    Keys: ``peak_reduction`` (absolute), ``peak_reduction_pct``,
+    ``flatness_gain`` and ``energy_ratio`` (candidate / reference — close
+    to 1.0 when the transformation only *moves* power around, as the
+    paper's scheduling does).
+    """
+    peak_reduction = reference.peak - candidate.peak
+    return {
+        "peak_reduction": peak_reduction,
+        "peak_reduction_pct": (100.0 * peak_reduction / reference.peak) if reference.peak else 0.0,
+        "flatness_gain": flatness(candidate) - flatness(reference),
+        "energy_ratio": (candidate.total_energy / reference.total_energy)
+        if reference.total_energy
+        else 1.0,
+    }

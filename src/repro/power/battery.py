@@ -1,0 +1,175 @@
+"""Analytical battery model with rate-capacity and peak-current effects.
+
+The paper's motivation is that the charge actually deliverable by a
+battery depends strongly on the *current profile* of the load: drawing
+current in high peaks wastes capacity, and once the peak current exceeds a
+threshold the usable lifetime "starts dropping dramatically", especially
+for low-cost batteries — with 20–30 % lifetime extension reported for
+battery-aware designs ([1] Luo & Jha, [2] Lahiri et al.).
+
+We do not have the proprietary battery traces used by those works, so —
+per the reproduction's substitution rule — this module provides a small
+analytical model that captures the two effects the paper relies on:
+
+1. **Rate-capacity (Peukert) effect** — the effective charge drained in a
+   cycle grows super-linearly with the instantaneous current:
+   ``effective = current ** alpha`` with ``alpha >= 1``.
+2. **Peak-current threshold** — current above ``threshold`` is penalized
+   by an additional multiplicative factor, modelling the dramatic
+   drop-off the paper describes.  Low-quality batteries have a lower
+   threshold and a larger penalty.
+
+The absolute numbers are synthetic; only *relative* comparisons between
+schedules (spiky vs. flattened) are meaningful, which is exactly how the
+lifetime benchmark uses the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+class BatteryError(Exception):
+    """Raised for invalid battery configurations or operations."""
+
+
+@dataclass(frozen=True)
+class BatteryParameters:
+    """Parameters of the analytical battery model.
+
+    Attributes:
+        capacity: Nominal charge capacity in (power units × cycles),
+            matching the unit-less power numbers of the FU library.
+        peukert_alpha: Rate-capacity exponent (1.0 disables the effect).
+        peak_threshold: Current above which the penalty factor applies.
+        peak_penalty: Multiplier applied to the *excess* current above the
+            threshold (1.0 disables the effect).
+        supply_voltage: Used to convert power to current (default 1.0, so
+            power and current coincide).
+    """
+
+    capacity: float
+    peukert_alpha: float = 1.15
+    peak_threshold: float = 15.0
+    peak_penalty: float = 3.0
+    supply_voltage: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise BatteryError("battery capacity must be positive")
+        if self.peukert_alpha < 1.0:
+            raise BatteryError("Peukert exponent must be >= 1")
+        if self.peak_threshold <= 0:
+            raise BatteryError("peak threshold must be positive")
+        if self.peak_penalty < 1.0:
+            raise BatteryError("peak penalty must be >= 1")
+        if self.supply_voltage <= 0:
+            raise BatteryError("supply voltage must be positive")
+
+
+def low_quality_battery(capacity: float = 5000.0) -> BatteryParameters:
+    """A cheap battery: strong rate-capacity effect, low peak threshold."""
+    return BatteryParameters(
+        capacity=capacity, peukert_alpha=1.3, peak_threshold=12.0, peak_penalty=4.0
+    )
+
+
+def high_quality_battery(capacity: float = 5000.0) -> BatteryParameters:
+    """A good battery: mild rate-capacity effect, high peak threshold."""
+    return BatteryParameters(
+        capacity=capacity, peukert_alpha=1.05, peak_threshold=25.0, peak_penalty=1.5
+    )
+
+
+class Battery:
+    """Stateful battery draining under a per-cycle current load."""
+
+    def __init__(self, parameters: BatteryParameters) -> None:
+        self.parameters = parameters
+        self._remaining = parameters.capacity
+
+    @property
+    def remaining_charge(self) -> float:
+        return max(0.0, self._remaining)
+
+    @property
+    def depleted(self) -> bool:
+        return self._remaining <= 0.0
+
+    @property
+    def state_of_charge(self) -> float:
+        """Remaining charge as a fraction of nominal capacity."""
+        return self.remaining_charge / self.parameters.capacity
+
+    def effective_drain(self, power: float) -> float:
+        """Charge effectively removed by one cycle drawing ``power``.
+
+        Combines the Peukert exponent with the peak-threshold penalty.
+        """
+        if power < 0:
+            raise BatteryError("power draw cannot be negative")
+        current = power / self.parameters.supply_voltage
+        if current == 0:
+            return 0.0
+        drain = current ** self.parameters.peukert_alpha
+        excess = current - self.parameters.peak_threshold
+        if excess > 0:
+            drain += excess * (self.parameters.peak_penalty - 1.0)
+        return drain
+
+    def drain_cycle(self, power: float) -> float:
+        """Drain one cycle at ``power``; returns the effective charge removed."""
+        removed = self.effective_drain(power)
+        self._remaining -= removed
+        return removed
+
+    def drain_profile(self, profile: Iterable[float]) -> float:
+        """Drain one pass of a per-cycle power profile; returns charge removed."""
+        return sum(self.drain_cycle(power) for power in profile)
+
+    def reset(self) -> None:
+        self._remaining = self.parameters.capacity
+
+
+def iterations_until_depleted(
+    parameters: BatteryParameters,
+    profile: Sequence[float],
+    max_iterations: int = 10_000_000,
+) -> int:
+    """Number of complete profile repetitions the battery can sustain.
+
+    The profile is treated as the power trace of one iteration of the
+    synthesized design (one schedule period); the returned count is the
+    paper's notion of *battery lifetime* in iterations.
+
+    Raises:
+        BatteryError: if the profile drains nothing (lifetime would be
+            unbounded) or is empty.
+    """
+    if not profile:
+        raise BatteryError("cannot estimate lifetime of an empty profile")
+    battery = Battery(parameters)
+    per_iteration = battery.drain_profile(profile)
+    if per_iteration <= 0:
+        raise BatteryError("profile drains no charge; lifetime is unbounded")
+    # Fast path: the drain is identical every iteration, so divide.
+    full_iterations = int(parameters.capacity // per_iteration)
+    return min(full_iterations, max_iterations)
+
+
+def lifetime_extension(
+    parameters: BatteryParameters,
+    reference_profile: Sequence[float],
+    improved_profile: Sequence[float],
+) -> float:
+    """Relative lifetime gain of ``improved_profile`` over ``reference_profile``.
+
+    Returns (improved - reference) / reference, e.g. 0.25 for a 25 %
+    extension — directly comparable to the 20–30 % figure the paper cites.
+    """
+    reference = iterations_until_depleted(parameters, reference_profile)
+    improved = iterations_until_depleted(parameters, improved_profile)
+    if reference == 0:
+        raise BatteryError("reference profile depletes the battery immediately")
+    return (improved - reference) / reference

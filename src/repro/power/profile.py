@@ -1,0 +1,134 @@
+"""Per-cycle power profiles.
+
+A *power profile* is the sequence of total power values drawn in each
+clock cycle of a schedule — the quantity plotted in Figure 1 of the paper
+and the quantity the power constraint bounds.  The profile can be derived
+either from a bare :class:`~repro.scheduling.schedule.Schedule` (which
+carries per-operation powers) or from a bound datapath where the module
+choice of each FU instance determines the power of the operations bound
+to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..scheduling.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """An immutable per-cycle power series with convenience statistics."""
+
+    values: tuple
+    label: str = ""
+
+    @staticmethod
+    def of(values: Sequence[float], label: str = "") -> "PowerProfile":
+        return PowerProfile(tuple(float(v) for v in values), label)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, cycle: int) -> float:
+        return self.values[cycle]
+
+    def __iter__(self):
+        return iter(self.values)
+
+    @property
+    def peak(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def average(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def total_energy(self) -> float:
+        return float(sum(self.values))
+
+    @property
+    def peak_to_average(self) -> float:
+        """Peak-to-average ratio; 0 for an empty or all-zero profile."""
+        return self.peak / self.average if self.average > 0 else 0.0
+
+    def cycles_above(self, threshold: float) -> List[int]:
+        """Cycle indices whose power strictly exceeds ``threshold``."""
+        return [cycle for cycle, value in enumerate(self.values) if value > threshold]
+
+    def exceeds(self, threshold: float, tolerance: float = 1e-9) -> bool:
+        """True if any cycle draws more than ``threshold`` (with tolerance)."""
+        return any(value > threshold + tolerance for value in self.values)
+
+    def padded(self, length: int) -> "PowerProfile":
+        """Extend with zero cycles up to ``length`` (no-op when longer)."""
+        if length <= len(self.values):
+            return self
+        return PowerProfile(self.values + (0.0,) * (length - len(self.values)), self.label)
+
+    def describe(self, width: int = 40) -> str:
+        """ASCII bar rendering of the profile (used in example output)."""
+        if not self.values:
+            return "(empty profile)"
+        scale = width / self.peak if self.peak > 0 else 0.0
+        lines = [f"power profile {self.label!r}: peak={self.peak:.2f} avg={self.average:.2f}"]
+        for cycle, value in enumerate(self.values):
+            bar = "#" * int(round(value * scale))
+            lines.append(f"  {cycle:3d} | {bar} {value:.1f}")
+        return "\n".join(lines)
+
+
+def profile_from_schedule(schedule: Schedule, horizon: Optional[int] = None) -> PowerProfile:
+    """Power profile of a schedule using its per-operation power values."""
+    return PowerProfile.of(schedule.power_profile(horizon), label=schedule.label)
+
+
+def profile_from_binding(
+    schedule: Schedule,
+    op_powers: Mapping[str, float],
+    op_delays: Optional[Mapping[str, int]] = None,
+    horizon: Optional[int] = None,
+    label: str = "",
+) -> PowerProfile:
+    """Power profile with per-operation powers/delays overridden by a binding.
+
+    After binding, an operation's power is the power of the module its FU
+    instance implements, which may differ from the tentative value used by
+    the scheduler.  ``op_delays`` may likewise override the delays.
+    """
+    delays = dict(op_delays) if op_delays is not None else schedule.delays
+    horizon_cycles = horizon if horizon is not None else 0
+    for name in schedule.start_times:
+        horizon_cycles = max(horizon_cycles, schedule.start(name) + delays[name])
+    values = [0.0] * horizon_cycles
+    for name in schedule.start_times:
+        power = op_powers.get(name, schedule.powers.get(name, 0.0))
+        if power == 0:
+            continue
+        for cycle in range(schedule.start(name), schedule.start(name) + delays[name]):
+            values[cycle] += power
+    return PowerProfile.of(values, label=label or schedule.label)
+
+
+def combine_profiles(profiles: Sequence[PowerProfile], label: str = "combined") -> PowerProfile:
+    """Cycle-wise sum of several profiles (e.g. datapath + controller)."""
+    length = max((len(p) for p in profiles), default=0)
+    values = [0.0] * length
+    for profile in profiles:
+        for cycle, value in enumerate(profile):
+            values[cycle] += value
+    return PowerProfile.of(values, label=label)
+
+
+def current_profile(profile: PowerProfile, supply_voltage: float = 1.0) -> List[float]:
+    """Convert a power profile to a current profile at a supply voltage.
+
+    The battery models operate on current; with the paper's unit-less
+    power numbers we default to a 1 V supply so power and current
+    coincide numerically.
+    """
+    if supply_voltage <= 0:
+        raise ValueError("supply voltage must be positive")
+    return [value / supply_voltage for value in profile]

@@ -1,0 +1,29 @@
+"""Reporting: ASCII tables, series/CSV/plots and paper-experiment drivers."""
+
+from .table import format_cell, render_table
+from .series import Series, ascii_plot, save_csv, to_csv
+from .gantt import datapath_gantt, schedule_gantt, utilization
+from .experiments import (
+    Figure1Data,
+    Figure2Data,
+    figure1_experiment,
+    figure2_experiment,
+    table1_report,
+)
+
+__all__ = [
+    "format_cell",
+    "render_table",
+    "Series",
+    "ascii_plot",
+    "save_csv",
+    "to_csv",
+    "datapath_gantt",
+    "schedule_gantt",
+    "utilization",
+    "Figure1Data",
+    "Figure2Data",
+    "figure1_experiment",
+    "figure2_experiment",
+    "table1_report",
+]

@@ -1,0 +1,170 @@
+"""Experiment drivers shared by the benchmarks, the examples and EXPERIMENTS.md.
+
+Each function reproduces one artifact of the paper's evaluation and
+returns structured data plus a rendered text report, so the same code
+backs the pytest benchmarks, the runnable examples and the documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.cdfg import CDFG
+from ..library.library import FULibrary, TABLE1_ROWS, default_library
+from ..power.analysis import spike_report
+from ..power.profile import profile_from_schedule
+from ..scheduling.asap import asap_schedule_with_library
+from ..synthesis.baseline import naive_synthesis
+from ..synthesis.engine import synthesize
+from ..synthesis.explore import (
+    SweepResult,
+    default_power_grid,
+    minimum_feasible_power,
+    power_area_sweep,
+)
+from ..suite.registry import build_benchmark, figure2_cases
+from .series import Series, ascii_plot, to_csv
+from .table import render_table
+
+
+# --------------------------------------------------------------------------- #
+# Table 1
+# --------------------------------------------------------------------------- #
+def table1_report(library: Optional[FULibrary] = None) -> str:
+    """Render the functional-unit library exactly as the paper's Table 1."""
+    library = library or default_library()
+    headers = ["Module", "Oprs", "Area", "Clk-cyc.", "P"]
+    rows = []
+    for name, ops, area, cycles, power in TABLE1_ROWS:
+        module = library.module(name)
+        rows.append([module.name, ops, int(module.area), module.latency, module.power])
+        _ = (area, cycles, power)  # the registry values are asserted in tests
+    return render_table(headers, rows, title="Table 1: functional unit library")
+
+
+# --------------------------------------------------------------------------- #
+# Figure 1
+# --------------------------------------------------------------------------- #
+@dataclass
+class Figure1Data:
+    """Per-cycle profiles of the undesired vs. desired schedule."""
+
+    benchmark: str
+    latency: int
+    power_budget: float
+    unconstrained_profile: List[float]
+    constrained_profile: List[float]
+    unconstrained_peak: float
+    constrained_peak: float
+    report: str = ""
+
+
+def figure1_experiment(
+    benchmark: str = "hal",
+    latency: int = 17,
+    power_budget: float = 11.0,
+    library: Optional[FULibrary] = None,
+) -> Figure1Data:
+    """Reproduce Figure 1: a spiky unconstrained profile vs. a flattened one.
+
+    The *undesired* schedule is plain ASAP with one FU per operation (no
+    power awareness); the *desired* schedule is the output of the combined
+    power-constrained synthesis at the same latency bound.
+    """
+    library = library or default_library()
+    cdfg = build_benchmark(benchmark)
+
+    unconstrained = naive_synthesis(cdfg, library).schedule
+    constrained = synthesize(cdfg, library, latency, power_budget).schedule
+
+    unconstrained_profile = profile_from_schedule(unconstrained)
+    constrained_profile = profile_from_schedule(constrained)
+
+    spikes = spike_report(unconstrained_profile, power_budget)
+    lines = [
+        f"Figure 1 reproduction on {benchmark!r} (T={latency}, P={power_budget:g})",
+        "",
+        "undesired (ASAP, no power constraint):",
+        "  " + " ".join(f"{v:5.1f}" for v in unconstrained_profile),
+        f"  peak = {unconstrained_profile.peak:.1f}, "
+        f"cycles above P: {list(spikes.violating_cycles)}",
+        "",
+        "desired (power-constrained synthesis):",
+        "  " + " ".join(f"{v:5.1f}" for v in constrained_profile),
+        f"  peak = {constrained_profile.peak:.1f} (budget {power_budget:g})",
+    ]
+    return Figure1Data(
+        benchmark=benchmark,
+        latency=latency,
+        power_budget=power_budget,
+        unconstrained_profile=list(unconstrained_profile),
+        constrained_profile=list(constrained_profile),
+        unconstrained_peak=unconstrained_profile.peak,
+        constrained_peak=constrained_profile.peak,
+        report="\n".join(lines),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2
+# --------------------------------------------------------------------------- #
+@dataclass
+class Figure2Data:
+    """All sweeps of the paper's Figure 2 plus rendered reports."""
+
+    sweeps: Dict[Tuple[str, int], SweepResult] = field(default_factory=dict)
+    series: List[Series] = field(default_factory=list)
+    table: str = ""
+    plot: str = ""
+    csv: str = ""
+
+
+def figure2_experiment(
+    cases: Optional[Sequence[Tuple[str, int]]] = None,
+    power_cap: float = 150.0,
+    steps: int = 10,
+    library: Optional[FULibrary] = None,
+    cumulative_best: bool = True,
+) -> Figure2Data:
+    """Reproduce Figure 2: area vs. power budget for each (benchmark, T).
+
+    Args:
+        cases: (benchmark, latency) pairs; defaults to the paper's six.
+        power_cap: Upper end of the power sweep (the paper plots to ~150).
+        steps: Number of budgets per sweep.
+        library: Technology library (defaults to Table 1).
+        cumulative_best: Report the running best area as the budget is
+            relaxed (a tighter-budget design is also valid under a looser
+            budget); see :func:`repro.synthesis.explore.power_area_sweep`.
+    """
+    library = library or default_library()
+    cases = list(cases) if cases is not None else figure2_cases()
+
+    data = Figure2Data()
+    rows = []
+    for benchmark, latency in cases:
+        cdfg = build_benchmark(benchmark)
+        p_min = minimum_feasible_power(cdfg, library, latency)
+        budgets = default_power_grid(p_min, power_cap, steps)
+        sweep = power_area_sweep(
+            cdfg, library, latency, budgets, cumulative_best=cumulative_best
+        )
+        data.sweeps[(benchmark, latency)] = sweep
+
+        series = Series(f"{benchmark} (T={latency})")
+        for point in sweep.feasible_points():
+            series.add(point.power_budget, point.area)
+            rows.append(
+                [benchmark, latency, point.power_budget, point.area, point.peak_power]
+            )
+        data.series.append(series)
+
+    data.table = render_table(
+        ["benchmark", "T", "P budget", "area", "peak power"],
+        rows,
+        title="Figure 2: power vs. area under different time constraints",
+    )
+    data.plot = ascii_plot(data.series, x_label="power budget", y_label="area")
+    data.csv = to_csv(data.series)
+    return data

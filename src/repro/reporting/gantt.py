@@ -1,0 +1,109 @@
+"""ASCII Gantt charts for schedules and bound datapaths.
+
+HLS papers (including the reproduced one, implicitly via Figure 1) reason
+about schedules as cycle-by-cycle charts.  This module renders two views:
+
+* :func:`schedule_gantt` — one row per operation, showing its execution
+  interval on the cycle axis,
+* :func:`datapath_gantt` — one row per functional-unit instance, showing
+  which operation occupies it in each cycle (the resource view that makes
+  sharing and idle slots visible).
+
+Both return plain strings so they can be printed from examples, tests and
+the CLI without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..datapath.rtl import Datapath
+from ..scheduling.schedule import Schedule
+
+
+def _cycle_header(makespan: int, label_width: int, cell_width: int) -> str:
+    cells = "".join(str(cycle).rjust(cell_width) for cycle in range(makespan))
+    return " " * label_width + cells
+
+
+def schedule_gantt(
+    schedule: Schedule,
+    cell_width: int = 3,
+    only: Optional[List[str]] = None,
+) -> str:
+    """Render one row per operation: ``###`` while executing, ``.`` otherwise.
+
+    Args:
+        schedule: The schedule to render.
+        cell_width: Characters per cycle column.
+        only: Optional subset of operation names to show (default: all
+            scheduled operations, virtual operations skipped).
+    """
+    names = only if only is not None else sorted(schedule.start_times)
+    names = [
+        n
+        for n in names
+        if n in schedule.start_times and not schedule.cdfg.operation(n).is_virtual
+    ]
+    if not names:
+        return "(empty schedule)"
+    label_width = max(len(n) for n in names) + 2
+    makespan = schedule.makespan
+
+    lines = [f"schedule {schedule.label or schedule.cdfg.name!r} "
+             f"(makespan {makespan}, peak power {schedule.peak_power:.1f})"]
+    lines.append(_cycle_header(makespan, label_width, cell_width))
+    for name in names:
+        start, finish = schedule.interval(name)
+        row = []
+        for cycle in range(makespan):
+            row.append(("#" * cell_width) if start <= cycle < finish else ".".rjust(cell_width))
+        lines.append(name.ljust(label_width) + "".join(row))
+    return "\n".join(lines)
+
+
+def datapath_gantt(datapath: Datapath, cell_width: int = 6) -> str:
+    """Render one row per FU instance showing the operation it executes per cycle."""
+    schedule = datapath.schedule
+    if schedule is None:
+        return "(datapath has no schedule)"
+    makespan = schedule.makespan
+    instance_names = sorted(datapath.instances)
+    if not instance_names:
+        return "(datapath has no instances)"
+    label_width = max(len(n) for n in instance_names) + 2
+
+    occupancy: Dict[str, List[str]] = {
+        name: ["." for _ in range(makespan)] for name in instance_names
+    }
+    for op_name, instance_name in datapath.binding.items():
+        start, finish = schedule.interval(op_name)
+        for cycle in range(start, min(finish, makespan)):
+            occupancy[instance_name][cycle] = op_name
+
+    lines = [f"datapath occupancy for {datapath.cdfg.name!r}"]
+    lines.append(_cycle_header(makespan, label_width, cell_width))
+    for name in instance_names:
+        cells = "".join(cell[:cell_width - 1].rjust(cell_width) for cell in occupancy[name])
+        lines.append(name.ljust(label_width) + cells)
+
+    utilizations = []
+    for name in instance_names:
+        busy = sum(1 for cell in occupancy[name] if cell != ".")
+        utilizations.append(f"{name}: {100.0 * busy / makespan:.0f}%")
+    lines.append("utilization: " + ", ".join(utilizations))
+    return "\n".join(lines)
+
+
+def utilization(datapath: Datapath) -> Dict[str, float]:
+    """Fraction of cycles each FU instance is busy (0..1)."""
+    schedule = datapath.schedule
+    if schedule is None or schedule.makespan == 0:
+        return {name: 0.0 for name in datapath.instances}
+    busy_cycles: Dict[str, int] = {name: 0 for name in datapath.instances}
+    for op_name, instance_name in datapath.binding.items():
+        start, finish = schedule.interval(op_name)
+        busy_cycles[instance_name] += finish - start
+    return {
+        name: busy_cycles[name] / schedule.makespan for name in datapath.instances
+    }

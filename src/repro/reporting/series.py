@@ -1,0 +1,96 @@
+"""(x, y) series capture, CSV export and ASCII plotting.
+
+The Figure-2 benchmark produces one series per (benchmark, latency) pair;
+this module renders them as CSV text (easy to re-plot outside the
+environment) and as a coarse ASCII scatter plot so the trade-off shape is
+visible directly in the benchmark output.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Series:
+    """A named sequence of (x, y) points."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+    def xs(self) -> List[float]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> List[float]:
+        return [y for _, y in self.points]
+
+    def sorted_by_x(self) -> "Series":
+        return Series(self.name, sorted(self.points))
+
+    def is_monotone_non_increasing(self, tolerance: float = 1e-9) -> bool:
+        """True when y never increases as x grows (after sorting by x)."""
+        ys = self.sorted_by_x().ys()
+        return all(b <= a + tolerance for a, b in zip(ys, ys[1:]))
+
+
+def to_csv(series_list: Sequence[Series]) -> str:
+    """Long-format CSV (series, x, y) for a list of series."""
+    buffer = io.StringIO()
+    buffer.write("series,x,y\n")
+    for series in series_list:
+        for x, y in series.points:
+            buffer.write(f"{series.name},{x:g},{y:g}\n")
+    return buffer.getvalue()
+
+
+def ascii_plot(
+    series_list: Sequence[Series],
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A coarse ASCII scatter plot of several series on shared axes.
+
+    Each series is drawn with a distinct marker (``*``, ``o``, ``+``, ...).
+    Intended for qualitative inspection of the Figure-2 shape in terminal
+    output, not for publication.
+    """
+    markers = "*o+x#@%&"
+    all_points = [(x, y) for s in series_list for x, y in s.points]
+    if not all_points:
+        return "(no data)"
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(series_list):
+        marker = markers[index % len(markers)]
+        for x, y in series.points:
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = [f"{y_label} ({y_min:g} .. {y_max:g})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} ({x_min:g} .. {x_max:g})")
+    for index, series in enumerate(series_list):
+        lines.append(f"  {markers[index % len(markers)]} {series.name}")
+    return "\n".join(lines)
+
+
+def save_csv(series_list: Sequence[Series], path) -> None:
+    """Write :func:`to_csv` output to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(to_csv(series_list), encoding="utf-8")

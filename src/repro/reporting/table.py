@@ -1,0 +1,59 @@
+"""Plain-text table rendering for reports and benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def format_cell(value: Any, float_digits: int = 2) -> str:
+    """Render one cell: floats get fixed precision, None becomes '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render an ASCII table with right-aligned numeric-looking columns.
+
+    Args:
+        headers: Column headers.
+        rows: Row data; each row must have ``len(headers)`` entries.
+        title: Optional title line printed above the table.
+        float_digits: Precision used for float cells.
+
+    Raises:
+        ValueError: when a row has the wrong number of cells.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+
+    text_rows: List[List[str]] = [
+        [format_cell(cell, float_digits) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Schedulers: classical baselines and the paper's power-constrained pasap/palap."""
+
+from .constraints import (
+    ConstraintError,
+    PowerConstraint,
+    ResourceConstraint,
+    SynthesisConstraints,
+    TimeConstraint,
+    feasible_power_floor,
+    minimum_feasible_power,
+)
+from .schedule import Schedule, ScheduleError, add_to_profile, profile_allows
+from .asap import asap_schedule, asap_schedule_with_library
+from .alap import alap_schedule, alap_schedule_with_library
+from .pasap import (
+    PowerInfeasibleError,
+    default_priority,
+    pasap_schedule,
+    pasap_schedule_with_library,
+    pasap_start_times,
+)
+from .palap import palap_schedule, palap_schedule_with_library, palap_start_times
+from .mobility import Window, WindowSet, compute_windows, windows_feasible
+from .list_scheduler import (
+    ResourceInfeasibleError,
+    greedy_allocation_for_latency,
+    list_schedule,
+    minimal_allocation,
+)
+from .force_directed import force_directed_schedule
+from .two_step import TwoStepResult, two_step_schedule
+from .exact import (
+    ExactSchedulerError,
+    exists_schedule,
+    minimum_latency_under_power,
+    optimality_gap,
+)
+
+__all__ = [
+    "ConstraintError",
+    "PowerConstraint",
+    "ResourceConstraint",
+    "SynthesisConstraints",
+    "TimeConstraint",
+    "feasible_power_floor",
+    "minimum_feasible_power",
+    "Schedule",
+    "ScheduleError",
+    "add_to_profile",
+    "profile_allows",
+    "asap_schedule",
+    "asap_schedule_with_library",
+    "alap_schedule",
+    "alap_schedule_with_library",
+    "PowerInfeasibleError",
+    "default_priority",
+    "pasap_schedule",
+    "pasap_schedule_with_library",
+    "pasap_start_times",
+    "palap_schedule",
+    "palap_schedule_with_library",
+    "palap_start_times",
+    "Window",
+    "WindowSet",
+    "compute_windows",
+    "windows_feasible",
+    "ResourceInfeasibleError",
+    "greedy_allocation_for_latency",
+    "list_schedule",
+    "minimal_allocation",
+    "force_directed_schedule",
+    "TwoStepResult",
+    "two_step_schedule",
+    "ExactSchedulerError",
+    "exists_schedule",
+    "minimum_latency_under_power",
+    "optimality_gap",
+]

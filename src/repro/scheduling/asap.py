@@ -1,0 +1,79 @@
+"""Classical as-soon-as-possible (ASAP) scheduling.
+
+ASAP ignores resources and power: every operation starts as soon as its
+last predecessor finishes.  It provides (a) the unconstrained baseline
+whose spiky power profile motivates the paper (Figure 1, top), and (b) the
+starting point that the paper's pasap algorithm "stretches" to fit the
+power budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..ir.cdfg import CDFG
+from ..library.library import FULibrary
+from ..library.selection import (
+    MinPowerSelection,
+    Selection,
+    selection_delays,
+    selection_powers,
+)
+from .schedule import Schedule
+
+
+def asap_schedule(
+    cdfg: CDFG,
+    delays: Mapping[str, int],
+    powers: Mapping[str, float],
+    locked: Optional[Mapping[str, int]] = None,
+    label: str = "asap",
+) -> Schedule:
+    """Schedule every operation at its earliest data-ready time.
+
+    Args:
+        cdfg: Graph to schedule.
+        delays: Per-operation latency in cycles.
+        powers: Per-operation per-cycle power (only recorded, not used).
+        locked: Optional fixed start times for a subset of operations
+            (already-bound operations during synthesis).  Locked times are
+            honoured verbatim; successors respect them.
+        label: Label stored on the resulting schedule.
+
+    Returns:
+        A legal :class:`Schedule` (precedence-correct by construction as
+        long as the locked times themselves respect precedence).
+    """
+    locked = dict(locked or {})
+    start: Dict[str, int] = {}
+    for name in cdfg.topological_order():
+        ready = 0
+        for pred in cdfg.predecessors(name):
+            ready = max(ready, start[pred] + delays[pred])
+        start[name] = locked[name] if name in locked else ready
+    return Schedule(
+        cdfg=cdfg,
+        start_times=start,
+        delays=dict(delays),
+        powers=dict(powers),
+        label=label,
+    )
+
+
+def asap_schedule_with_library(
+    cdfg: CDFG,
+    library: FULibrary,
+    selection: Optional[Selection] = None,
+    label: str = "asap",
+) -> Schedule:
+    """ASAP schedule using delays/powers from a library module selection.
+
+    When no explicit selection is supplied the minimum-power policy is
+    used, matching the defaults of the power-constrained flow so the two
+    schedules are directly comparable.
+    """
+    if selection is None:
+        selection = MinPowerSelection().select(cdfg, library)
+    delays = selection_delays(selection, cdfg)
+    powers = selection_powers(selection, cdfg)
+    return asap_schedule(cdfg, delays, powers, label=label)

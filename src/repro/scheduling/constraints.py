@@ -1,0 +1,147 @@
+"""Constraint objects for scheduling and synthesis.
+
+The paper's synthesis problem is constrained by:
+
+* a **time constraint** ``T`` — all operations must finish within ``T``
+  clock cycles, and
+* a **maximum power per clock cycle** ``P`` — the sum of the per-cycle
+  power of all operations executing in any single cycle must not exceed
+  ``P``.
+
+A :class:`ResourceConstraint` (maximum number of FU instances per module)
+is additionally provided for the list-scheduling baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..library.module import FUModule
+
+
+class ConstraintError(Exception):
+    """Raised for malformed or mutually impossible constraints."""
+
+
+@dataclass(frozen=True)
+class TimeConstraint:
+    """Latency bound: every operation must finish by cycle ``latency``."""
+
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.latency <= 0:
+            raise ConstraintError(f"latency must be positive, got {self.latency}")
+
+    def satisfied_by(self, finish_time: int) -> bool:
+        """True if a schedule finishing at ``finish_time`` meets the bound."""
+        return finish_time <= self.latency
+
+
+@dataclass(frozen=True)
+class PowerConstraint:
+    """Maximum power that may be drawn in any single clock cycle.
+
+    ``PowerConstraint.unbounded()`` represents "no power constraint", used
+    for baselines and for the loose end of the Figure-2 sweep.
+    """
+
+    max_power: float
+    #: Numerical tolerance when comparing accumulated float power values.
+    tolerance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.max_power <= 0:
+            raise ConstraintError(f"max power must be positive, got {self.max_power}")
+        if self.tolerance < 0:
+            raise ConstraintError("tolerance must be non-negative")
+
+    @staticmethod
+    def unbounded() -> "PowerConstraint":
+        """A constraint no realistic schedule can violate."""
+        return PowerConstraint(math.inf)
+
+    @property
+    def is_unbounded(self) -> bool:
+        return math.isinf(self.max_power)
+
+    def allows(self, cycle_power: float) -> bool:
+        """True if ``cycle_power`` fits within the budget (with tolerance)."""
+        return cycle_power <= self.max_power + self.tolerance
+
+    def headroom(self, cycle_power: float) -> float:
+        """Remaining budget in a cycle already drawing ``cycle_power``."""
+        return self.max_power - cycle_power
+
+
+@dataclass(frozen=True)
+class ResourceConstraint:
+    """Maximum number of simultaneously usable instances per module.
+
+    Modules absent from ``limits`` are unlimited.
+    """
+
+    limits: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, count in self.limits.items():
+            if count < 0:
+                raise ConstraintError(f"negative instance limit for {name!r}")
+
+    def limit_for(self, module: FUModule) -> Optional[int]:
+        """Instance limit for ``module`` or ``None`` when unlimited."""
+        return self.limits.get(module.name)
+
+    @staticmethod
+    def unlimited() -> "ResourceConstraint":
+        return ResourceConstraint({})
+
+
+@dataclass(frozen=True)
+class SynthesisConstraints:
+    """Bundle of the constraints the combined synthesis honours."""
+
+    time: TimeConstraint
+    power: PowerConstraint = field(default_factory=PowerConstraint.unbounded)
+    resources: ResourceConstraint = field(default_factory=ResourceConstraint.unlimited)
+
+    @staticmethod
+    def of(latency: int, max_power: Optional[float] = None) -> "SynthesisConstraints":
+        """Convenience constructor from plain numbers."""
+        power = PowerConstraint(max_power) if max_power is not None else PowerConstraint.unbounded()
+        return SynthesisConstraints(TimeConstraint(latency), power)
+
+
+def feasible_power_floor(total_energy: float, latency: int) -> float:
+    """The smallest power budget that could possibly admit a schedule.
+
+    With total energy ``E`` spread over at most ``T`` cycles, some cycle
+    must draw at least ``E / T``; any ``P`` below that is infeasible
+    regardless of the schedule.  Individual operations additionally need
+    their own per-cycle power, so callers usually take the max of this
+    floor and the largest single-operation power.
+    """
+    if latency <= 0:
+        raise ConstraintError("latency must be positive")
+    if total_energy < 0:
+        raise ConstraintError("total energy must be non-negative")
+    return total_energy / latency
+
+
+def minimum_feasible_power(
+    per_op_power: Mapping[str, float],
+    per_op_delay: Mapping[str, int],
+    latency: int,
+) -> float:
+    """Lower bound on the power budget for a specific operation set.
+
+    Combines the energy floor with the largest single-operation per-cycle
+    power (an operation can never be split across a budget smaller than
+    its own draw).
+    """
+    total_energy = sum(per_op_power[op] * per_op_delay.get(op, 1) for op in per_op_power)
+    floor = feasible_power_floor(total_energy, latency)
+    single = max(per_op_power.values(), default=0.0)
+    return max(floor, single)

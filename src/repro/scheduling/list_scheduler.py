@@ -1,0 +1,195 @@
+"""Resource-constrained list scheduling (baseline).
+
+A classical HLS baseline: given a fixed allocation (number of instances
+per module), schedule operations cycle by cycle, picking among the ready
+operations by a priority (default: least mobility first).  It is used
+
+* as a reference point in the ablation benchmarks (resource-constrained
+  vs. power-constrained scheduling), and
+* inside the two-step baseline of :mod:`repro.scheduling.two_step`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from ..ir.analysis import alap_times, asap_times, critical_path_length
+from ..ir.cdfg import CDFG, CDFGError
+from ..library.module import FUModule
+from .schedule import Schedule
+
+
+class ResourceInfeasibleError(Exception):
+    """Raised when the allocation cannot execute the graph at all."""
+
+
+def list_schedule(
+    cdfg: CDFG,
+    delays: Mapping[str, int],
+    powers: Mapping[str, float],
+    module_of: Mapping[str, FUModule],
+    allocation: Mapping[str, int],
+    latency_hint: Optional[int] = None,
+    label: str = "list",
+) -> Schedule:
+    """Schedule under per-module instance limits.
+
+    Args:
+        cdfg: Graph to schedule.
+        delays: Per-operation latency.
+        powers: Per-operation per-cycle power.
+        module_of: Operation name → library module implementing it.
+            Virtual operations (constants, no-ops) may be omitted; they
+            consume no resource and take zero cycles.
+        allocation: Module name → number of available instances.  Modules
+            not listed default to one instance.
+        latency_hint: Latency used to compute mobility priorities
+            (defaults to the critical path length).
+        label: Label stored on the resulting schedule.
+
+    Returns:
+        A precedence- and resource-legal schedule.  The power profile is
+        whatever falls out of resource contention (no power budget here).
+
+    Raises:
+        ResourceInfeasibleError: if some required module has a zero
+            instance count, or the scheduler fails to make progress.
+    """
+    schedulable = set(cdfg.schedulable_operations())
+    for name in schedulable:
+        module = module_of.get(name)
+        if module is None:
+            raise ResourceInfeasibleError(f"no module assigned to operation {name!r}")
+        if allocation.get(module.name, 1) <= 0:
+            raise ResourceInfeasibleError(
+                f"allocation gives zero instances of {module.name!r}, "
+                f"needed by {name!r}"
+            )
+
+    latency_hint = latency_hint or critical_path_length(cdfg, dict(delays))
+    try:
+        alap = alap_times(cdfg, latency_hint, dict(delays))
+    except CDFGError:
+        alap = {n: 0 for n in cdfg.operation_names()}
+    asap = asap_times(cdfg, dict(delays))
+    mobility = {n: alap.get(n, 0) - asap.get(n, 0) for n in cdfg.operation_names()}
+
+    start: Dict[str, int] = {}
+    finish: Dict[str, int] = {}
+    # running[module name] = finish times of currently executing operations
+    running: Dict[str, List[int]] = {}
+
+    unscheduled = set(cdfg.operation_names())
+    cycle = 0
+    total_cycles = sum(delays[n] for n in cdfg.operation_names())
+    horizon_guard = max(4 * total_cycles + 16, 64)
+
+    def is_ready(name: str) -> bool:
+        return all(
+            pred in finish and finish[pred] <= cycle
+            for pred in cdfg.predecessors(name)
+        )
+
+    while unscheduled:
+        if cycle > horizon_guard:
+            raise ResourceInfeasibleError(
+                "list scheduling exceeded its horizon guard; allocation too small"
+            )
+        # Release instances whose operations completed by this cycle.
+        for module_name in list(running):
+            running[module_name] = [f for f in running[module_name] if f > cycle]
+
+        progressed = True
+        while progressed:
+            # Virtual/zero-delay operations complete instantly and may
+            # unlock further ready operations within the same cycle.
+            progressed = False
+            ready = sorted(
+                (n for n in unscheduled if is_ready(n)),
+                key=lambda n: (mobility.get(n, 0), n),
+            )
+            for name in ready:
+                if name in schedulable:
+                    module = module_of[name]
+                    limit = allocation.get(module.name, 1)
+                    if len(running.get(module.name, [])) >= limit:
+                        continue
+                    start[name] = cycle
+                    finish[name] = cycle + delays[name]
+                    running.setdefault(module.name, []).append(finish[name])
+                else:
+                    start[name] = cycle
+                    finish[name] = cycle + delays[name]
+                unscheduled.discard(name)
+                if delays[name] == 0:
+                    progressed = True
+        cycle += 1
+
+    return Schedule(
+        cdfg=cdfg,
+        start_times=start,
+        delays=dict(delays),
+        powers=dict(powers),
+        label=label,
+        metadata={"allocation": dict(allocation)},
+    )
+
+
+def minimal_allocation(
+    cdfg: CDFG,
+    module_of: Mapping[str, FUModule],
+) -> Dict[str, int]:
+    """One instance of every module that some operation needs."""
+    allocation: Dict[str, int] = {}
+    for name in cdfg.schedulable_operations():
+        module = module_of.get(name)
+        if module is None:
+            raise ResourceInfeasibleError(f"no module assigned to operation {name!r}")
+        allocation[module.name] = max(allocation.get(module.name, 0), 1)
+    return allocation
+
+
+def greedy_allocation_for_latency(
+    cdfg: CDFG,
+    delays: Mapping[str, int],
+    powers: Mapping[str, float],
+    module_of: Mapping[str, FUModule],
+    latency: int,
+) -> Dict[str, int]:
+    """Smallest allocation (found greedily) meeting a latency bound.
+
+    Starts from one instance per needed module and adds an instance of the
+    module whose operations are most delayed until the list schedule fits
+    in ``latency`` cycles.  Used by the two-step baseline.
+
+    Raises:
+        ResourceInfeasibleError: if even a generous allocation cannot meet
+            the bound (i.e. the bound is below the critical path).
+    """
+    if latency < critical_path_length(cdfg, dict(delays)):
+        raise ResourceInfeasibleError(
+            f"latency {latency} is below the critical path; no allocation can meet it"
+        )
+    allocation = minimal_allocation(cdfg, module_of)
+    ops_per_module: Dict[str, int] = {}
+    for name in cdfg.schedulable_operations():
+        ops_per_module[module_of[name].name] = ops_per_module.get(module_of[name].name, 0) + 1
+
+    while True:
+        schedule = list_schedule(cdfg, delays, powers, module_of, allocation)
+        if schedule.makespan <= latency:
+            return allocation
+        # Add an instance of the module with the largest (ops / instances)
+        # pressure that is still below its operation count.
+        candidates = [
+            (ops_per_module[m] / allocation[m], m)
+            for m in allocation
+            if allocation[m] < ops_per_module[m]
+        ]
+        if not candidates:
+            # Fully parallel allocation still misses the bound; give up.
+            raise ResourceInfeasibleError(
+                f"cannot meet latency {latency} even with one instance per operation"
+            )
+        _, module_name = max(candidates)
+        allocation[module_name] += 1

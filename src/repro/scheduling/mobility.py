@@ -1,0 +1,149 @@
+"""Power-feasible scheduling windows derived from pasap/palap.
+
+For every operation the pair ``(pasap_start, palap_start)`` bounds the
+cycles in which it can legally start without violating precedence, the
+latency bound or (heuristically) the power budget.  The combined synthesis
+engine consumes these windows when building the time-extended
+compatibility graph and when checking whether a tentative binding decision
+leaves the remaining operations schedulable.
+
+Because pasap and palap are heuristics (the paper is explicit about this),
+the window is itself heuristic: a positive-width window does not *prove*
+feasibility of every interior start time, and after a binding decision the
+windows must be recomputed with the bound operations locked.  A
+negative-width window, however, is a reliable infeasibility signal and
+triggers the engine's backtrack-and-lock rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..ir.cdfg import CDFG
+from .constraints import PowerConstraint, TimeConstraint
+from .palap import palap_schedule
+from .pasap import PowerInfeasibleError, pasap_schedule
+
+
+@dataclass(frozen=True)
+class Window:
+    """Earliest/latest power-feasible start cycle of one operation."""
+
+    earliest: int
+    latest: int
+
+    @property
+    def width(self) -> int:
+        """Slack (latest - earliest); negative means infeasible."""
+        return self.latest - self.earliest
+
+    @property
+    def feasible(self) -> bool:
+        return self.latest >= self.earliest
+
+    def contains(self, cycle: int) -> bool:
+        return self.earliest <= cycle <= self.latest
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.earliest}, {self.latest}]"
+
+
+@dataclass
+class WindowSet:
+    """pasap/palap windows for every operation of a CDFG."""
+
+    windows: Dict[str, Window]
+    pasap_starts: Dict[str, int]
+    palap_starts: Dict[str, int]
+
+    def __getitem__(self, op_name: str) -> Window:
+        return self.windows[op_name]
+
+    def __contains__(self, op_name: str) -> bool:
+        return op_name in self.windows
+
+    def __iter__(self):
+        return iter(self.windows)
+
+    @property
+    def all_feasible(self) -> bool:
+        """True if every operation has a non-negative-width window."""
+        return all(w.feasible for w in self.windows.values())
+
+    def infeasible_operations(self) -> list:
+        """Names of operations whose window collapsed (latest < earliest)."""
+        return sorted(n for n, w in self.windows.items() if not w.feasible)
+
+    def total_mobility(self) -> int:
+        """Sum of window widths (a coarse measure of remaining freedom)."""
+        return sum(max(0, w.width) for w in self.windows.values())
+
+
+def compute_windows(
+    cdfg: CDFG,
+    delays: Mapping[str, int],
+    powers: Mapping[str, float],
+    power: PowerConstraint,
+    time: TimeConstraint,
+    locked: Optional[Mapping[str, int]] = None,
+) -> WindowSet:
+    """Compute the power-feasible window of every operation.
+
+    Args:
+        cdfg: Graph under synthesis.
+        delays: Per-operation latency.
+        powers: Per-operation per-cycle power.
+        power: Power budget ``P``.
+        time: Latency bound ``T``.
+        locked: Start times already fixed by prior binding decisions;
+            locked operations get a zero-width window at their lock point.
+
+    Raises:
+        PowerInfeasibleError: propagated from pasap/palap when even the
+            heuristic stretching cannot place some operation (e.g. a
+            single operation's power exceeds ``P``, or locked operations
+            already exceed ``T``).
+    """
+    locked = dict(locked or {})
+    pasap = pasap_schedule(cdfg, delays, powers, power, locked=locked)
+    palap = palap_schedule(cdfg, delays, powers, power, time.latency, locked=locked)
+
+    windows: Dict[str, Window] = {}
+    for name in cdfg.operation_names():
+        if name in locked:
+            windows[name] = Window(locked[name], locked[name])
+        else:
+            windows[name] = Window(pasap.start_times[name], palap.start_times[name])
+    return WindowSet(
+        windows=windows,
+        pasap_starts=dict(pasap.start_times),
+        palap_starts=dict(palap.start_times),
+    )
+
+
+def windows_feasible(
+    cdfg: CDFG,
+    delays: Mapping[str, int],
+    powers: Mapping[str, float],
+    power: PowerConstraint,
+    time: TimeConstraint,
+    locked: Optional[Mapping[str, int]] = None,
+) -> bool:
+    """True when window computation succeeds and every window is non-empty.
+
+    This is the feasibility predicate used by the synthesis engine before
+    committing a binding decision.
+    """
+    try:
+        window_set = compute_windows(cdfg, delays, powers, power, time, locked=locked)
+    except PowerInfeasibleError:
+        return False
+    if not window_set.all_feasible:
+        return False
+    # The pasap schedule must also meet the latency bound, otherwise the
+    # power budget forces the computation past T.
+    horizon = max(
+        window_set.pasap_starts[n] + delays[n] for n in cdfg.operation_names()
+    ) if len(cdfg) else 0
+    return horizon <= time.latency

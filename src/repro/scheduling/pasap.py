@@ -1,0 +1,192 @@
+"""Power-constrained ASAP scheduling (``pasap``) — Section 2 of the paper.
+
+The algorithm "stretches" the classical ASAP schedule so that the total
+power drawn in any clock cycle never exceeds the budget ``P``:
+
+    Initialize: schedule the source start-time to zero and set the
+    execution offset ``o_i`` to zero for all operators.
+
+    step 1: pick an unscheduled operator ``v_i``
+    step 2: if ``v_i`` has unscheduled predecessors, go to step 4
+    step 3: if there is power available in the execution interval
+            ``[(t_i + o_i) .. (t_i + o_i + d_i)]``, where ``d_i`` is the
+            execution delay of ``v_i`` and ``t_i = max{t_j + d_j}`` over
+            all predecessors ``v_j -> v_i``, schedule operation ``i`` at
+            time ``t_i (+ o_i)``; otherwise increase ``o_i`` by one.
+    step 4: if unscheduled operators remain, go to step 1.
+
+Implementation notes
+---------------------
+* Operations are visited in a (deterministic) topological order; within a
+  ready set the order is the priority function, by default
+  *largest power first, then longest delay, then name* — greedy packing of
+  the heavy operations first reduces the stretching needed later and is
+  the natural reading of the paper's "pick an unscheduled operator".
+* Already-bound operations can be *locked* at fixed start times; their
+  power is pre-committed to the profile.  The combined synthesis engine
+  relies on this to recompute pasap windows after every binding decision
+  and to implement the paper's backtrack-and-lock rule.
+* When a single operation's power already exceeds the budget the schedule
+  is infeasible; :class:`PowerInfeasibleError` is raised.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..ir.cdfg import CDFG
+from ..library.library import FULibrary
+from ..library.selection import (
+    MinPowerSelection,
+    Selection,
+    selection_delays,
+    selection_powers,
+)
+from .constraints import PowerConstraint
+from .schedule import Schedule, add_to_profile, profile_allows
+
+
+class PowerInfeasibleError(Exception):
+    """Raised when no start time can satisfy the power constraint."""
+
+
+#: Priority function: maps (op name, delay, power) to a sortable key.
+PriorityFn = Callable[[str, int, float], Tuple]
+
+
+def default_priority(name: str, delay: int, power: float) -> Tuple:
+    """Schedule power-hungry, long operations first (ties by name)."""
+    return (-power, -delay, name)
+
+
+def pasap_schedule(
+    cdfg: CDFG,
+    delays: Mapping[str, int],
+    powers: Mapping[str, float],
+    power: PowerConstraint,
+    locked: Optional[Mapping[str, int]] = None,
+    max_horizon: Optional[int] = None,
+    priority: PriorityFn = default_priority,
+    label: str = "pasap",
+) -> Schedule:
+    """Power-constrained ASAP schedule.
+
+    Args:
+        cdfg: Graph to schedule.
+        delays: Per-operation latency in cycles.
+        powers: Per-operation per-cycle power.
+        power: The per-cycle power budget ``P``.
+        locked: Start times of operations that are already fixed (their
+            power is committed to the profile before scheduling the rest).
+        max_horizon: Safety bound on how far an operation may be delayed;
+            defaults to a generous bound derived from the total work.
+        priority: Ready-operation ordering (see :func:`default_priority`).
+        label: Label stored on the resulting schedule.
+
+    Returns:
+        A schedule that respects precedence and the power budget.
+
+    Raises:
+        PowerInfeasibleError: if some operation's own power exceeds the
+            budget, or the horizon safety bound is hit.
+    """
+    locked = dict(locked or {})
+    schedulable = set(cdfg.schedulable_operations())
+
+    if max_horizon is None:
+        total_cycles = sum(delays[n] for n in cdfg.operation_names())
+        max_horizon = max(total_cycles * 4 + 16, 64)
+
+    # Single-operation feasibility: an operation drawing more than P in a
+    # cycle can never be placed.
+    if not power.is_unbounded:
+        for name in schedulable:
+            if not power.allows(powers[name]):
+                raise PowerInfeasibleError(
+                    f"operation {name!r} draws {powers[name]:.3f} per cycle, "
+                    f"exceeding the budget {power.max_power:.3f}"
+                )
+
+    profile: List[float] = []
+    start: Dict[str, int] = {}
+
+    # Commit locked operations first.
+    for name, fixed_start in locked.items():
+        if name not in cdfg:
+            continue
+        start[name] = fixed_start
+        add_to_profile(profile, fixed_start, delays[name], powers[name])
+
+    # Process in topological waves; inside a wave, order by priority.
+    remaining = [n for n in cdfg.topological_order() if n not in start]
+    scheduled = set(start)
+
+    while remaining:
+        ready = [
+            n
+            for n in remaining
+            if all(p in scheduled for p in cdfg.predecessors(n))
+        ]
+        if not ready:
+            # Should not happen on a DAG; defensive.
+            raise PowerInfeasibleError(
+                f"no ready operations among {remaining!r}; dependence deadlock"
+            )
+        ready.sort(key=lambda n: priority(n, delays[n], powers[n]))
+        for name in ready:
+            data_ready = 0
+            for pred in cdfg.predecessors(name):
+                data_ready = max(data_ready, start[pred] + delays[pred])
+            offset = 0
+            op_delay = delays[name]
+            op_power = powers[name]
+            if cdfg.operation(name).is_virtual or op_power == 0.0:
+                start[name] = data_ready
+            else:
+                while not profile_allows(profile, data_ready + offset, op_delay, op_power, power):
+                    offset += 1
+                    if data_ready + offset > max_horizon:
+                        raise PowerInfeasibleError(
+                            f"operation {name!r} cannot be placed within the "
+                            f"horizon {max_horizon} under budget {power.max_power:.3f}"
+                        )
+                start[name] = data_ready + offset
+                add_to_profile(profile, start[name], op_delay, op_power)
+            scheduled.add(name)
+        remaining = [n for n in remaining if n not in scheduled]
+
+    return Schedule(
+        cdfg=cdfg,
+        start_times=start,
+        delays=dict(delays),
+        powers=dict(powers),
+        label=label,
+        metadata={"power_budget": power.max_power},
+    )
+
+
+def pasap_schedule_with_library(
+    cdfg: CDFG,
+    library: FULibrary,
+    power: PowerConstraint,
+    selection: Optional[Selection] = None,
+    locked: Optional[Mapping[str, int]] = None,
+    label: str = "pasap",
+) -> Schedule:
+    """pasap using delays/powers from a library module selection."""
+    if selection is None:
+        selection = MinPowerSelection().select(cdfg, library)
+    delays = selection_delays(selection, cdfg)
+    powers = selection_powers(selection, cdfg)
+    return pasap_schedule(cdfg, delays, powers, power, locked=locked, label=label)
+
+
+def pasap_start_times(
+    cdfg: CDFG,
+    delays: Mapping[str, int],
+    powers: Mapping[str, float],
+    power: PowerConstraint,
+    locked: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """Convenience wrapper returning only the start-time map."""
+    return pasap_schedule(cdfg, delays, powers, power, locked=locked).start_times

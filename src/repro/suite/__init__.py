@@ -1,0 +1,34 @@
+"""Benchmark CDFGs: the paper's hal/cosine/elliptic plus extra workloads."""
+
+from .hal import HAL_LATENCIES, hal_cdfg
+from .cosine import COSINE_LATENCIES, cosine_cdfg
+from .elliptic import ELLIPTIC_LATENCIES, elliptic_cdfg
+from .fir import fir_cdfg
+from .ar import ar_cdfg
+from .generators import GeneratorConfig, random_cdfg, random_cdfg_batch
+from .registry import (
+    BenchmarkSpec,
+    benchmark_names,
+    build_benchmark,
+    figure2_cases,
+    get_benchmark,
+)
+
+__all__ = [
+    "HAL_LATENCIES",
+    "hal_cdfg",
+    "COSINE_LATENCIES",
+    "cosine_cdfg",
+    "ELLIPTIC_LATENCIES",
+    "elliptic_cdfg",
+    "fir_cdfg",
+    "ar_cdfg",
+    "GeneratorConfig",
+    "random_cdfg",
+    "random_cdfg_batch",
+    "BenchmarkSpec",
+    "benchmark_names",
+    "build_benchmark",
+    "figure2_cases",
+    "get_benchmark",
+]

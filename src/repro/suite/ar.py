@@ -1,0 +1,65 @@
+"""Auto-regressive (AR) lattice filter benchmark (additional workload).
+
+The AR lattice filter is another standard HLS benchmark (16
+multiplications and 12 additions in its published form).  Each of the
+four lattice sections performs four multiplications and three additions;
+sections are chained, producing the long multiplication-heavy dependence
+chains that make the power/area trade-off interesting for the ablation
+studies shipped with this reproduction.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import CDFGBuilder
+from ..ir.cdfg import CDFG
+
+
+def ar_cdfg(include_io: bool = True) -> CDFG:
+    """Build the AR lattice filter CDFG (16 multiplications, 12 additions).
+
+    Args:
+        include_io: Include explicit input/output operations (default).
+
+    Returns:
+        A validated :class:`~repro.ir.cdfg.CDFG` named ``"ar"``.
+    """
+    b = CDFGBuilder("ar")
+
+    if include_io:
+        forward = b.input("in_f0")
+        backward = b.input("in_b0")
+        states = [b.input(f"in_s{i}") for i in range(4)]
+    else:
+        forward = b.const("f0")
+        backward = b.const("b0")
+        states = [b.const(f"s{i}") for i in range(4)]
+    coeffs = [b.const(f"k{i}") for i in range(8)]
+
+    f_signal = forward
+    b_signal = backward
+    outputs = []
+    for section in range(4):
+        k_a = coeffs[2 * section]
+        k_b = coeffs[2 * section + 1]
+        state = states[section]
+
+        m1 = b.mul(f"sec{section}_m1", f_signal, k_a)
+        m2 = b.mul(f"sec{section}_m2", b_signal, k_a)
+        m3 = b.mul(f"sec{section}_m3", f_signal, k_b)
+        m4 = b.mul(f"sec{section}_m4", state, k_b)
+
+        a1 = b.add(f"sec{section}_a1", m1, b_signal)
+        a2 = b.add(f"sec{section}_a2", m2, f_signal)
+        a3 = b.add(f"sec{section}_a3", m3, m4)
+
+        f_signal = a1
+        b_signal = a2
+        outputs.append(a3)
+
+    if include_io:
+        b.output("out_f", f_signal)
+        b.output("out_b", b_signal)
+        for index, value in enumerate(outputs):
+            b.output(f"out_s{index}", value)
+
+    return b.build()

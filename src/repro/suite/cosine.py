@@ -1,0 +1,119 @@
+"""Cosine (8-point fast DCT) benchmark.
+
+The "cosine" benchmark of the HLS literature is the data-flow graph of an
+8-point fast discrete cosine transform: three butterfly stages of
+additions/subtractions followed by rotations implemented with constant
+multiplications.  We reconstruct the standard structure (the authors'
+exact node list is not published):
+
+* stage 1 — 4 additions and 4 subtractions (input butterflies),
+* stage 2 — 2 additions and 2 subtractions on the even half,
+* even outputs — 6 constant multiplications with 1 addition and
+  1 subtraction feeding ``y0/y4`` and ``y2/y6``,
+* odd outputs — 8 constant multiplications combined by 8
+  additions/subtractions feeding ``y1/y3/y5/y7``.
+
+The resulting graph has 14 multiplications and 24 additions/subtractions,
+comparable to the published FDCT benchmark mixes, and a serial-multiplier
+critical path of 10 cycles (including I/O), which keeps the paper's
+latency bounds T = 12, 15 and 19 all feasible while exercising very
+different amounts of scheduling slack.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import CDFGBuilder
+from ..ir.cdfg import CDFG
+
+
+def cosine_cdfg(include_io: bool = True) -> CDFG:
+    """Build the 8-point fast-DCT ("cosine") CDFG.
+
+    Args:
+        include_io: Include explicit input/output operations (default).
+
+    Returns:
+        A validated :class:`~repro.ir.cdfg.CDFG` named ``"cosine"``.
+    """
+    b = CDFGBuilder("cosine")
+
+    if include_io:
+        x = [b.input(f"in_x{i}") for i in range(8)]
+    else:
+        x = [b.const(f"x{i}") for i in range(8)]
+    # Cosine coefficients (virtual constants: held in ROM, no FU needed).
+    c1 = b.const("c1")
+    c2 = b.const("c2")
+    c3 = b.const("c3")
+    c4 = b.const("c4")
+    c5 = b.const("c5")
+    c6 = b.const("c6")
+    c7 = b.const("c7")
+
+    # Stage 1: input butterflies.
+    s0 = b.add("s0", x[0], x[7])
+    s1 = b.add("s1", x[1], x[6])
+    s2 = b.add("s2", x[2], x[5])
+    s3 = b.add("s3", x[3], x[4])
+    d0 = b.sub("d0", x[0], x[7])
+    d1 = b.sub("d1", x[1], x[6])
+    d2 = b.sub("d2", x[2], x[5])
+    d3 = b.sub("d3", x[3], x[4])
+
+    # Stage 2: even half butterflies.
+    e0 = b.add("e0", s0, s3)
+    e1 = b.add("e1", s1, s2)
+    e2 = b.sub("e2", s0, s3)
+    e3 = b.sub("e3", s1, s2)
+
+    # Even outputs.
+    t_sum = b.add("t_sum", e0, e1)
+    t_diff = b.sub("t_diff", e0, e1)
+    y0 = b.mul("y0", t_sum, c4)
+    y4 = b.mul("y4", t_diff, c4)
+
+    p2a = b.mul("p2a", e2, c2)
+    p2b = b.mul("p2b", e3, c6)
+    p6a = b.mul("p6a", e2, c6)
+    p6b = b.mul("p6b", e3, c2)
+    y2 = b.add("y2", p2a, p2b)
+    y6 = b.sub("y6", p6a, p6b)
+
+    # Odd outputs: two rotations followed by a combination stage.
+    q0a = b.mul("q0a", d0, c1)
+    q0b = b.mul("q0b", d3, c7)
+    q1a = b.mul("q1a", d0, c7)
+    q1b = b.mul("q1b", d3, c1)
+    q2a = b.mul("q2a", d1, c3)
+    q2b = b.mul("q2b", d2, c5)
+    q3a = b.mul("q3a", d1, c5)
+    q3b = b.mul("q3b", d2, c3)
+
+    t0 = b.add("t0", q0a, q0b)
+    t1 = b.sub("t1", q1a, q1b)
+    t2 = b.add("t2", q2a, q2b)
+    t3 = b.sub("t3", q3a, q3b)
+
+    y1 = b.add("y1", t0, t2)
+    y3 = b.sub("y3", t0, t2)
+    y5 = b.add("y5", t1, t3)
+    y7 = b.sub("y7", t1, t3)
+
+    if include_io:
+        for name, value in (
+            ("out_y0", y0),
+            ("out_y1", y1),
+            ("out_y2", y2),
+            ("out_y3", y3),
+            ("out_y4", y4),
+            ("out_y5", y5),
+            ("out_y6", y6),
+            ("out_y7", y7),
+        ):
+            b.output(name, value)
+
+    return b.build()
+
+
+#: Latency bounds the paper uses for the cosine benchmark in Figure 2.
+COSINE_LATENCIES = (12, 15, 19)

@@ -1,0 +1,55 @@
+"""16-tap FIR filter benchmark (additional workload).
+
+Not part of the paper's Figure 2, but a standard HLS workload used by the
+extra examples and ablation benchmarks: 16 constant multiplications (one
+per tap) followed by a balanced adder tree.  Its wide, shallow structure
+is the opposite of HAL's long multiply chain, which makes it a good
+stress test for the power budget — many multiplications want to execute
+in the same few cycles.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import CDFGBuilder
+from ..ir.cdfg import CDFG
+
+
+def fir_cdfg(taps: int = 16, include_io: bool = True) -> CDFG:
+    """Build a ``taps``-tap FIR filter CDFG with a balanced adder tree.
+
+    Args:
+        taps: Number of filter taps (must be at least 2).
+        include_io: Include explicit input/output operations (default).
+
+    Returns:
+        A validated :class:`~repro.ir.cdfg.CDFG` named ``"fir"`` (or
+        ``"fir<N>"`` for a non-default tap count).
+    """
+    if taps < 2:
+        raise ValueError("a FIR filter needs at least two taps")
+    name = "fir" if taps == 16 else f"fir{taps}"
+    b = CDFGBuilder(name)
+
+    if include_io:
+        samples = [b.input(f"in_x{i}") for i in range(taps)]
+    else:
+        samples = [b.const(f"x{i}") for i in range(taps)]
+    coeffs = [b.const(f"coef_{i}") for i in range(taps)]
+
+    products = [b.mul(f"p{i}", samples[i], coeffs[i]) for i in range(taps)]
+
+    # Balanced adder tree.
+    level = 0
+    current = products
+    while len(current) > 1:
+        next_level = []
+        for i in range(0, len(current) - 1, 2):
+            next_level.append(b.add(f"t{level}_{i // 2}", current[i], current[i + 1]))
+        if len(current) % 2 == 1:
+            next_level.append(current[-1])
+        current = next_level
+        level += 1
+
+    if include_io:
+        b.output("out_y", current[0])
+    return b.build()

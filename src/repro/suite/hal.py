@@ -1,0 +1,82 @@
+"""HAL differential-equation benchmark.
+
+The "HAL" benchmark (after Paulin's HAL system) is the classic high-level
+synthesis example: one iteration of the forward-Euler solver of the second
+order differential equation ``y'' + 3xy' + 3y = 0``::
+
+    x1 = x + dx
+    u1 = u - (3 * x * u * dx) - (3 * y * dx)
+    y1 = y + (u * dx)
+    c  = a > x1          (loop-exit test)
+
+The data-flow graph has 6 multiplications, 2 additions, 2 subtractions and
+one comparison, plus the primary inputs and outputs.  With the paper's
+library the critical path is 16 cycles using the serial multiplier and 10
+cycles using the parallel multiplier (including the input and output
+cycles), which is exactly why the paper evaluates ``hal`` at T = 10 and
+T = 17.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import CDFGBuilder
+from ..ir.cdfg import CDFG
+
+
+def hal_cdfg(include_io: bool = True) -> CDFG:
+    """Build the HAL differential-equation CDFG.
+
+    Args:
+        include_io: When True (default) the graph contains explicit input
+            and output operations, which occupy the Table-1 ``input`` and
+            ``output`` modules and contribute to the power profile exactly
+            as in the paper.  When False only the arithmetic core is
+            returned.
+
+    Returns:
+        A validated :class:`~repro.ir.cdfg.CDFG` named ``"hal"``.
+    """
+    b = CDFGBuilder("hal")
+
+    if include_io:
+        x = b.input("in_x")
+        y = b.input("in_y")
+        u = b.input("in_u")
+        dx = b.input("in_dx")
+        a = b.input("in_a")
+    else:
+        x = b.const("x")
+        y = b.const("y")
+        u = b.const("u")
+        dx = b.const("dx")
+        a = b.const("a")
+    three = b.const("const_3", value=3)
+
+    # u1 = u - 3*x*u*dx - 3*y*dx
+    m1 = b.mul("m1_3x", three, x)        # 3 * x
+    m2 = b.mul("m2_3xu", m1, u)          # (3x) * u
+    m3 = b.mul("m3_3xudx", m2, dx)       # (3xu) * dx
+    m4 = b.mul("m4_3y", three, y)        # 3 * y
+    m5 = b.mul("m5_3ydx", m4, dx)        # (3y) * dx
+    s1 = b.sub("s1_u_minus", u, m3)      # u - 3xudx
+    u1 = b.sub("s2_u1", s1, m5)          # (u - 3xudx) - 3ydx
+
+    # y1 = y + u*dx
+    m6 = b.mul("m6_udx", u, dx)
+    y1 = b.add("a1_y1", y, m6)
+
+    # x1 = x + dx ; c = a > x1
+    x1 = b.add("a2_x1", x, dx)
+    c = b.gt("c1_test", a, x1)
+
+    if include_io:
+        b.output("out_u1", u1)
+        b.output("out_y1", y1)
+        b.output("out_x1", x1)
+        b.output("out_c", c)
+
+    return b.build()
+
+
+#: Latency bounds the paper uses for the hal benchmark in Figure 2.
+HAL_LATENCIES = (10, 17)

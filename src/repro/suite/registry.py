@@ -1,0 +1,72 @@
+"""Benchmark registry: name → CDFG builder with the paper's latency bounds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..ir.cdfg import CDFG
+from .ar import ar_cdfg
+from .cosine import COSINE_LATENCIES, cosine_cdfg
+from .elliptic import ELLIPTIC_LATENCIES, elliptic_cdfg
+from .fir import fir_cdfg
+from .hal import HAL_LATENCIES, hal_cdfg
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A named benchmark and the latency bounds it is evaluated at."""
+
+    name: str
+    builder: Callable[[], CDFG]
+    latencies: Tuple[int, ...]
+    in_paper: bool
+
+    def build(self) -> CDFG:
+        return self.builder()
+
+
+_REGISTRY: Dict[str, BenchmarkSpec] = {
+    "hal": BenchmarkSpec("hal", hal_cdfg, tuple(HAL_LATENCIES), in_paper=True),
+    "cosine": BenchmarkSpec("cosine", cosine_cdfg, tuple(COSINE_LATENCIES), in_paper=True),
+    "elliptic": BenchmarkSpec("elliptic", elliptic_cdfg, tuple(ELLIPTIC_LATENCIES), in_paper=True),
+    "fir": BenchmarkSpec("fir", fir_cdfg, (8, 12), in_paper=False),
+    "ar": BenchmarkSpec("ar", ar_cdfg, (14, 20), in_paper=False),
+}
+
+
+def benchmark_names(paper_only: bool = False) -> List[str]:
+    """Names of registered benchmarks (optionally only the paper's three)."""
+    return [
+        name
+        for name, spec in _REGISTRY.items()
+        if spec.in_paper or not paper_only
+    ]
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by name.
+
+    Raises:
+        KeyError: with the list of known names when the name is unknown.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def build_benchmark(name: str) -> CDFG:
+    """Build the CDFG of a registered benchmark."""
+    return get_benchmark(name).build()
+
+
+def figure2_cases() -> List[Tuple[str, int]]:
+    """The (benchmark, latency) pairs plotted in the paper's Figure 2."""
+    cases: List[Tuple[str, int]] = []
+    for name in ("hal", "cosine", "elliptic"):
+        spec = get_benchmark(name)
+        cases.extend((name, latency) for latency in spec.latencies)
+    return cases

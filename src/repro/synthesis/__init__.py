@@ -1,0 +1,36 @@
+"""Combined power-constrained synthesis: engine, baselines, exploration."""
+
+from .result import (
+    PowerInfeasibleSynthesisError,
+    SynthesisError,
+    SynthesisResult,
+    TimingInfeasibleError,
+)
+from .engine import EngineOptions, PowerConstrainedSynthesizer, synthesize
+from .baseline import naive_synthesis, time_constrained_synthesis
+from .explore import (
+    SweepPoint,
+    SweepResult,
+    default_power_grid,
+    minimum_feasible_power,
+    power_area_sweep,
+    synthesize_point,
+)
+
+__all__ = [
+    "PowerInfeasibleSynthesisError",
+    "SynthesisError",
+    "SynthesisResult",
+    "TimingInfeasibleError",
+    "EngineOptions",
+    "PowerConstrainedSynthesizer",
+    "synthesize",
+    "naive_synthesis",
+    "time_constrained_synthesis",
+    "SweepPoint",
+    "SweepResult",
+    "default_power_grid",
+    "minimum_feasible_power",
+    "power_area_sweep",
+    "synthesize_point",
+]

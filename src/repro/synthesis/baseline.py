@@ -1,0 +1,82 @@
+"""Baseline synthesis flows used for comparison.
+
+Two baselines bracket the paper's combined algorithm:
+
+* :func:`time_constrained_synthesis` — the same greedy engine run with an
+  *unbounded* power budget.  This is the classical partial-clique
+  synthesis of Jou et al.; its schedule is free to stack power into early
+  cycles, producing the "undesired" profile of Figure 1 (top).  Its area
+  is also the asymptote the Figure-2 curves approach as ``P`` grows.
+* :func:`naive_synthesis` — no sharing at all: every operation gets its
+  own functional unit (the cheapest module for its type) and the plain
+  ASAP schedule.  This is the fastest, largest and most power-spiky
+  design; useful as an upper bound on area and peak power in tests and
+  examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..datapath.rtl import Datapath
+from ..ir.cdfg import CDFG
+from ..library.library import FULibrary
+from ..library.selection import MinAreaSelection, selection_delays, selection_powers
+from ..scheduling.asap import asap_schedule
+from ..scheduling.constraints import SynthesisConstraints
+from .engine import EngineOptions, PowerConstrainedSynthesizer
+from .result import SynthesisResult
+
+
+def time_constrained_synthesis(
+    cdfg: CDFG,
+    library: FULibrary,
+    latency: int,
+    options: Optional[EngineOptions] = None,
+) -> SynthesisResult:
+    """Area-minimizing synthesis under a latency bound only (no power cap)."""
+    constraints = SynthesisConstraints.of(latency, max_power=None)
+    return PowerConstrainedSynthesizer(library, constraints, options).synthesize(cdfg)
+
+
+def naive_synthesis(
+    cdfg: CDFG,
+    library: FULibrary,
+    latency: Optional[int] = None,
+) -> SynthesisResult:
+    """One functional unit per operation, ASAP schedule, no sharing.
+
+    Args:
+        cdfg: Graph to synthesize.
+        library: Technology library.
+        latency: Optional latency bound recorded on the result (the ASAP
+            makespan is used when omitted).  The bound is not enforced; a
+            :class:`~repro.scheduling.schedule.ScheduleError` from
+            ``result.verify()`` will flag a violation.
+
+    Returns:
+        A :class:`SynthesisResult` with maximal area and an unconstrained
+        power profile.
+    """
+    selection = MinAreaSelection().select(cdfg, library)
+    delays = selection_delays(selection, cdfg)
+    powers = selection_powers(selection, cdfg)
+    schedule = asap_schedule(cdfg, delays, powers, label=f"naive[{cdfg.name}]")
+
+    datapath = Datapath(cdfg=cdfg, schedule=schedule)
+    for op_name in cdfg.schedulable_operations():
+        instance = datapath.add_instance(selection[op_name])
+        datapath.bind(op_name, instance.name)
+    datapath.finalize()
+
+    bound = latency if latency is not None else schedule.makespan
+    constraints = SynthesisConstraints.of(bound, max_power=None)
+    return SynthesisResult(
+        datapath=datapath,
+        schedule=schedule,
+        constraints=constraints,
+        area=datapath.area(),
+        trace=["naive: one instance per operation"],
+        backtracks=0,
+        metadata={"library": library.name, "flow": "naive"},
+    )

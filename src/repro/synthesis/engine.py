@@ -1,0 +1,579 @@
+"""The combined power-constrained synthesis engine (the paper's contribution).
+
+The engine solves scheduling, allocation and binding *simultaneously*
+under a latency bound ``T`` and a per-cycle power budget ``P``, minimizing
+datapath area.  It follows the structure described in Section 2 of the
+paper:
+
+1. Choose an initial (tentative) module per operation and verify that a
+   power-feasible pasap/palap schedule exists under ``(T, P)``; the
+   tentative selection is adapted (critical-path operations upgraded to
+   faster modules) until the latency bound is reachable.
+2. Greedy partial clique partitioning: repeatedly evaluate the candidate
+   decisions offered by the power-aware time-extended compatibility
+   relation — bind one ready operation either onto an existing compatible
+   FU instance (sharing it) or onto a new instance of some module — pick
+   the *best* decision (least area increase, then least interconnect,
+   then earliest start), commit it (schedule + allocate + bind), and
+   recompute the pasap/palap windows of the remaining operations.
+3. If a committed decision makes the remaining schedule infeasible, apply
+   the paper's **backtrack-and-lock** rule: undo the decision, lock every
+   unbound operation to the last valid pasap start time, and finish the
+   binding with those start times fixed.
+
+The result is a :class:`~repro.synthesis.result.SynthesisResult` whose
+schedule respects precedence, ``T`` and ``P`` and whose datapath has no
+FU-sharing conflicts (verified by the test-suite on every benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..binding.intervals import Interval
+from ..binding.interconnect import sharing_penalty
+from ..binding.merge import BindingDecision
+from ..datapath.rtl import Datapath
+from ..ir.analysis import critical_path, critical_path_length
+from ..ir.cdfg import CDFG
+from ..library.library import FULibrary
+from ..library.module import FUModule
+from ..library.selection import MinPowerSelection, Selection
+from ..scheduling.constraints import (
+    PowerConstraint,
+    SynthesisConstraints,
+    TimeConstraint,
+)
+from ..scheduling.mobility import WindowSet, compute_windows
+from ..scheduling.pasap import PowerInfeasibleError
+from ..scheduling.schedule import Schedule, add_to_profile, profile_allows
+from .result import (
+    PowerInfeasibleSynthesisError,
+    SynthesisResult,
+    TimingInfeasibleError,
+)
+
+
+@dataclass
+class EngineOptions:
+    """Tunable knobs of the synthesis engine.
+
+    Attributes:
+        trace: Record a human-readable line per committed decision.
+        allow_module_upgrade: Let individual decisions pick a module other
+            than the tentative one (e.g. a parallel multiplier for one
+            operation while the rest stay serial).
+        interconnect_weight: Weight of the interconnect penalty when
+            comparing decisions of equal area increase (kept at 1 — the
+            penalty is already secondary in the lexicographic key).
+        delay_area_weight: Area-unit penalty per cycle an operation is
+            started later than its data-ready time.  Sharing a unit by
+            delaying an operation shrinks the slack of everything
+            downstream, which often costs area later; pricing the delay
+            keeps the greedy from trading a 16-area input port against
+            three extra multipliers.  Set to 0 to recover the purely
+            area-lexicographic greedy.
+    """
+
+    trace: bool = True
+    allow_module_upgrade: bool = True
+    interconnect_weight: int = 1
+    delay_area_weight: float = 4.0
+
+
+@dataclass
+class _EngineState:
+    """Mutable synthesis state threaded through the greedy loop."""
+
+    locked: Dict[str, int] = field(default_factory=dict)
+    delays: Dict[str, int] = field(default_factory=dict)
+    powers: Dict[str, float] = field(default_factory=dict)
+    bound_module: Dict[str, FUModule] = field(default_factory=dict)
+    lock_all_mode: bool = False
+
+
+class PowerConstrainedSynthesizer:
+    """Combined scheduling/allocation/binding under (T, P) constraints."""
+
+    def __init__(
+        self,
+        library: FULibrary,
+        constraints: SynthesisConstraints,
+        options: Optional[EngineOptions] = None,
+    ) -> None:
+        self.library = library
+        self.constraints = constraints
+        self.options = options or EngineOptions()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def synthesize(self, cdfg: CDFG) -> SynthesisResult:
+        """Run the full combined synthesis on ``cdfg``.
+
+        Raises:
+            TimingInfeasibleError: no module selection meets the latency
+                bound.
+            PowerInfeasibleSynthesisError: the power budget is too tight
+                for the latency bound (even after stretching).
+        """
+        trace: List[str] = []
+        selection = self._initial_selection(cdfg)
+        state = _EngineState(
+            delays=self._delays_from_selection(cdfg, selection),
+            powers=self._powers_from_selection(cdfg, selection),
+        )
+
+        windows = self._windows_or_fail(cdfg, state)
+        last_valid_pasap = dict(windows.pasap_starts)
+
+        datapath = Datapath(cdfg=cdfg, schedule=None)  # schedule attached later
+        profile: List[float] = []
+        backtracks = 0
+
+        unbound = set(cdfg.schedulable_operations())
+        # Virtual operations are placed at data-ready time at the very end.
+
+        while unbound:
+            ready = sorted(
+                op
+                for op in unbound
+                if all(
+                    cdfg.operation(pred).is_virtual or pred in state.locked
+                    for pred in cdfg.predecessors(op)
+                )
+            )
+            if not ready:
+                raise PowerInfeasibleSynthesisError(
+                    "no ready operations; dependence deadlock in synthesis loop"
+                )
+
+            decision = self._best_decision(
+                cdfg, state, datapath, profile, windows, ready, sorted(unbound)
+            )
+            if decision is None:
+                raise PowerInfeasibleSynthesisError(
+                    f"no feasible binding decision for ready operations {ready} "
+                    f"under T={self.constraints.time.latency}, "
+                    f"P={self.constraints.power.max_power:g}"
+                )
+
+            # Tentatively commit and check that the remaining operations
+            # are still schedulable; otherwise backtrack-and-lock.
+            snapshot = self._commit(cdfg, state, datapath, profile, decision)
+            unbound.discard(decision.op_name)
+
+            if not state.lock_all_mode and unbound:
+                try:
+                    windows = self._windows_or_fail(cdfg, state)
+                    last_valid_pasap = dict(windows.pasap_starts)
+                except PowerInfeasibleSynthesisError:
+                    # Paper's rule: backtrack one step, lock every
+                    # unscheduled operation to the last valid pasap start.
+                    self._rollback(state, datapath, profile, decision, snapshot)
+                    unbound.add(decision.op_name)
+                    backtracks += 1
+                    for op in unbound:
+                        state.locked[op] = last_valid_pasap[op]
+                    state.lock_all_mode = True
+                    if self.options.trace:
+                        trace.append(
+                            f"backtrack: undo {decision.op_name}; lock {len(unbound)} "
+                            "operations to the last valid pasap schedule"
+                        )
+                    continue
+
+            if self.options.trace:
+                trace.append(decision.describe())
+
+        schedule = self._final_schedule(cdfg, state)
+        datapath.schedule = schedule
+        datapath.finalize()
+        result = SynthesisResult(
+            datapath=datapath,
+            schedule=schedule,
+            constraints=self.constraints,
+            area=datapath.area(),
+            trace=trace,
+            backtracks=backtracks,
+            metadata={"library": self.library.name},
+        )
+        result.verify()
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Initial selection
+    # ------------------------------------------------------------------ #
+    def _initial_selection(self, cdfg: CDFG) -> Selection:
+        """Min-power selection, upgraded along the critical path to meet T.
+
+        Raises:
+            TimingInfeasibleError: when even the all-fastest selection
+                misses the latency bound.
+        """
+        latency = self.constraints.time.latency
+        selection = MinPowerSelection().select(cdfg, self.library)
+        delays = self._delays_from_selection(cdfg, selection)
+
+        guard = len(cdfg) * len(self.library.modules()) + 8
+        while critical_path_length(cdfg, delays) > latency and guard > 0:
+            guard -= 1
+            path = critical_path(cdfg, delays)
+            upgraded = False
+            # Upgrade the critical-path operation with the best
+            # cycles-saved-per-area ratio.
+            best: Optional[Tuple[float, str, FUModule]] = None
+            for op_name in path:
+                op = cdfg.operation(op_name)
+                if op.is_virtual:
+                    continue
+                current = selection[op_name]
+                for module in self.library.candidates(op.optype):
+                    saved = current.latency - module.latency
+                    if saved <= 0:
+                        continue
+                    cost = max(module.area - current.area, 1e-6)
+                    key = (-saved / cost, op_name, module.name)
+                    if best is None or key < (best[0], best[1], best[2].name):
+                        best = (-saved / cost, op_name, module)
+            if best is not None:
+                _, op_name, module = best
+                selection[op_name] = module
+                delays[op_name] = module.latency
+                upgraded = True
+            if not upgraded:
+                break
+
+        if critical_path_length(cdfg, delays) > latency:
+            raise TimingInfeasibleError(
+                f"latency bound {latency} is below the best achievable critical "
+                f"path {critical_path_length(cdfg, delays)} for {cdfg.name!r}"
+            )
+        return selection
+
+    # ------------------------------------------------------------------ #
+    # Windows / feasibility
+    # ------------------------------------------------------------------ #
+    def _windows_or_fail(self, cdfg: CDFG, state: _EngineState) -> WindowSet:
+        try:
+            windows = compute_windows(
+                cdfg,
+                state.delays,
+                state.powers,
+                self.constraints.power,
+                self.constraints.time,
+                locked=state.locked,
+            )
+        except PowerInfeasibleError as exc:
+            raise PowerInfeasibleSynthesisError(str(exc)) from exc
+        if not windows.all_feasible:
+            raise PowerInfeasibleSynthesisError(
+                f"infeasible windows for operations {windows.infeasible_operations()}"
+            )
+        horizon = max(
+            windows.pasap_starts[n] + state.delays[n] for n in cdfg.operation_names()
+        )
+        if horizon > self.constraints.time.latency:
+            raise PowerInfeasibleSynthesisError(
+                f"power-feasible schedule needs {horizon} cycles, exceeding "
+                f"the latency bound {self.constraints.time.latency}"
+            )
+        return windows
+
+    # ------------------------------------------------------------------ #
+    # Decision generation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _is_virtual(cdfg: CDFG, name: str) -> bool:
+        return cdfg.operation(name).is_virtual
+
+    def _data_ready(self, cdfg: CDFG, state: _EngineState, op_name: str) -> int:
+        ready = 0
+        for pred in cdfg.predecessors(op_name):
+            if cdfg.operation(pred).is_virtual:
+                continue
+            ready = max(ready, state.locked[pred] + state.delays[pred])
+        return ready
+
+    def _candidate_modules(self, cdfg: CDFG, op_name: str, state: _EngineState) -> List[FUModule]:
+        optype = cdfg.operation(op_name).optype
+        candidates = self.library.candidates(optype)
+        if not self.options.allow_module_upgrade:
+            tentative_power = state.powers[op_name]
+            tentative_delay = state.delays[op_name]
+            candidates = [
+                m
+                for m in candidates
+                if m.power <= tentative_power + 1e-9 and m.latency <= tentative_delay
+            ] or candidates
+        if state.lock_all_mode:
+            # With start times locked to the last valid pasap schedule, a
+            # decision must not lengthen the operation (successor start
+            # times assume the tentative delay) nor raise its power (the
+            # pasap profile was only proven feasible for the tentative
+            # powers).
+            candidates = [
+                m
+                for m in candidates
+                if m.latency <= state.delays[op_name]
+                and m.power <= state.powers[op_name] + 1e-9
+            ]
+        return candidates
+
+    def _earliest_feasible_start(
+        self,
+        op_name: str,
+        module: FUModule,
+        data_ready: int,
+        latest: int,
+        profile: List[float],
+        busy: List[Interval],
+    ) -> Optional[int]:
+        """Earliest start in [data_ready, latest] that fits power and the instance."""
+        power = self.constraints.power
+        for start in range(data_ready, latest + 1):
+            if start + module.latency > self.constraints.time.latency:
+                return None
+            candidate = Interval(start, start + module.latency)
+            if any(candidate.overlaps(existing) for existing in busy):
+                continue
+            if not profile_allows(profile, start, module.latency, module.power, power):
+                continue
+            return start
+        return None
+
+    def _estimate_capacity(
+        self,
+        cdfg: CDFG,
+        state: _EngineState,
+        windows: WindowSet,
+        module: FUModule,
+        op_name: str,
+        start: int,
+        unbound: List[str],
+    ) -> int:
+        """Estimate how many unbound operations a new instance could host.
+
+        Greedily packs the remaining unbound operations that the module
+        supports into non-overlapping slots after ``op_name``'s execution,
+        respecting each operation's current pasap/palap window and the
+        latency bound.  The estimate amortizes the area of a big,
+        shareable module (e.g. the parallel multiplier) over the
+        operations it is likely to serve, which is what lets the engine
+        trade operator implementations as the paper describes.
+        """
+        latency_bound = self.constraints.time.latency
+        busy_end = start + module.latency
+        count = 1
+        others = [
+            v
+            for v in unbound
+            if v != op_name
+            and module.supports(cdfg.operation(v).optype)
+            and v in windows
+        ]
+        others.sort(key=lambda v: (windows[v].latest, windows[v].earliest, v))
+        for other in others:
+            earliest = max(windows[other].earliest, busy_end)
+            if earliest > windows[other].latest:
+                continue
+            if earliest + module.latency > latency_bound:
+                continue
+            count += 1
+            busy_end = earliest + module.latency
+        return count
+
+    def _best_decision(
+        self,
+        cdfg: CDFG,
+        state: _EngineState,
+        datapath: Datapath,
+        profile: List[float],
+        windows: WindowSet,
+        ready: List[str],
+        unbound: List[str],
+    ) -> Optional[BindingDecision]:
+        best: Optional[BindingDecision] = None
+        for op_name in ready:
+            data_ready = self._data_ready(cdfg, state, op_name)
+            if state.lock_all_mode:
+                window_latest = state.locked[op_name]
+                data_ready = state.locked[op_name]
+            else:
+                window_latest = max(windows[op_name].latest, data_ready)
+
+            candidates = self._candidate_modules(cdfg, op_name, state)
+            for module in candidates:
+                # (a) share an existing instance of this module
+                for instance in datapath.instances.values():
+                    if instance.module.name != module.name:
+                        continue
+                    busy = [
+                        Interval(state.locked[o], state.locked[o] + instance.module.latency)
+                        for o in instance.bound_ops
+                    ]
+                    start = self._earliest_feasible_start(
+                        op_name, module, data_ready, window_latest, profile, busy
+                    )
+                    if start is None:
+                        continue
+                    decision = BindingDecision(
+                        op_name=op_name,
+                        module=module,
+                        instance_name=instance.name,
+                        start_time=start,
+                        area_increase=0.0,
+                        interconnect_penalty=self.options.interconnect_weight
+                        * sharing_penalty(cdfg, instance.bound_ops, op_name),
+                        mobility_loss=start - data_ready,
+                        effective_area=self.options.delay_area_weight * (start - data_ready),
+                    )
+                    if best is None or decision.sort_key() < best.sort_key():
+                        best = decision
+                # (b) allocate a new instance of this module
+                start = self._earliest_feasible_start(
+                    op_name, module, data_ready, window_latest, profile, []
+                )
+                if start is None:
+                    continue
+                if state.lock_all_mode:
+                    effective_area: Optional[float] = None
+                else:
+                    capacity = self._estimate_capacity(
+                        cdfg, state, windows, module, op_name, start, unbound
+                    )
+                    effective_area = (
+                        module.area / capacity
+                        + self.options.delay_area_weight * (start - data_ready)
+                    )
+                decision = BindingDecision(
+                    op_name=op_name,
+                    module=module,
+                    instance_name=None,
+                    start_time=start,
+                    area_increase=module.area,
+                    interconnect_penalty=0,
+                    mobility_loss=start - data_ready,
+                    effective_area=effective_area,
+                )
+                if best is None or decision.sort_key() < best.sort_key():
+                    best = decision
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Commit / rollback
+    # ------------------------------------------------------------------ #
+    def _commit(
+        self,
+        cdfg: CDFG,
+        state: _EngineState,
+        datapath: Datapath,
+        profile: List[float],
+        decision: BindingDecision,
+    ) -> Dict[str, object]:
+        """Apply a decision; return a snapshot sufficient to roll it back."""
+        snapshot = {
+            "delay": state.delays[decision.op_name],
+            "power": state.powers[decision.op_name],
+            "was_locked": decision.op_name in state.locked,
+            "locked_value": state.locked.get(decision.op_name),
+            "new_instance": decision.instance_name is None,
+        }
+        if decision.instance_name is None:
+            instance = datapath.add_instance(decision.module)
+        else:
+            instance = datapath.instances[decision.instance_name]
+        datapath.bind(decision.op_name, instance.name)
+        snapshot["instance_name"] = instance.name
+
+        state.locked[decision.op_name] = decision.start_time
+        state.delays[decision.op_name] = decision.module.latency
+        state.powers[decision.op_name] = decision.module.power
+        state.bound_module[decision.op_name] = decision.module
+        add_to_profile(profile, decision.start_time, decision.module.latency, decision.module.power)
+        return snapshot
+
+    def _rollback(
+        self,
+        state: _EngineState,
+        datapath: Datapath,
+        profile: List[float],
+        decision: BindingDecision,
+        snapshot: Dict[str, object],
+    ) -> None:
+        """Undo a committed decision using its snapshot."""
+        instance_name = snapshot["instance_name"]
+        instance = datapath.instances[instance_name]
+        instance.unbind(decision.op_name)
+        del datapath.binding[decision.op_name]
+        if snapshot["new_instance"]:
+            del datapath.instances[instance_name]
+
+        for cycle in range(decision.start_time, decision.start_time + decision.module.latency):
+            profile[cycle] -= decision.module.power
+
+        state.delays[decision.op_name] = snapshot["delay"]  # type: ignore[assignment]
+        state.powers[decision.op_name] = snapshot["power"]  # type: ignore[assignment]
+        if snapshot["was_locked"]:
+            state.locked[decision.op_name] = snapshot["locked_value"]  # type: ignore[assignment]
+        else:
+            state.locked.pop(decision.op_name, None)
+        state.bound_module.pop(decision.op_name, None)
+
+    # ------------------------------------------------------------------ #
+    # Final schedule
+    # ------------------------------------------------------------------ #
+    def _final_schedule(self, cdfg: CDFG, state: _EngineState) -> Schedule:
+        start: Dict[str, int] = {}
+        for name in cdfg.topological_order():
+            if name in state.locked:
+                start[name] = state.locked[name]
+            else:
+                # Virtual operation: data-ready placement.
+                ready = 0
+                for pred in cdfg.predecessors(name):
+                    ready = max(ready, start[pred] + state.delays[pred])
+                start[name] = ready
+        return Schedule(
+            cdfg=cdfg,
+            start_times=start,
+            delays=dict(state.delays),
+            powers=dict(state.powers),
+            label=f"synthesis[{cdfg.name}]",
+            metadata={
+                "latency_bound": self.constraints.time.latency,
+                "power_budget": self.constraints.power.max_power,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _delays_from_selection(cdfg: CDFG, selection: Selection) -> Dict[str, int]:
+        delays: Dict[str, int] = {}
+        for name in cdfg.operation_names():
+            op = cdfg.operation(name)
+            delays[name] = 0 if op.is_virtual else selection[name].latency
+        return delays
+
+    @staticmethod
+    def _powers_from_selection(cdfg: CDFG, selection: Selection) -> Dict[str, float]:
+        powers: Dict[str, float] = {}
+        for name in cdfg.operation_names():
+            op = cdfg.operation(name)
+            powers[name] = 0.0 if op.is_virtual else selection[name].power
+        return powers
+
+
+def synthesize(
+    cdfg: CDFG,
+    library: FULibrary,
+    latency: int,
+    max_power: Optional[float] = None,
+    options: Optional[EngineOptions] = None,
+) -> SynthesisResult:
+    """One-call convenience wrapper around :class:`PowerConstrainedSynthesizer`."""
+    constraints = SynthesisConstraints.of(latency, max_power)
+    return PowerConstrainedSynthesizer(library, constraints, options).synthesize(cdfg)

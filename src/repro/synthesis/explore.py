@@ -1,0 +1,194 @@
+"""Design-space exploration over the (time, power) constraint space.
+
+Figure 2 of the paper plots, for each benchmark and latency bound, the
+datapath area obtained for a range of power constraints.  This module
+drives those sweeps: it finds the smallest feasible power budget, sweeps a
+grid of budgets up to a cap, and returns structured records the benchmark
+harness and the examples turn into tables/series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..ir.cdfg import CDFG
+from ..library.library import FULibrary
+from .engine import EngineOptions, synthesize
+from .result import (
+    PowerInfeasibleSynthesisError,
+    SynthesisError,
+    SynthesisResult,
+    TimingInfeasibleError,
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a power-constraint sweep.
+
+    Attributes:
+        power_budget: The power constraint ``P`` used.
+        feasible: Whether synthesis succeeded under (T, P).
+        area: Total datapath area (``None`` when infeasible).
+        fu_area: Functional-unit area only (``None`` when infeasible).
+        peak_power: Peak power of the result (``None`` when infeasible).
+        latency: Cycles used by the result (``None`` when infeasible).
+    """
+
+    power_budget: float
+    feasible: bool
+    area: Optional[float] = None
+    fu_area: Optional[float] = None
+    peak_power: Optional[float] = None
+    latency: Optional[int] = None
+
+
+@dataclass
+class SweepResult:
+    """A full power sweep for one (benchmark, latency bound) pair."""
+
+    benchmark: str
+    latency_bound: int
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def feasible_points(self) -> List[SweepPoint]:
+        return [p for p in self.points if p.feasible]
+
+    def areas(self) -> List[float]:
+        return [p.area for p in self.feasible_points()]
+
+    def budgets(self) -> List[float]:
+        return [p.power_budget for p in self.feasible_points()]
+
+    def area_at(self, power_budget: float) -> Optional[float]:
+        for point in self.points:
+            if abs(point.power_budget - power_budget) < 1e-9 and point.feasible:
+                return point.area
+        return None
+
+    def is_monotone_non_increasing(self, tolerance: float = 1e-6) -> bool:
+        """Area never grows as the power budget is relaxed (paper's shape)."""
+        areas = self.areas()
+        return all(later <= earlier + tolerance for earlier, later in zip(areas, areas[1:]))
+
+
+def synthesize_point(
+    cdfg: CDFG,
+    library: FULibrary,
+    latency: int,
+    power_budget: Optional[float],
+    options: Optional[EngineOptions] = None,
+) -> Optional[SynthesisResult]:
+    """Synthesize one (T, P) point; return ``None`` when infeasible."""
+    try:
+        return synthesize(cdfg, library, latency, power_budget, options)
+    except (PowerInfeasibleSynthesisError, TimingInfeasibleError):
+        return None
+
+
+def minimum_feasible_power(
+    cdfg: CDFG,
+    library: FULibrary,
+    latency: int,
+    precision: float = 0.5,
+    upper_hint: float = 200.0,
+    options: Optional[EngineOptions] = None,
+) -> float:
+    """Smallest power budget (to ``precision``) admitting a feasible design.
+
+    Binary search between a trivial lower bound (the cheapest module's
+    power) and ``upper_hint``; raises :class:`SynthesisError` when even the
+    hint is infeasible (which indicates an impossible latency bound).
+    """
+    low = 0.0
+    high = upper_hint
+    if synthesize_point(cdfg, library, latency, high, options) is None:
+        raise SynthesisError(
+            f"no feasible design for {cdfg.name!r} at T={latency} even with P={high}"
+        )
+    while high - low > precision:
+        mid = (low + high) / 2.0
+        if mid <= 0:
+            break
+        if synthesize_point(cdfg, library, latency, mid, options) is None:
+            low = mid
+        else:
+            high = mid
+    return high
+
+
+def power_area_sweep(
+    cdfg: CDFG,
+    library: FULibrary,
+    latency: int,
+    power_budgets: Sequence[float],
+    options: Optional[EngineOptions] = None,
+    cumulative_best: bool = False,
+) -> SweepResult:
+    """Synthesize the benchmark for every budget in ``power_budgets``.
+
+    Args:
+        cdfg: Benchmark graph.
+        library: Technology library.
+        latency: Latency bound ``T``.
+        power_budgets: Budgets to synthesize under, in ascending order.
+        options: Engine options forwarded to every run.
+        cumulative_best: When True, each point reports the best (smallest)
+            area seen at *any budget up to and including* this one.  A
+            design whose peak power respects a tighter budget is also
+            valid under every looser budget, so taking the running best is
+            legitimate design-space-exploration practice; it removes the
+            greedy heuristic's occasional non-monotone noise from the
+            reported curve.  The raw per-budget results are what you get
+            with the default ``False``.
+    """
+    sweep = SweepResult(benchmark=cdfg.name, latency_bound=latency)
+    best_area: Optional[float] = None
+    best_point: Optional[SweepPoint] = None
+    for budget in sorted(power_budgets):
+        result = synthesize_point(cdfg, library, latency, budget, options)
+        if result is None:
+            sweep.points.append(SweepPoint(power_budget=budget, feasible=False))
+            continue
+        point = SweepPoint(
+            power_budget=budget,
+            feasible=True,
+            area=result.total_area,
+            fu_area=result.fu_area,
+            peak_power=result.peak_power,
+            latency=result.latency,
+        )
+        if cumulative_best:
+            if best_area is None or point.area < best_area:
+                best_area = point.area
+                best_point = point
+            else:
+                point = SweepPoint(
+                    power_budget=budget,
+                    feasible=True,
+                    area=best_point.area,
+                    fu_area=best_point.fu_area,
+                    peak_power=best_point.peak_power,
+                    latency=best_point.latency,
+                )
+        sweep.points.append(point)
+    return sweep
+
+
+def default_power_grid(
+    minimum: float,
+    maximum: float = 150.0,
+    steps: int = 12,
+) -> List[float]:
+    """An evenly spaced power grid from ``minimum`` to ``maximum`` inclusive.
+
+    Figure 2's x-axis runs from roughly the minimum feasible power of each
+    benchmark up to 150 power units, so that is the default cap.
+    """
+    if steps < 2:
+        raise ValueError("a power grid needs at least two steps")
+    if maximum < minimum:
+        maximum = minimum
+    stride = (maximum - minimum) / (steps - 1)
+    return [round(minimum + i * stride, 3) for i in range(steps)]

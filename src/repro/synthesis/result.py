@@ -1,0 +1,90 @@
+"""Synthesis result container and metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..datapath.area import AreaBreakdown
+from ..datapath.rtl import Datapath
+from ..scheduling.constraints import SynthesisConstraints
+from ..scheduling.schedule import Schedule
+
+
+class SynthesisError(Exception):
+    """Base class for synthesis failures."""
+
+
+class TimingInfeasibleError(SynthesisError):
+    """The latency bound cannot be met with any module selection."""
+
+
+class PowerInfeasibleSynthesisError(SynthesisError):
+    """The power budget cannot be met under the latency bound."""
+
+
+@dataclass
+class SynthesisResult:
+    """Everything produced by one synthesis run.
+
+    Attributes:
+        datapath: The bound datapath (instances, registers, muxes).
+        schedule: The final schedule with post-binding delays and powers.
+        constraints: The (T, P) constraints the run honoured.
+        area: Area breakdown of the datapath.
+        trace: Human-readable log of the greedy decisions taken.
+        backtracks: Number of times the engine invoked the
+            backtrack-and-lock rule.
+    """
+
+    datapath: Datapath
+    schedule: Schedule
+    constraints: SynthesisConstraints
+    area: AreaBreakdown
+    trace: List[str] = field(default_factory=list)
+    backtracks: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_area(self) -> float:
+        return self.area.total
+
+    @property
+    def fu_area(self) -> float:
+        return self.area.functional_units
+
+    @property
+    def latency(self) -> int:
+        return self.schedule.makespan
+
+    @property
+    def peak_power(self) -> float:
+        return self.schedule.peak_power
+
+    def allocation_summary(self) -> Dict[str, int]:
+        return self.datapath.allocation_summary()
+
+    def verify(self) -> None:
+        """Re-check every contract of the result; raise on violation.
+
+        Checks precedence, the latency bound, the power budget and the
+        absence of FU sharing conflicts — the invariants the paper's
+        algorithm guarantees by construction.
+        """
+        self.schedule.verify(time=self.constraints.time, power=self.constraints.power)
+        conflicts = self.datapath.check_no_conflicts()
+        if conflicts:
+            raise SynthesisError("FU sharing conflicts: " + "; ".join(conflicts))
+
+    def describe(self) -> str:
+        lines = [
+            f"synthesis of {self.schedule.cdfg.name!r}: "
+            f"T<={self.constraints.time.latency}, "
+            f"P<={self.constraints.power.max_power:g}",
+            f"  area: {self.area.describe()}",
+            f"  latency used: {self.latency} cycles",
+            f"  peak power: {self.peak_power:.2f}",
+            f"  allocation: {self.allocation_summary()}",
+            f"  backtracks: {self.backtracks}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Unit tests for clique partitioning (greedy and exhaustive)."""
+
+import pytest
+
+from repro.binding.clique import (
+    Clique,
+    CliquePartition,
+    area_saving_gain,
+    exhaustive_clique_partition,
+    greedy_clique_partition,
+)
+from repro.binding.compatibility import build_compatibility_graph
+from repro.library.selection import MinPowerSelection, selection_delays, selection_powers
+from repro.scheduling.constraints import PowerConstraint, TimeConstraint
+from repro.scheduling.mobility import compute_windows
+
+
+def compatibility_for(cdfg, library, latency, power=50.0):
+    selection = MinPowerSelection().select(cdfg, library)
+    delays = selection_delays(selection, cdfg)
+    powers = selection_powers(selection, cdfg)
+    windows = compute_windows(
+        cdfg, delays, powers, PowerConstraint(power), TimeConstraint(latency)
+    )
+    return build_compatibility_graph(cdfg, library, windows, delays)
+
+
+def clique_cost(library):
+    """Cost of a clique = area of the cheapest module able to host it."""
+
+    def cost(clique: Clique) -> float:
+        if clique.module is not None:
+            return clique.module.area
+        return 100.0  # singleton without module information
+
+    return cost
+
+
+class TestCliqueDataStructures:
+    def test_clique_membership_and_merge(self):
+        a = Clique(frozenset({"x"}))
+        b = Clique(frozenset({"y", "z"}))
+        merged = a.merged_with(b)
+        assert merged.size == 3
+        assert "y" in merged
+
+    def test_partition_validity_checks(self, hal, library):
+        compatibility = compatibility_for(hal, library, latency=24)
+        singletons = CliquePartition(
+            cliques=[Clique(frozenset({op})) for op in compatibility.operations()]
+        )
+        assert singletons.is_partition_of(compatibility.operations())
+        assert singletons.is_valid(compatibility)
+
+    def test_partition_detects_overlap(self):
+        partition = CliquePartition(
+            cliques=[Clique(frozenset({"a", "b"})), Clique(frozenset({"b"}))]
+        )
+        assert not partition.is_partition_of(["a", "b"])
+
+    def test_clique_of(self):
+        partition = CliquePartition(cliques=[Clique(frozenset({"a", "b"}))])
+        assert partition.clique_of("a").members == frozenset({"a", "b"})
+        assert partition.clique_of("zzz") is None
+
+
+class TestGreedyPartition:
+    def test_result_is_valid_partition(self, hal, library):
+        compatibility = compatibility_for(hal, library, latency=24)
+        partition = greedy_clique_partition(compatibility)
+        assert partition.is_partition_of(compatibility.operations())
+        assert partition.is_valid(compatibility)
+
+    def test_sharing_happens_with_slack(self, hal, library):
+        """With a loose latency the six multiplications must share units."""
+        compatibility = compatibility_for(hal, library, latency=40)
+        partition = greedy_clique_partition(compatibility)
+        assert len(partition.cliques) < len(compatibility.operations())
+
+    def test_no_sharing_without_compatibility(self, wide, library):
+        """Independent multiplications with no slack cannot share any unit."""
+        compatibility = compatibility_for(wide, library, latency=6)
+        partition = greedy_clique_partition(compatibility)
+        mult_cliques = [
+            c for c in partition.cliques if any(m.startswith("m") for m in c.members)
+        ]
+        assert all(c.size == 1 for c in mult_cliques)
+
+    def test_chained_multiplications_collapse_to_one_unit(self, chain, library):
+        """Dependent multiplications are always compatible, so the greedy
+        partition puts the whole chain on a single serial multiplier."""
+        compatibility = compatibility_for(chain, library, latency=14)
+        partition = greedy_clique_partition(compatibility)
+        mult_clique = partition.clique_of("m1")
+        assert mult_clique is not None
+        assert {"m1", "m2", "m3"} <= set(mult_clique.members)
+
+    def test_gain_function_can_forbid_merges(self, hal, library):
+        compatibility = compatibility_for(hal, library, latency=40)
+        partition = greedy_clique_partition(compatibility, gain=lambda a, b, mods: None)
+        assert all(clique.size == 1 for clique in partition.cliques)
+
+    def test_deterministic(self, cosine, library):
+        compatibility = compatibility_for(cosine, library, latency=25)
+        first = greedy_clique_partition(compatibility)
+        second = greedy_clique_partition(compatibility)
+        assert sorted(tuple(sorted(c.members)) for c in first.cliques) == sorted(
+            tuple(sorted(c.members)) for c in second.cliques
+        )
+
+    def test_total_area_not_worse_than_singletons(self, hal, library):
+        compatibility = compatibility_for(hal, library, latency=30)
+        partition = greedy_clique_partition(compatibility)
+
+        def area_of(clique):
+            if clique.module is not None:
+                return clique.module.area
+            op = next(iter(clique.members))
+            return library.cheapest(hal.operation(op).optype).area
+
+        singleton_area = sum(
+            library.cheapest(hal.operation(op).optype).area
+            for op in compatibility.operations()
+        )
+        assert partition.total_area(area_of) <= singleton_area
+
+
+class TestAreaSavingGain:
+    def test_positive_saving_for_shared_module(self, library):
+        add = library.module("add")
+        a = Clique(frozenset({"x"}), module=add)
+        b = Clique(frozenset({"y"}), module=add)
+        assert area_saving_gain(a, b, [add]) == pytest.approx(add.area)
+
+    def test_no_modules_forbids_merge(self):
+        a = Clique(frozenset({"x"}))
+        b = Clique(frozenset({"y"}))
+        assert area_saving_gain(a, b, []) is None
+
+
+class TestExhaustivePartition:
+    def test_matches_or_beats_greedy_on_small_graph(self, diamond, library):
+        compatibility = compatibility_for(diamond, library, latency=12)
+
+        def cost(clique):
+            if clique.module is not None:
+                return clique.module.area
+            op = next(iter(clique.members))
+            return library.cheapest(diamond.operation(op).optype).area
+
+        greedy = greedy_clique_partition(compatibility)
+        optimal = exhaustive_clique_partition(compatibility, cost)
+        assert optimal.is_valid(compatibility)
+        assert optimal.total_area(cost) <= greedy.total_area(cost) + 1e-9
+
+    def test_size_guard(self, cosine, library):
+        compatibility = compatibility_for(cosine, library, latency=25)
+        with pytest.raises(ValueError):
+            exhaustive_clique_partition(compatibility, lambda c: 1.0, max_operations=5)

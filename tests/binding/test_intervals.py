@@ -1,0 +1,67 @@
+"""Unit tests for repro.binding.intervals."""
+
+import pytest
+
+from repro.binding.intervals import (
+    Interval,
+    any_overlap,
+    intervals_overlap,
+    max_overlap_count,
+    union_length,
+)
+
+
+class TestInterval:
+    def test_basic_properties(self):
+        i = Interval(2, 6)
+        assert i.length == 4
+        assert not i.empty
+        assert Interval(3, 3).empty
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 2)
+
+    def test_overlap_symmetric(self):
+        a, b = Interval(0, 4), Interval(3, 6)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_touching_intervals_do_not_overlap(self):
+        assert not Interval(0, 4).overlaps(Interval(4, 8))
+
+    def test_empty_interval_never_overlaps(self):
+        assert not Interval(2, 2).overlaps(Interval(0, 10))
+
+    def test_contains_cycle(self):
+        i = Interval(2, 5)
+        assert i.contains_cycle(2) and i.contains_cycle(4)
+        assert not i.contains_cycle(5) and not i.contains_cycle(1)
+
+    def test_shift_and_merge(self):
+        assert Interval(1, 3).shifted(2) == Interval(3, 5)
+        assert Interval(1, 3).merge(Interval(6, 8)) == Interval(1, 8)
+
+    def test_ordering(self):
+        assert sorted([Interval(3, 5), Interval(1, 2)])[0] == Interval(1, 2)
+
+
+class TestCollections:
+    def test_intervals_overlap(self):
+        assert intervals_overlap([Interval(0, 3), Interval(2, 4)])
+        assert not intervals_overlap([Interval(0, 2), Interval(2, 4), Interval(4, 9)])
+
+    def test_any_overlap(self):
+        assert any_overlap(Interval(1, 3), [Interval(5, 8), Interval(2, 4)])
+        assert not any_overlap(Interval(1, 3), [Interval(3, 8)])
+
+    def test_union_length(self):
+        assert union_length([Interval(0, 3), Interval(2, 5), Interval(7, 9)]) == 7
+        assert union_length([]) == 0
+        assert union_length([Interval(1, 1)]) == 0
+
+    def test_max_overlap_count(self):
+        spans = [Interval(0, 4), Interval(1, 3), Interval(2, 6), Interval(10, 12)]
+        assert max_overlap_count(spans) == 3
+        assert max_overlap_count([]) == 0
+        # touching intervals never count as simultaneous
+        assert max_overlap_count([Interval(0, 2), Interval(2, 4)]) == 1

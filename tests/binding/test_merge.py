@@ -1,0 +1,75 @@
+"""Unit tests for binding-decision scoring."""
+
+from repro.binding.merge import BindingDecision, better
+from repro.library.library import default_library
+
+LIB = default_library()
+ADD = LIB.module("add")
+ALU = LIB.module("ALU")
+MULT = LIB.module("Mult (ser.)")
+
+
+def decision(**overrides):
+    base = dict(
+        op_name="op",
+        module=ADD,
+        instance_name=None,
+        start_time=0,
+        area_increase=ADD.area,
+        interconnect_penalty=0,
+        mobility_loss=0,
+    )
+    base.update(overrides)
+    return BindingDecision(**base)
+
+
+class TestSortKey:
+    def test_sharing_beats_allocating(self):
+        share = decision(instance_name="add#0", area_increase=0.0)
+        allocate = decision(area_increase=ADD.area)
+        assert better(share, allocate) is share
+
+    def test_smaller_area_wins(self):
+        small = decision(module=ADD, area_increase=ADD.area)
+        large = decision(module=ALU, area_increase=ALU.area)
+        assert better(small, large) is small
+
+    def test_interconnect_breaks_area_ties(self):
+        clean = decision(instance_name="a#0", area_increase=0.0, interconnect_penalty=0)
+        messy = decision(instance_name="b#0", area_increase=0.0, interconnect_penalty=3)
+        assert better(clean, messy) is clean
+
+    def test_mobility_breaks_further_ties(self):
+        keep = decision(instance_name="a#0", area_increase=0.0, mobility_loss=0)
+        lose = decision(instance_name="b#0", area_increase=0.0, mobility_loss=4)
+        assert better(keep, lose) is keep
+
+    def test_earlier_start_preferred_last(self):
+        early = decision(instance_name="a#0", area_increase=0.0, start_time=1)
+        late = decision(instance_name="b#0", area_increase=0.0, start_time=5)
+        assert better(early, late) is early
+
+    def test_effective_area_overrides_raw_area(self):
+        # A big module amortized over many operations can beat a small one.
+        amortized = decision(module=MULT, area_increase=MULT.area, effective_area=25.0)
+        raw = decision(module=ADD, area_increase=ADD.area)
+        assert better(amortized, raw) is amortized
+
+    def test_deterministic_total_order(self):
+        a = decision(op_name="a")
+        b = decision(op_name="b")
+        assert better(a, b) is a
+        assert better(b, a) is a
+
+
+class TestDescribe:
+    def test_share_description(self):
+        d = decision(instance_name="ALU#1", area_increase=0.0, start_time=3)
+        text = d.describe()
+        assert "ALU#1" in text and "cycle 3" in text
+        assert d.shares_instance
+
+    def test_new_instance_description(self):
+        d = decision()
+        assert "new add" in d.describe()
+        assert not d.shares_instance

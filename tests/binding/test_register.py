@@ -1,0 +1,98 @@
+"""Unit tests for lifetime analysis and left-edge register allocation."""
+
+import pytest
+
+from repro.binding.intervals import Interval
+from repro.binding.register import (
+    ValueLifetime,
+    allocate_registers,
+    left_edge_allocation,
+    register_lower_bound,
+    value_lifetimes,
+)
+from repro.library.selection import MinPowerSelection, selection_delays, selection_powers
+from repro.scheduling.asap import asap_schedule
+
+
+def schedule_for(cdfg, library):
+    selection = MinPowerSelection().select(cdfg, library)
+    delays = selection_delays(selection, cdfg)
+    powers = selection_powers(selection, cdfg)
+    return asap_schedule(cdfg, delays, powers)
+
+
+class TestLifetimes:
+    def test_lifetime_starts_when_producer_finishes(self, diamond, library):
+        schedule = schedule_for(diamond, library)
+        lifetimes = value_lifetimes(schedule)
+        assert lifetimes["a"].interval.start == schedule.finish("a")
+
+    def test_lifetime_ends_after_last_consumer_starts(self, diamond, library):
+        schedule = schedule_for(diamond, library)
+        lifetimes = value_lifetimes(schedule)
+        consumers = diamond.successors("a")
+        last_start = max(schedule.start(c) for c in consumers)
+        assert lifetimes["a"].interval.end == last_start + 1
+
+    def test_outputs_and_constants_have_no_lifetime(self, hal, library):
+        schedule = schedule_for(hal, library)
+        lifetimes = value_lifetimes(schedule)
+        assert "out_u1" not in lifetimes
+        assert "const_3" not in lifetimes
+
+    def test_unconsumed_values_have_no_lifetime(self, library):
+        from repro.ir.builder import CDFGBuilder
+
+        b = CDFGBuilder()
+        x = b.input("x")
+        b.add("dangling", x, x)
+        schedule = schedule_for(b.build(), library)
+        assert "dangling" not in value_lifetimes(schedule)
+
+    def test_chained_value_still_needs_one_cycle(self, chain, library):
+        schedule = schedule_for(chain, library)
+        lifetimes = value_lifetimes(schedule)
+        for lifetime in lifetimes.values():
+            assert lifetime.interval.length >= 1
+
+
+class TestLeftEdge:
+    def test_non_overlapping_values_share_one_register(self):
+        lifetimes = {
+            "a": ValueLifetime("a", Interval(0, 2)),
+            "b": ValueLifetime("b", Interval(2, 4)),
+            "c": ValueLifetime("c", Interval(4, 6)),
+        }
+        allocation = left_edge_allocation(lifetimes)
+        assert allocation.count == 1
+        assert allocation.is_consistent()
+
+    def test_overlapping_values_get_distinct_registers(self):
+        lifetimes = {
+            "a": ValueLifetime("a", Interval(0, 5)),
+            "b": ValueLifetime("b", Interval(1, 4)),
+            "c": ValueLifetime("c", Interval(2, 3)),
+        }
+        allocation = left_edge_allocation(lifetimes)
+        assert allocation.count == 3
+        assert allocation.is_consistent()
+
+    def test_count_matches_lower_bound(self, hal, cosine, elliptic, library):
+        """Left-edge is optimal: register count equals the max overlap."""
+        for graph in (hal, cosine, elliptic):
+            schedule = schedule_for(graph, library)
+            allocation = allocate_registers(schedule)
+            assert allocation.count == register_lower_bound(schedule)
+            assert allocation.is_consistent()
+
+    def test_register_of(self):
+        lifetimes = {"a": ValueLifetime("a", Interval(0, 2))}
+        allocation = left_edge_allocation(lifetimes)
+        assert allocation.register_of("a") == 0
+        assert allocation.register_of("zzz") is None
+
+    def test_every_value_assigned_exactly_once(self, elliptic, library):
+        schedule = schedule_for(elliptic, library)
+        allocation = allocate_registers(schedule)
+        assigned = [p for producers in allocation.registers.values() for p in producers]
+        assert sorted(assigned) == sorted(allocation.lifetimes)

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import CDFGBuilder
+from repro.library import default_library
+from repro.suite import ar_cdfg, cosine_cdfg, elliptic_cdfg, fir_cdfg, hal_cdfg
+
+
+@pytest.fixture
+def library():
+    """The paper's Table-1 functional-unit library."""
+    return default_library()
+
+
+@pytest.fixture
+def hal():
+    return hal_cdfg()
+
+
+@pytest.fixture
+def cosine():
+    return cosine_cdfg()
+
+
+@pytest.fixture
+def elliptic():
+    return elliptic_cdfg()
+
+
+@pytest.fixture
+def fir():
+    return fir_cdfg()
+
+
+@pytest.fixture
+def ar():
+    return ar_cdfg()
+
+
+@pytest.fixture
+def diamond():
+    """A four-operation diamond: in -> (add, mul) -> sub -> out."""
+    b = CDFGBuilder("diamond")
+    a = b.input("a")
+    c = b.input("c")
+    left = b.add("left", a, c)
+    right = b.mul("right", a, c)
+    bottom = b.sub("bottom", left, right)
+    b.output("out", bottom)
+    return b.build()
+
+
+@pytest.fixture
+def chain():
+    """A three-multiplication chain: the narrowest power profile possible."""
+    b = CDFGBuilder("chain")
+    x = b.input("x")
+    m1 = b.mul("m1", x, x)
+    m2 = b.mul("m2", m1, x)
+    m3 = b.mul("m3", m2, m1)
+    b.output("y", m3)
+    return b.build()
+
+
+@pytest.fixture
+def wide():
+    """Eight independent multiplications: the widest power profile possible."""
+    b = CDFGBuilder("wide")
+    inputs = [b.input(f"i{k}") for k in range(4)]
+    for k in range(8):
+        m = b.mul(f"m{k}", inputs[k % 4], inputs[(k + 1) % 4])
+        b.output(f"o{k}", m)
+    return b.build()

@@ -1,0 +1,29 @@
+"""Unit tests for the datapath area model."""
+
+import pytest
+
+from repro.datapath.area import REGISTER_AREA, AreaBreakdown, register_area
+
+
+class TestAreaBreakdown:
+    def test_total_is_sum_of_components(self):
+        breakdown = AreaBreakdown(functional_units=500.0, registers=48.0, interconnect=30.0)
+        assert breakdown.total == pytest.approx(578.0)
+        assert breakdown.fu_only == pytest.approx(500.0)
+
+    def test_describe_mentions_all_components(self):
+        text = AreaBreakdown(100.0, 24.0, 9.0).describe()
+        assert "FUs=100.0" in text
+        assert "registers=24.0" in text
+        assert "muxes=9.0" in text
+        assert "total=133.0" in text
+
+
+class TestRegisterArea:
+    def test_scales_linearly(self):
+        assert register_area(0) == 0.0
+        assert register_area(3) == pytest.approx(3 * REGISTER_AREA)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            register_area(-1)

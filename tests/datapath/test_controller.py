@@ -1,0 +1,90 @@
+"""Unit tests for FSM controller generation."""
+
+import pytest
+
+from repro.datapath.controller import (
+    CONTROLLER_POWER,
+    build_controller,
+    controller_power_profile,
+)
+from repro.datapath.rtl import DatapathError
+from repro.synthesis.engine import synthesize
+
+
+@pytest.fixture
+def hal_result(hal, library):
+    return synthesize(hal, library, latency=17, max_power=12.0)
+
+
+class TestBuildController:
+    def test_one_state_per_cycle_plus_idle(self, hal_result):
+        controller = build_controller(hal_result.datapath)
+        assert len(controller.steps) == hal_result.schedule.makespan
+        assert controller.num_states == hal_result.schedule.makespan + 1
+
+    def test_every_operation_started_exactly_once(self, hal_result):
+        controller = build_controller(hal_result.datapath)
+        started = [op for step in controller.steps for op in step.started_ops]
+        assert sorted(started) == sorted(hal_result.datapath.binding)
+
+    def test_busy_instances_match_schedule(self, hal_result):
+        controller = build_controller(hal_result.datapath)
+        schedule = hal_result.schedule
+        datapath = hal_result.datapath
+        for step in controller.steps:
+            expected = {
+                datapath.binding[op]
+                for op in datapath.binding
+                if schedule.start(op) <= step.cycle < schedule.finish(op)
+            }
+            assert set(step.busy_instances) == expected
+
+    def test_registers_loaded_when_producers_finish(self, hal_result):
+        controller = build_controller(hal_result.datapath)
+        loads = [reg for step in controller.steps for reg in step.loaded_registers]
+        # every allocated register is loaded at least once
+        assert set(loads) <= set(hal_result.datapath.registers.registers)
+        assert loads, "expected at least one register load"
+
+    def test_area_and_power_positive(self, hal_result):
+        controller = build_controller(hal_result.datapath)
+        assert controller.area > 0
+        assert controller.power == CONTROLLER_POWER
+        assert controller.control_signals > 0
+
+    def test_step_lookup_and_describe(self, hal_result):
+        controller = build_controller(hal_result.datapath)
+        assert controller.step(0).cycle == 0
+        with pytest.raises(DatapathError):
+            controller.step(999)
+        text = controller.describe()
+        assert "states" in text and "S0" in text
+
+    def test_power_profile_constant(self, hal_result):
+        controller = build_controller(hal_result.datapath)
+        profile = controller_power_profile(controller)
+        assert len(profile) == len(controller.steps)
+        assert all(value == CONTROLLER_POWER for value in profile)
+
+
+class TestErrors:
+    def test_unfinalized_datapath_rejected(self, diamond, library):
+        from repro.datapath.rtl import Datapath
+        from repro.library.selection import MinAreaSelection, selection_delays, selection_powers
+        from repro.scheduling.asap import asap_schedule
+
+        selection = MinAreaSelection().select(diamond, library)
+        schedule = asap_schedule(
+            diamond,
+            selection_delays(selection, diamond),
+            selection_powers(selection, diamond),
+        )
+        datapath = Datapath(cdfg=diamond, schedule=schedule)
+        with pytest.raises(DatapathError):
+            build_controller(datapath)
+
+    def test_missing_schedule_rejected(self, diamond):
+        from repro.datapath.rtl import Datapath
+
+        with pytest.raises(DatapathError):
+            build_controller(Datapath(cdfg=diamond, schedule=None))

@@ -1,0 +1,116 @@
+"""Unit tests for the RTL datapath model."""
+
+import pytest
+
+from repro.datapath.rtl import Datapath, DatapathError
+from repro.library.selection import MinAreaSelection, selection_delays, selection_powers
+from repro.scheduling.asap import asap_schedule
+
+
+def build_datapath(cdfg, library, share=False):
+    """One instance per operation (or shared per module when share=True)."""
+    selection = MinAreaSelection().select(cdfg, library)
+    delays = selection_delays(selection, cdfg)
+    powers = selection_powers(selection, cdfg)
+    schedule = asap_schedule(cdfg, delays, powers)
+    datapath = Datapath(cdfg=cdfg, schedule=schedule)
+    for op_name in cdfg.schedulable_operations():
+        instance = datapath.add_instance(selection[op_name])
+        datapath.bind(op_name, instance.name)
+    _ = share
+    return datapath
+
+
+class TestConstruction:
+    def test_add_instance_numbers_sequentially(self, diamond, library):
+        datapath = Datapath(cdfg=diamond, schedule=None)
+        first = datapath.add_instance(library.module("add"))
+        second = datapath.add_instance(library.module("add"))
+        other = datapath.add_instance(library.module("sub"))
+        assert first.name == "add#0"
+        assert second.name == "add#1"
+        assert other.name == "sub#0"
+
+    def test_bind_checks_everything(self, diamond, library):
+        datapath = Datapath(cdfg=diamond, schedule=None)
+        adder = datapath.add_instance(library.module("add"))
+        datapath.bind("left", adder.name)
+        with pytest.raises(DatapathError):
+            datapath.bind("left", adder.name)          # double bind
+        with pytest.raises(DatapathError):
+            datapath.bind("bottom", "ghost#0")          # unknown instance
+        with pytest.raises(DatapathError):
+            datapath.bind("right", adder.name)          # adder cannot multiply
+
+    def test_finalize_requires_full_binding(self, diamond, library):
+        selection = MinAreaSelection().select(diamond, library)
+        delays = selection_delays(selection, diamond)
+        powers = selection_powers(selection, diamond)
+        schedule = asap_schedule(diamond, delays, powers)
+        datapath = Datapath(cdfg=diamond, schedule=schedule)
+        with pytest.raises(DatapathError):
+            datapath.finalize()
+
+
+class TestDerived:
+    def test_area_breakdown(self, hal, library):
+        datapath = build_datapath(hal, library)
+        datapath.finalize()
+        area = datapath.area()
+        expected_fu = sum(inst.area for inst in datapath.instances.values())
+        assert area.functional_units == pytest.approx(expected_fu)
+        assert area.registers > 0
+        assert area.total >= area.functional_units
+
+    def test_allocation_summary(self, hal, library):
+        datapath = build_datapath(hal, library)
+        summary = datapath.allocation_summary()
+        assert summary["Mult (ser.)"] == 6
+        assert summary["input"] == 5
+        assert datapath.instance_count() == len(hal.schedulable_operations())
+        assert datapath.instance_count("Mult (ser.)") == 6
+
+    def test_instance_of_and_operations_on(self, diamond, library):
+        datapath = build_datapath(diamond, library)
+        instance = datapath.instance_of("left")
+        assert "left" in datapath.operations_on(instance.name)
+        with pytest.raises(DatapathError):
+            datapath.operations_on("ghost#0")
+
+    def test_operation_powers_follow_binding(self, hal, library):
+        datapath = build_datapath(hal, library)
+        powers = datapath.operation_powers()
+        assert powers["m1_3x"] == pytest.approx(2.7)
+        assert powers["const_3"] == 0.0
+
+    def test_no_conflicts_for_private_instances(self, hal, library):
+        datapath = build_datapath(hal, library)
+        assert datapath.check_no_conflicts() == []
+
+    def test_conflict_detected_for_overlapping_sharing(self, wide, library):
+        selection = MinAreaSelection().select(wide, library)
+        delays = selection_delays(selection, wide)
+        powers = selection_powers(selection, wide)
+        schedule = asap_schedule(wide, delays, powers)
+        datapath = Datapath(cdfg=wide, schedule=schedule)
+        shared = datapath.add_instance(library.module("Mult (ser.)"))
+        datapath.bind("m0", shared.name)
+        datapath.bind("m1", shared.name)  # both run in the same cycles under ASAP
+        assert datapath.check_no_conflicts()
+
+
+class TestReports:
+    def test_describe(self, diamond, library):
+        datapath = build_datapath(diamond, library)
+        datapath.finalize()
+        text = datapath.describe()
+        assert "datapath for 'diamond'" in text
+        assert "registers:" in text
+
+    def test_structural_verilog(self, diamond, library):
+        datapath = build_datapath(diamond, library)
+        datapath.finalize()
+        verilog = datapath.to_structural_verilog()
+        assert verilog.startswith("module diamond_datapath")
+        assert "endmodule" in verilog
+        assert "Mult_ser" in verilog

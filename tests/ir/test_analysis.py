@@ -1,0 +1,126 @@
+"""Unit tests for repro.ir.analysis."""
+
+import pytest
+
+from repro.ir.analysis import (
+    alap_times,
+    asap_times,
+    concurrency_profile,
+    critical_path,
+    critical_path_length,
+    depth_levels,
+    energy_lower_bound_power,
+    mobility,
+    operation_intervals,
+    resource_lower_bound,
+    unit_delays,
+)
+from repro.ir.cdfg import CDFGError
+from repro.ir.operation import OpType
+
+
+class TestAsapAlap:
+    def test_asap_unit_delay_diamond(self, diamond):
+        asap = asap_times(diamond)
+        assert asap["a"] == 0
+        assert asap["left"] == 1
+        assert asap["right"] == 1
+        assert asap["bottom"] == 2
+        assert asap["out"] == 3
+
+    def test_asap_respects_multicycle_delays(self, diamond):
+        delays = unit_delays(diamond)
+        delays["right"] = 4
+        asap = asap_times(diamond, delays)
+        assert asap["bottom"] == 5  # must wait for the 4-cycle multiply
+
+    def test_alap_equals_asap_on_critical_path(self, diamond):
+        cp = critical_path_length(diamond)
+        alap = alap_times(diamond, cp)
+        asap = asap_times(diamond)
+        path = critical_path(diamond)
+        for name in path:
+            assert alap[name] == asap[name]
+
+    def test_alap_rejects_too_small_latency(self, diamond):
+        with pytest.raises(CDFGError):
+            alap_times(diamond, critical_path_length(diamond) - 1)
+
+    def test_missing_delay_rejected(self, diamond):
+        with pytest.raises(CDFGError):
+            asap_times(diamond, {"a": 1})
+
+    def test_negative_delay_rejected(self, diamond):
+        delays = unit_delays(diamond)
+        delays["a"] = -1
+        with pytest.raises(CDFGError):
+            asap_times(diamond, delays)
+
+
+class TestCriticalPath:
+    def test_length_matches_path(self, diamond):
+        delays = unit_delays(diamond)
+        path = critical_path(diamond, delays)
+        assert critical_path_length(diamond, delays) == sum(delays[n] for n in path)
+
+    def test_path_is_a_dependence_chain(self, hal):
+        path = critical_path(hal)
+        for producer, consumer in zip(path, path[1:]):
+            assert consumer in hal.successors(producer)
+
+    def test_hal_serial_critical_path(self, hal):
+        # in -> 3 chained multiplications (4 cycles each) -> 2 subtractions -> out
+        delays = {n: 1 for n in hal.operation_names()}
+        for name in hal.operations_of_type(OpType.MUL):
+            delays[name] = 4
+        for name in hal.operations_of_type(OpType.CONST):
+            delays[name] = 0
+        assert critical_path_length(hal, delays) == 16
+
+
+class TestMobility:
+    def test_zero_on_critical_path(self, diamond):
+        cp = critical_path_length(diamond)
+        slack = mobility(diamond, cp)
+        for name in critical_path(diamond):
+            assert slack[name] == 0
+
+    def test_grows_with_latency(self, diamond):
+        cp = critical_path_length(diamond)
+        tight = mobility(diamond, cp)
+        loose = mobility(diamond, cp + 5)
+        for name in diamond.operation_names():
+            assert loose[name] == tight[name] + 5
+
+    def test_non_negative(self, cosine):
+        cp = critical_path_length(cosine)
+        assert all(v >= 0 for v in mobility(cosine, cp).values())
+
+
+class TestProfilesAndBounds:
+    def test_depth_levels(self, diamond):
+        levels = depth_levels(diamond)
+        assert levels["a"] == 0
+        assert levels["bottom"] == 2
+        assert levels["out"] == 3
+
+    def test_concurrency_profile_counts_ops(self, diamond):
+        asap = asap_times(diamond)
+        profile = concurrency_profile(diamond, asap)
+        assert sum(profile) == len(diamond.schedulable_operations())
+        assert profile[1] == 2  # left and right run together under ASAP
+
+    def test_resource_lower_bound(self, hal):
+        # six multiplications of four cycles each in sixteen cycles need >= 2 units
+        delays = {n: 4 if hal.operation(n).optype is OpType.MUL else 1 for n in hal}
+        assert resource_lower_bound(hal, 16, OpType.MUL, delays) == 2
+        assert resource_lower_bound(hal, 16, OpType.LT, delays) == 0
+
+    def test_energy_lower_bound_power(self):
+        assert energy_lower_bound_power(100.0, 10) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            energy_lower_bound_power(100.0, 0)
+
+    def test_operation_intervals(self):
+        intervals = operation_intervals({"a": 2}, {"a": 3})
+        assert intervals == {"a": (2, 5)}

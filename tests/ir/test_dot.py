@@ -1,0 +1,38 @@
+"""Unit tests for repro.ir.dot."""
+
+from repro.ir.analysis import asap_times
+from repro.ir.dot import to_dot
+
+
+def test_dot_contains_all_operations(diamond):
+    dot = to_dot(diamond)
+    for name in diamond.operation_names():
+        assert f'"{name}"' in dot
+
+
+def test_dot_contains_all_edges(diamond):
+    dot = to_dot(diamond)
+    for src, dst in diamond.edges():
+        assert f'"{src}" -> "{dst}"' in dot
+
+
+def test_dot_is_a_digraph(diamond):
+    dot = to_dot(diamond)
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+
+
+def test_dot_with_schedule_has_ranks(diamond):
+    start = asap_times(diamond)
+    dot = to_dot(diamond, start_times=start)
+    assert "rank=same" in dot
+    assert "t=0" in dot
+
+
+def test_dot_title_override(diamond):
+    assert 'digraph "custom"' in to_dot(diamond, title="custom")
+
+
+def test_dot_multiplicity_label(chain):
+    dot = to_dot(chain)
+    assert "x2" in dot  # the x*x edge is annotated

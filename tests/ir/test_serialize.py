@@ -1,0 +1,61 @@
+"""Unit tests for repro.ir.serialize."""
+
+import pytest
+
+from repro.ir.cdfg import CDFGError
+from repro.ir.serialize import from_dict, from_json, load, save, to_dict, to_json
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, hal):
+        restored = from_dict(to_dict(hal))
+        assert set(restored.operation_names()) == set(hal.operation_names())
+        assert sorted(restored.edges()) == sorted(hal.edges())
+        for name in hal.operation_names():
+            assert restored.operation(name).optype is hal.operation(name).optype
+
+    def test_json_round_trip(self, cosine):
+        restored = from_json(to_json(cosine))
+        assert len(restored) == len(cosine)
+        assert restored.num_edges() == cosine.num_edges()
+
+    def test_multiplicity_preserved(self, chain):
+        # chain contains x*x style edges with multiplicity 2
+        restored = from_json(to_json(chain))
+        assert restored.edge_multiplicity("x", "m1") == chain.edge_multiplicity("x", "m1")
+
+    def test_file_round_trip(self, tmp_path, elliptic):
+        path = save(elliptic, tmp_path / "elliptic.json")
+        restored = load(path)
+        assert len(restored) == len(elliptic)
+
+    def test_attrs_preserved(self, hal):
+        restored = from_dict(to_dict(hal))
+        assert restored.operation("const_3").attrs.get("value") == 3
+
+
+class TestErrors:
+    def test_missing_key_rejected(self):
+        with pytest.raises(CDFGError):
+            from_dict({"name": "x", "operations": []})
+
+    def test_unknown_edge_endpoint_rejected(self):
+        data = {
+            "name": "broken",
+            "operations": [{"name": "a", "type": "in"}],
+            "edges": [{"src": "a", "dst": "missing"}],
+        }
+        with pytest.raises(CDFGError):
+            from_dict(data)
+
+    def test_invalid_graph_rejected_unless_disabled(self):
+        data = {
+            "name": "invalid",
+            "operations": [{"name": "o", "type": "out"}],
+            "edges": [],
+        }
+        with pytest.raises(Exception):
+            from_dict(data)
+        # skipping validation lets the structurally odd graph through
+        graph = from_dict(data, validate=False)
+        assert "o" in graph

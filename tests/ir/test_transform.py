@@ -1,0 +1,110 @@
+"""Unit tests for repro.ir.transform."""
+
+import pytest
+
+from repro.ir.builder import CDFGBuilder
+from repro.ir.operation import OpType
+from repro.ir.transform import (
+    io_wrapped,
+    merge_graphs,
+    relabel,
+    remove_dead_operations,
+    strip_virtual_operations,
+)
+from repro.ir.validate import is_valid
+
+
+def graph_with_dead_code():
+    b = CDFGBuilder("dead")
+    x = b.input("x")
+    y = b.input("y")
+    live = b.add("live", x, y)
+    b.mul("dead_mul", x, y)          # result never reaches an output
+    b.output("o", live)
+    return b.build()
+
+
+class TestDeadCode:
+    def test_dead_operation_removed(self):
+        g = remove_dead_operations(graph_with_dead_code())
+        assert "dead_mul" not in g
+        assert "live" in g
+
+    def test_inputs_kept_even_if_unused(self):
+        g = remove_dead_operations(graph_with_dead_code())
+        assert "x" in g and "y" in g
+
+    def test_graph_without_outputs_unchanged(self, diamond_like=None):
+        b = CDFGBuilder()
+        x = b.input("x")
+        b.add("a", x, x)
+        g = b.build()
+        cleaned = remove_dead_operations(g)
+        assert set(cleaned.operation_names()) == set(g.operation_names())
+
+    def test_original_not_mutated(self):
+        g = graph_with_dead_code()
+        remove_dead_operations(g)
+        assert "dead_mul" in g
+
+
+class TestStripVirtual:
+    def test_constants_removed(self):
+        b = CDFGBuilder()
+        x = b.input("x")
+        c = b.const("c")
+        m = b.mul("m", x, c)
+        b.output("o", m)
+        stripped = strip_virtual_operations(b.build())
+        assert "c" not in stripped
+        assert stripped.predecessors("m") == ["x"]
+
+    def test_nop_bypassed(self):
+        b = CDFGBuilder()
+        x = b.input("x")
+        nop = b.op(OpType.NOP, "nop", (x,))
+        y = b.add("y", nop, x)
+        b.output("o", y)
+        stripped = strip_virtual_operations(b.build(validate=False))
+        assert "nop" not in stripped
+        assert "x" in stripped.predecessors("y")
+
+    def test_benchmark_survives_stripping(self, hal):
+        stripped = strip_virtual_operations(hal)
+        assert len(stripped) == len(hal) - 1  # only the constant 3 removed
+        assert is_valid(stripped)
+
+
+class TestRelabel:
+    def test_names_rewritten(self, diamond):
+        renamed = relabel(diamond, lambda n: f"p_{n}")
+        assert "p_left" in renamed
+        assert renamed.num_edges() == diamond.num_edges()
+
+    def test_non_injective_mapper_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            relabel(diamond, lambda n: "same")
+
+
+class TestMergeAndWrap:
+    def test_merge_disjoint_graphs(self, diamond, chain):
+        renamed_chain = relabel(chain, lambda n: f"c_{n}")
+        merged = merge_graphs(diamond, renamed_chain)
+        assert len(merged) == len(diamond) + len(chain)
+
+    def test_merge_rejects_name_collisions(self, diamond):
+        with pytest.raises(ValueError):
+            merge_graphs(diamond, diamond)
+
+    def test_io_wrapped_adds_missing_io(self):
+        b = CDFGBuilder("core")
+        x = b.const("x")
+        y = b.const("y")
+        b.add("s", x, y)
+        wrapped = io_wrapped(b.build())
+        assert wrapped.operations_of_type(OpType.OUTPUT)
+        assert is_valid(wrapped)
+
+    def test_io_wrapped_is_idempotent_on_full_graphs(self, hal):
+        wrapped = io_wrapped(hal)
+        assert len(wrapped) == len(hal)

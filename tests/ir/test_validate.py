@@ -1,0 +1,84 @@
+"""Unit tests for repro.ir.validate."""
+
+import pytest
+
+from repro.ir.cdfg import CDFG
+from repro.ir.operation import Operation, OpType
+from repro.ir.validate import ValidationError, collect_problems, is_valid, validate_cdfg
+
+
+def test_valid_graph_passes(diamond):
+    assert is_valid(diamond)
+    assert validate_cdfg(diamond) is diamond
+    assert collect_problems(diamond) == []
+
+
+def test_input_with_predecessor_flagged():
+    g = CDFG()
+    g.add_operation(Operation("a", OpType.ADD))
+    g.add_operation(Operation("x", OpType.INPUT))
+    g.add_operation(Operation("b", OpType.INPUT))
+    g.add_edge("b", "a")
+    g.add_edge("a", "x")
+    problems = collect_problems(g)
+    assert any("input operation 'x'" in p for p in problems)
+
+
+def test_const_with_predecessor_flagged():
+    g = CDFG()
+    g.add_operation(Operation("i", OpType.INPUT))
+    g.add_operation(Operation("c", OpType.CONST))
+    g.add_edge("i", "c")
+    assert any("constant operation" in p for p in collect_problems(g))
+
+
+def test_output_with_successor_flagged():
+    g = CDFG()
+    g.add_operation(Operation("i", OpType.INPUT))
+    g.add_operation(Operation("o", OpType.OUTPUT))
+    g.add_operation(Operation("a", OpType.ADD))
+    g.add_operation(Operation("i2", OpType.INPUT))
+    g.add_edge("i", "o")
+    g.add_edge("o", "a")
+    g.add_edge("i2", "a")
+    assert any("output operation 'o' has successors" in p for p in collect_problems(g))
+
+
+def test_output_needs_exactly_one_operand():
+    g = CDFG()
+    g.add_operation(Operation("i1", OpType.INPUT))
+    g.add_operation(Operation("i2", OpType.INPUT))
+    g.add_operation(Operation("o", OpType.OUTPUT))
+    g.add_edge("i1", "o")
+    g.add_edge("i2", "o")
+    assert any("exactly one operand" in p for p in collect_problems(g))
+
+
+def test_arithmetic_without_operands_flagged():
+    g = CDFG()
+    g.add_operation(Operation("a", OpType.ADD))
+    assert any("no operands" in p for p in collect_problems(g))
+
+
+def test_arithmetic_with_three_operands_flagged():
+    g = CDFG()
+    for name in ("i1", "i2", "i3"):
+        g.add_operation(Operation(name, OpType.INPUT))
+    g.add_operation(Operation("a", OpType.ADD))
+    for name in ("i1", "i2", "i3"):
+        g.add_edge(name, "a")
+    assert any("3 operands" in p for p in collect_problems(g))
+
+
+def test_validate_raises_with_all_problems():
+    g = CDFG()
+    g.add_operation(Operation("a", OpType.ADD))
+    g.add_operation(Operation("o", OpType.OUTPUT))
+    with pytest.raises(ValidationError) as excinfo:
+        validate_cdfg(g)
+    assert len(excinfo.value.problems) >= 2
+
+
+def test_benchmarks_are_valid(hal, cosine, elliptic, fir, ar):
+    for graph in (hal, cosine, elliptic, fir, ar):
+        assert is_valid(graph), collect_problems(graph)

@@ -1,0 +1,120 @@
+"""Unit tests for repro.library.library — including the Table-1 contents."""
+
+import pytest
+
+from repro.ir.operation import OpType
+from repro.library.library import (
+    FULibrary,
+    TABLE1_ROWS,
+    default_library,
+    single_implementation_library,
+)
+from repro.library.module import FUModule, LibraryError
+
+
+class TestTable1:
+    """The default library must reproduce the paper's Table 1 verbatim."""
+
+    EXPECTED = {
+        "add": ({OpType.ADD}, 87, 1, 2.5),
+        "sub": ({OpType.SUB}, 87, 1, 2.5),
+        "comp": ({OpType.GT}, 8, 1, 2.5),
+        "ALU": ({OpType.ADD, OpType.SUB, OpType.GT}, 97, 1, 2.5),
+        "Mult (ser.)": ({OpType.MUL}, 103, 4, 2.7),
+        "Mult (par.)": ({OpType.MUL}, 339, 2, 8.1),
+        "input": ({OpType.INPUT}, 16, 1, 0.2),
+        "output": ({OpType.OUTPUT}, 16, 1, 1.7),
+    }
+
+    def test_all_rows_present(self, library):
+        assert len(library) == len(self.EXPECTED)
+        for name in self.EXPECTED:
+            assert name in library
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_row_values(self, library, name):
+        ops, area, latency, power = self.EXPECTED[name]
+        module = library.module(name)
+        assert set(module.supported_ops) == ops
+        assert module.area == area
+        assert module.latency == latency
+        assert module.power == power
+
+    def test_table1_rows_constant_matches_library(self, library):
+        for name, _, area, cycles, power in TABLE1_ROWS:
+            module = library.module(name)
+            assert module.area == area
+            assert module.latency == cycles
+            assert module.power == power
+
+    def test_serial_multiplier_is_lower_energy_than_parallel(self, library):
+        serial = library.module("Mult (ser.)")
+        parallel = library.module("Mult (par.)")
+        assert serial.energy < parallel.energy
+        assert serial.area < parallel.area
+        assert serial.latency > parallel.latency
+
+
+class TestRegistry:
+    def test_duplicate_rejected(self):
+        lib = FULibrary()
+        lib.add(FUModule.make("a", {OpType.ADD}, 1, 1, 1))
+        with pytest.raises(LibraryError):
+            lib.add(FUModule.make("a", {OpType.SUB}, 1, 1, 1))
+
+    def test_remove(self):
+        lib = default_library()
+        lib.remove("comp")
+        assert "comp" not in lib
+        with pytest.raises(LibraryError):
+            lib.remove("comp")
+
+    def test_unknown_module_lookup(self, library):
+        with pytest.raises(LibraryError):
+            library.module("bogus")
+
+    def test_iteration_and_len(self, library):
+        assert len(list(library)) == len(library)
+
+    def test_restricted(self, library):
+        small = library.restricted(["add", "Mult (ser.)"])
+        assert len(small) == 2
+        assert "ALU" not in small
+
+
+class TestQueries:
+    def test_candidates_for_add(self, library):
+        names = {m.name for m in library.candidates(OpType.ADD)}
+        assert names == {"add", "ALU"}
+
+    def test_candidates_for_mul(self, library):
+        names = {m.name for m in library.candidates(OpType.MUL)}
+        assert names == {"Mult (ser.)", "Mult (par.)"}
+
+    def test_supports(self, library):
+        assert library.supports(OpType.GT)
+        assert not library.supports(OpType.SHL)
+
+    def test_cheapest_fastest_lowest_power(self, library):
+        assert library.cheapest(OpType.MUL).name == "Mult (ser.)"
+        assert library.fastest(OpType.MUL).name == "Mult (par.)"
+        assert library.lowest_power(OpType.MUL).name == "Mult (ser.)"
+        assert library.cheapest(OpType.ADD).name == "add"
+        assert library.cheapest(OpType.GT).name == "comp"
+
+    def test_selector_errors_on_unsupported_type(self, library):
+        with pytest.raises(LibraryError):
+            library.cheapest(OpType.SHR)
+
+    def test_describe(self, library):
+        text = library.describe()
+        assert "8 modules" in text
+        assert "Mult (ser.)" in text
+
+
+class TestSingleImplementationLibrary:
+    def test_one_module_per_type(self):
+        lib = single_implementation_library()
+        assert len(lib.candidates(OpType.MUL)) == 1
+        assert len(lib.candidates(OpType.ADD)) == 1
+        assert "ALU" not in lib

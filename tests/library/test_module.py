@@ -1,0 +1,90 @@
+"""Unit tests for repro.library.module."""
+
+import pytest
+
+from repro.ir.operation import OpType
+from repro.library.module import FUInstance, FUModule, LibraryError, busy_intervals
+
+
+def adder() -> FUModule:
+    return FUModule.make("add", {OpType.ADD}, area=87, latency=1, power=2.5)
+
+
+def serial_mult() -> FUModule:
+    return FUModule.make("Mult (ser.)", {OpType.MUL}, area=103, latency=4, power=2.7)
+
+
+class TestFUModule:
+    def test_basic_attributes(self):
+        m = serial_mult()
+        assert m.area == 103
+        assert m.latency == 4
+        assert m.power == 2.7
+        assert m.energy == pytest.approx(10.8)
+
+    def test_supports(self):
+        alu = FUModule.make("ALU", {OpType.ADD, OpType.SUB, OpType.GT}, 97, 1, 2.5)
+        assert alu.supports(OpType.ADD)
+        assert alu.supports(OpType.GT)
+        assert not alu.supports(OpType.MUL)
+        assert alu.is_multifunction
+        assert not adder().is_multifunction
+
+    def test_validation(self):
+        with pytest.raises(LibraryError):
+            FUModule.make("", {OpType.ADD}, 1, 1, 1)
+        with pytest.raises(LibraryError):
+            FUModule.make("x", set(), 1, 1, 1)
+        with pytest.raises(LibraryError):
+            FUModule.make("x", {OpType.ADD}, -1, 1, 1)
+        with pytest.raises(LibraryError):
+            FUModule.make("x", {OpType.ADD}, 1, 0, 1)
+        with pytest.raises(LibraryError):
+            FUModule.make("x", {OpType.ADD}, 1, 1, -1)
+
+    def test_describe_mentions_everything(self):
+        text = serial_mult().describe()
+        assert "Mult (ser.)" in text
+        assert "103" in text and "4" in text and "2.7" in text
+
+    def test_frozen_and_hashable(self):
+        assert len({adder(), adder()}) == 1
+
+
+class TestFUInstance:
+    def test_naming(self):
+        inst = FUInstance(module=adder(), index=2)
+        assert inst.name == "add#2"
+        assert inst.area == 87
+
+    def test_bind_and_unbind(self):
+        inst = FUInstance(module=adder(), index=0)
+        inst.bind("op1")
+        inst.bind("op2")
+        assert inst.bound_ops == ["op1", "op2"]
+        inst.unbind("op1")
+        assert inst.bound_ops == ["op2"]
+
+    def test_double_bind_rejected(self):
+        inst = FUInstance(module=adder(), index=0)
+        inst.bind("op1")
+        with pytest.raises(LibraryError):
+            inst.bind("op1")
+
+    def test_unbind_unknown_rejected(self):
+        inst = FUInstance(module=adder(), index=0)
+        with pytest.raises(LibraryError):
+            inst.unbind("ghost")
+
+    def test_busy_intervals(self):
+        inst = FUInstance(module=serial_mult(), index=0)
+        inst.bind("m1")
+        inst.bind("m2")
+        spans = busy_intervals(inst, {"m1": 0, "m2": 4})
+        assert spans == [(0, 4), (4, 8)]
+
+    def test_busy_intervals_skip_unscheduled(self):
+        inst = FUInstance(module=serial_mult(), index=0)
+        inst.bind("m1")
+        inst.bind("m2")
+        assert busy_intervals(inst, {"m1": 2}) == [(2, 6)]

@@ -1,0 +1,90 @@
+"""Unit tests for repro.library.selection."""
+
+import pytest
+
+from repro.ir.operation import OpType
+from repro.library.library import default_library
+from repro.library.module import FUModule, LibraryError
+from repro.library.selection import (
+    MinAreaSelection,
+    MinLatencySelection,
+    MinPowerSelection,
+    check_selection,
+    selection_delays,
+    selection_powers,
+    total_energy,
+)
+
+
+class TestPolicies:
+    def test_min_area_picks_serial_multiplier(self, hal, library):
+        selection = MinAreaSelection().select(hal, library)
+        for name in hal.operations_of_type(OpType.MUL):
+            assert selection[name].name == "Mult (ser.)"
+
+    def test_min_latency_picks_parallel_multiplier(self, hal, library):
+        selection = MinLatencySelection().select(hal, library)
+        for name in hal.operations_of_type(OpType.MUL):
+            assert selection[name].name == "Mult (par.)"
+
+    def test_min_power_picks_serial_multiplier(self, hal, library):
+        selection = MinPowerSelection().select(hal, library)
+        for name in hal.operations_of_type(OpType.MUL):
+            assert selection[name].name == "Mult (ser.)"
+
+    def test_selection_covers_every_schedulable_operation(self, cosine, library):
+        selection = MinPowerSelection().select(cosine, library)
+        assert set(selection) == set(cosine.schedulable_operations())
+
+    def test_virtual_operations_excluded(self, hal, library):
+        selection = MinPowerSelection().select(hal, library)
+        assert "const_3" not in selection
+
+    def test_selection_type_correct(self, elliptic, library):
+        selection = MinPowerSelection().select(elliptic, library)
+        check_selection(selection, elliptic)  # must not raise
+
+
+class TestDerivedMaps:
+    def test_delays_and_powers(self, hal, library):
+        selection = MinPowerSelection().select(hal, library)
+        delays = selection_delays(selection, hal)
+        powers = selection_powers(selection, hal)
+        assert delays["m1_3x"] == 4
+        assert powers["m1_3x"] == pytest.approx(2.7)
+        assert delays["const_3"] == 0
+        assert powers["const_3"] == 0.0
+
+    def test_missing_operation_raises(self, hal, library):
+        selection = MinPowerSelection().select(hal, library)
+        del selection["m1_3x"]
+        with pytest.raises(LibraryError):
+            selection_delays(selection, hal)
+        with pytest.raises(LibraryError):
+            selection_powers(selection, hal)
+        with pytest.raises(LibraryError):
+            check_selection(selection, hal)
+        with pytest.raises(LibraryError):
+            total_energy(selection, hal)
+
+    def test_total_energy_hal(self, hal, library):
+        selection = MinPowerSelection().select(hal, library)
+        # 6 serial multiplications, 2 adds, 2 subs, 1 comparison, 5 inputs, 4 outputs
+        expected = 6 * 4 * 2.7 + 5 * 2.5 + 5 * 0.2 + 4 * 1.7
+        assert total_energy(selection, hal) == pytest.approx(expected)
+
+    def test_check_selection_rejects_wrong_module(self, hal, library):
+        selection = MinPowerSelection().select(hal, library)
+        selection["m1_3x"] = library.module("add")
+        with pytest.raises(LibraryError):
+            check_selection(selection, hal)
+
+    def test_policy_fails_on_unsupported_type(self, library):
+        from repro.ir.builder import CDFGBuilder
+
+        b = CDFGBuilder()
+        x = b.input("x")
+        b.op(OpType.SHL, "shift", (x, x))
+        graph = b.build(validate=False)
+        with pytest.raises(LibraryError):
+            MinPowerSelection().select(graph, library)

@@ -1,0 +1,60 @@
+"""Unit tests for repro.power.analysis."""
+
+import pytest
+
+from repro.power.analysis import (
+    compare_profiles,
+    flatness,
+    headroom_profile,
+    peak_power,
+    power_variance,
+    spike_report,
+)
+from repro.power.profile import PowerProfile
+
+
+class TestSpikeReport:
+    def test_no_spikes(self):
+        report = spike_report(PowerProfile.of([1.0, 2.0]), threshold=5.0)
+        assert not report.has_spikes
+        assert report.count == 0
+        assert report.worst_cycle is None
+        assert report.total_excess_energy == 0.0
+
+    def test_spikes_located_and_quantified(self):
+        report = spike_report(PowerProfile.of([1.0, 8.0, 3.0, 9.0]), threshold=5.0)
+        assert report.violating_cycles == (1, 3)
+        assert report.worst_cycle == 3
+        assert report.worst_excess == pytest.approx(4.0)
+        assert report.total_excess_energy == pytest.approx(7.0)
+
+
+class TestMetrics:
+    def test_peak(self):
+        assert peak_power(PowerProfile.of([1.0, 4.0])) == 4.0
+
+    def test_variance_zero_for_flat(self):
+        assert power_variance(PowerProfile.of([3.0, 3.0, 3.0])) == 0.0
+        assert power_variance(PowerProfile.of([])) == 0.0
+
+    def test_variance_positive_for_spiky(self):
+        assert power_variance(PowerProfile.of([0.0, 6.0])) > 0.0
+
+    def test_flatness_bounds(self):
+        assert flatness(PowerProfile.of([2.0, 2.0])) == pytest.approx(1.0)
+        assert flatness(PowerProfile.of([0.0, 4.0])) == pytest.approx(0.5)
+        assert flatness(PowerProfile.of([])) == 1.0
+
+    def test_headroom(self):
+        assert headroom_profile(PowerProfile.of([2.0, 7.0]), budget=5.0) == [3.0, -2.0]
+
+
+class TestComparison:
+    def test_compare_reports_reduction(self):
+        spiky = PowerProfile.of([10.0, 0.0, 10.0, 0.0])
+        flat = PowerProfile.of([5.0, 5.0, 5.0, 5.0])
+        metrics = compare_profiles(spiky, flat)
+        assert metrics["peak_reduction"] == pytest.approx(5.0)
+        assert metrics["peak_reduction_pct"] == pytest.approx(50.0)
+        assert metrics["flatness_gain"] > 0
+        assert metrics["energy_ratio"] == pytest.approx(1.0)

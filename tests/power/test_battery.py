@@ -1,0 +1,109 @@
+"""Unit tests for the battery model."""
+
+import pytest
+
+from repro.power.battery import (
+    Battery,
+    BatteryError,
+    BatteryParameters,
+    high_quality_battery,
+    iterations_until_depleted,
+    lifetime_extension,
+    low_quality_battery,
+)
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(BatteryError):
+            BatteryParameters(capacity=0)
+        with pytest.raises(BatteryError):
+            BatteryParameters(capacity=10, peukert_alpha=0.9)
+        with pytest.raises(BatteryError):
+            BatteryParameters(capacity=10, peak_threshold=0)
+        with pytest.raises(BatteryError):
+            BatteryParameters(capacity=10, peak_penalty=0.5)
+        with pytest.raises(BatteryError):
+            BatteryParameters(capacity=10, supply_voltage=0)
+
+    def test_quality_presets(self):
+        low = low_quality_battery()
+        high = high_quality_battery()
+        assert low.peukert_alpha > high.peukert_alpha
+        assert low.peak_threshold < high.peak_threshold
+        assert low.peak_penalty > high.peak_penalty
+
+
+class TestDraining:
+    def test_ideal_battery_drains_linearly(self):
+        params = BatteryParameters(capacity=100, peukert_alpha=1.0, peak_penalty=1.0)
+        battery = Battery(params)
+        removed = battery.drain_cycle(10.0)
+        assert removed == pytest.approx(10.0)
+        assert battery.remaining_charge == pytest.approx(90.0)
+        assert battery.state_of_charge == pytest.approx(0.9)
+
+    def test_peukert_makes_peaks_expensive(self):
+        params = BatteryParameters(capacity=1000, peukert_alpha=1.3, peak_penalty=1.0)
+        battery = Battery(params)
+        # one cycle at 10 drains more than two cycles at 5
+        peak = battery.effective_drain(10.0)
+        split = 2 * battery.effective_drain(5.0)
+        assert peak > split
+
+    def test_threshold_penalty(self):
+        params = BatteryParameters(
+            capacity=1000, peukert_alpha=1.0, peak_threshold=10.0, peak_penalty=3.0
+        )
+        battery = Battery(params)
+        below = battery.effective_drain(10.0)
+        above = battery.effective_drain(12.0)
+        # the 2 units above threshold cost 2 * penalty extra beyond linear
+        assert above == pytest.approx(below + 2.0 + 2.0 * 2.0)
+
+    def test_negative_power_rejected(self):
+        battery = Battery(BatteryParameters(capacity=10))
+        with pytest.raises(BatteryError):
+            battery.drain_cycle(-1.0)
+
+    def test_zero_power_drains_nothing(self):
+        battery = Battery(BatteryParameters(capacity=10))
+        assert battery.drain_cycle(0.0) == 0.0
+
+    def test_depletion_and_reset(self):
+        battery = Battery(BatteryParameters(capacity=5, peukert_alpha=1.0, peak_penalty=1.0))
+        battery.drain_profile([3.0, 3.0])
+        assert battery.depleted
+        assert battery.remaining_charge == 0.0
+        battery.reset()
+        assert not battery.depleted
+
+
+class TestLifetime:
+    def test_iterations_until_depleted(self):
+        params = BatteryParameters(capacity=100, peukert_alpha=1.0, peak_penalty=1.0)
+        assert iterations_until_depleted(params, [5.0, 5.0]) == 10
+
+    def test_empty_or_zero_profile_rejected(self):
+        params = BatteryParameters(capacity=100)
+        with pytest.raises(BatteryError):
+            iterations_until_depleted(params, [])
+        with pytest.raises(BatteryError):
+            iterations_until_depleted(params, [0.0, 0.0])
+
+    def test_flat_profile_lives_longer_than_spiky(self):
+        """The paper's premise: same energy, flatter profile, longer lifetime."""
+        params = low_quality_battery(capacity=100_000.0)
+        spiky = [20.0, 0.0, 20.0, 0.0]
+        flat = [10.0, 10.0, 10.0, 10.0]
+        assert sum(spiky) == sum(flat)
+        extension = lifetime_extension(params, spiky, flat)
+        assert extension > 0.0
+
+    def test_extension_larger_for_low_quality_battery(self):
+        """Low-quality batteries benefit more from power flattening ([1])."""
+        spiky = [20.0, 0.0, 20.0, 0.0]
+        flat = [10.0, 10.0, 10.0, 10.0]
+        low = lifetime_extension(low_quality_battery(1e6), spiky, flat)
+        high = lifetime_extension(high_quality_battery(1e6), spiky, flat)
+        assert low > high

@@ -1,0 +1,66 @@
+"""Unit tests for schedule-level battery-lifetime estimation."""
+
+import pytest
+
+from repro.library.selection import MinPowerSelection, selection_delays, selection_powers
+from repro.power.battery import low_quality_battery
+from repro.power.lifetime import compare_lifetimes, estimate_lifetime
+from repro.power.profile import PowerProfile
+from repro.scheduling.asap import asap_schedule
+from repro.scheduling.constraints import PowerConstraint
+from repro.scheduling.pasap import pasap_schedule
+
+
+def schedules_for(cdfg, library, budget):
+    selection = MinPowerSelection().select(cdfg, library)
+    delays = selection_delays(selection, cdfg)
+    powers = selection_powers(selection, cdfg)
+    spiky = asap_schedule(cdfg, delays, powers)
+    flat = pasap_schedule(cdfg, delays, powers, PowerConstraint(budget))
+    return spiky, flat
+
+
+class TestEstimate:
+    def test_requires_exactly_one_input(self):
+        battery = low_quality_battery()
+        with pytest.raises(ValueError):
+            estimate_lifetime(battery)
+        with pytest.raises(ValueError):
+            estimate_lifetime(
+                battery,
+                schedule="not-none",  # type: ignore[arg-type]
+                profile=PowerProfile.of([1.0]),
+            )
+
+    def test_estimate_from_profile(self):
+        battery = low_quality_battery(capacity=1000.0)
+        estimate = estimate_lifetime(battery, profile=PowerProfile.of([5.0, 5.0]))
+        assert estimate.iterations > 0
+        assert estimate.peak_power == 5.0
+
+    def test_idle_cycles_extend_each_iteration(self):
+        battery = low_quality_battery(capacity=1000.0)
+        busy = estimate_lifetime(battery, profile=PowerProfile.of([5.0, 5.0]))
+        padded = estimate_lifetime(
+            battery, profile=PowerProfile.of([5.0, 5.0]), idle_cycles=4, idle_power=1.0
+        )
+        assert padded.iterations < busy.iterations
+        assert padded.average_power < busy.average_power
+
+    def test_estimate_from_schedule(self, cosine, library):
+        spiky, _ = schedules_for(cosine, library, budget=12.0)
+        battery = low_quality_battery(capacity=1e6)
+        estimate = estimate_lifetime(battery, schedule=spiky)
+        assert estimate.iterations > 0
+        assert estimate.peak_power == pytest.approx(spiky.peak_power)
+
+
+class TestComparison:
+    def test_power_constrained_schedule_extends_lifetime(self, cosine, library):
+        """The end-to-end claim of the paper: flattening extends lifetime."""
+        spiky, flat = schedules_for(cosine, library, budget=12.0)
+        battery = low_quality_battery(capacity=1e6)
+        comparison = compare_lifetimes(battery, spiky, flat)
+        assert comparison["improved_peak"] < comparison["reference_peak"]
+        assert comparison["improved_iterations"] > comparison["reference_iterations"]
+        assert comparison["extension"] > 0.0

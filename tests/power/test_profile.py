@@ -1,0 +1,86 @@
+"""Unit tests for repro.power.profile."""
+
+import pytest
+
+from repro.library.selection import MinPowerSelection, selection_delays, selection_powers
+from repro.power.profile import (
+    PowerProfile,
+    combine_profiles,
+    current_profile,
+    profile_from_binding,
+    profile_from_schedule,
+)
+from repro.scheduling.asap import asap_schedule
+
+
+def schedule_for(cdfg, library):
+    selection = MinPowerSelection().select(cdfg, library)
+    return asap_schedule(
+        cdfg, selection_delays(selection, cdfg), selection_powers(selection, cdfg)
+    )
+
+
+class TestPowerProfile:
+    def test_statistics(self):
+        profile = PowerProfile.of([1.0, 3.0, 2.0])
+        assert profile.peak == 3.0
+        assert profile.average == pytest.approx(2.0)
+        assert profile.total_energy == pytest.approx(6.0)
+        assert profile.peak_to_average == pytest.approx(1.5)
+        assert len(profile) == 3
+        assert profile[1] == 3.0
+
+    def test_empty_profile(self):
+        profile = PowerProfile.of([])
+        assert profile.peak == 0.0
+        assert profile.average == 0.0
+        assert profile.peak_to_average == 0.0
+
+    def test_cycles_above_and_exceeds(self):
+        profile = PowerProfile.of([1.0, 5.0, 2.0, 7.0])
+        assert profile.cycles_above(4.0) == [1, 3]
+        assert profile.exceeds(6.9)
+        assert not profile.exceeds(7.0)
+
+    def test_padding(self):
+        profile = PowerProfile.of([1.0]).padded(3)
+        assert list(profile) == [1.0, 0.0, 0.0]
+        assert len(PowerProfile.of([1.0, 2.0]).padded(1)) == 2
+
+    def test_describe_contains_bars(self):
+        text = PowerProfile.of([1.0, 2.0], label="x").describe()
+        assert "peak=2.00" in text
+        assert "#" in text
+
+
+class TestFromSchedule:
+    def test_matches_schedule_profile(self, hal, library):
+        schedule = schedule_for(hal, library)
+        profile = profile_from_schedule(schedule)
+        assert list(profile) == schedule.power_profile()
+        assert profile.peak == pytest.approx(schedule.peak_power)
+
+    def test_binding_override_changes_power(self, hal, library):
+        schedule = schedule_for(hal, library)
+        boosted = {name: 10.0 for name in schedule.start_times}
+        profile = profile_from_binding(schedule, boosted)
+        assert profile.peak > profile_from_schedule(schedule).peak
+
+    def test_energy_conserved(self, cosine, library):
+        schedule = schedule_for(cosine, library)
+        profile = profile_from_schedule(schedule)
+        assert profile.total_energy == pytest.approx(schedule.total_energy)
+
+
+class TestCombining:
+    def test_combine_sums_cycle_wise(self):
+        a = PowerProfile.of([1.0, 2.0])
+        b = PowerProfile.of([3.0])
+        combined = combine_profiles([a, b])
+        assert list(combined) == [4.0, 2.0]
+
+    def test_current_profile_scales_by_voltage(self):
+        profile = PowerProfile.of([2.0, 4.0])
+        assert current_profile(profile, supply_voltage=2.0) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            current_profile(profile, supply_voltage=0.0)

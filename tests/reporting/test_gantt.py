@@ -1,0 +1,66 @@
+"""Unit tests for the ASCII Gantt renderings."""
+
+import pytest
+
+from repro.reporting.gantt import datapath_gantt, schedule_gantt, utilization
+from repro.synthesis.engine import synthesize
+
+
+@pytest.fixture
+def result(hal, library):
+    return synthesize(hal, library, latency=17, max_power=12.0)
+
+
+class TestScheduleGantt:
+    def test_contains_every_operation_row(self, result):
+        text = schedule_gantt(result.schedule)
+        for name in result.datapath.binding:
+            assert name in text
+
+    def test_execution_bars_match_intervals(self, result):
+        text = schedule_gantt(result.schedule, cell_width=1)
+        lines = {line.split()[0]: line for line in text.splitlines()[2:]}
+        for name in ("m1_3x",):
+            row = lines[name]
+            bar = row[len(name):].replace(" ", "")
+            start, finish = result.schedule.interval(name)
+            assert bar.count("#") == finish - start
+
+    def test_subset_rendering(self, result):
+        text = schedule_gantt(result.schedule, only=["m1_3x"])
+        assert "m1_3x" in text
+        assert "a1_y1" not in text
+
+    def test_empty_subset(self, result):
+        assert schedule_gantt(result.schedule, only=[]) == "(empty schedule)"
+
+
+class TestDatapathGantt:
+    def test_contains_every_instance_row(self, result):
+        text = datapath_gantt(result.datapath)
+        for instance_name in result.datapath.instances:
+            assert instance_name in text
+
+    def test_reports_utilization(self, result):
+        assert "utilization:" in datapath_gantt(result.datapath)
+
+    def test_no_schedule(self, hal):
+        from repro.datapath.rtl import Datapath
+
+        assert "no schedule" in datapath_gantt(Datapath(cdfg=hal, schedule=None))
+
+
+class TestUtilization:
+    def test_values_in_unit_interval(self, result):
+        values = utilization(result.datapath)
+        assert set(values) == set(result.datapath.instances)
+        assert all(0.0 < v <= 1.0 for v in values.values())
+
+    def test_shared_instances_busier_than_single_use(self, result):
+        values = utilization(result.datapath)
+        datapath = result.datapath
+        shared = [n for n, inst in datapath.instances.items() if len(inst.bound_ops) >= 2]
+        single = [n for n, inst in datapath.instances.items() if len(inst.bound_ops) == 1]
+        if shared and single:
+            # Compare instances of the same module type when possible.
+            assert max(values[n] for n in shared) >= min(values[n] for n in single)

@@ -1,0 +1,62 @@
+"""Unit tests for series capture, CSV export and ASCII plotting."""
+
+from repro.reporting.series import Series, ascii_plot, save_csv, to_csv
+
+
+class TestSeries:
+    def test_add_and_accessors(self):
+        s = Series("hal (T=17)")
+        s.add(10, 700)
+        s.add(20, 600)
+        assert s.xs() == [10.0, 20.0]
+        assert s.ys() == [700.0, 600.0]
+
+    def test_sorted_by_x(self):
+        s = Series("x")
+        s.add(5, 1)
+        s.add(1, 2)
+        assert s.sorted_by_x().xs() == [1.0, 5.0]
+
+    def test_monotonicity_check(self):
+        s = Series("x")
+        for x, y in ((1, 10), (2, 8), (3, 8)):
+            s.add(x, y)
+        assert s.is_monotone_non_increasing()
+        s.add(4, 9)
+        assert not s.is_monotone_non_increasing()
+
+
+class TestCsv:
+    def test_long_format(self):
+        s = Series("hal")
+        s.add(1, 2)
+        csv = to_csv([s])
+        assert csv.splitlines()[0] == "series,x,y"
+        assert "hal,1,2" in csv
+
+    def test_save(self, tmp_path):
+        s = Series("hal")
+        s.add(1, 2)
+        path = tmp_path / "out.csv"
+        save_csv([s], path)
+        assert path.read_text().startswith("series,x,y")
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        a = Series("first")
+        b = Series("second")
+        for x in range(5):
+            a.add(x, x)
+            b.add(x, 10 - x)
+        plot = ascii_plot([a, b])
+        assert "*" in plot and "o" in plot
+        assert "first" in plot and "second" in plot
+
+    def test_empty_plot(self):
+        assert ascii_plot([]) == "(no data)"
+
+    def test_single_point(self):
+        s = Series("p")
+        s.add(1, 1)
+        assert "p" in ascii_plot([s])

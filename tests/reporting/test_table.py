@@ -1,0 +1,42 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.reporting.table import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(3.14159, float_digits=3) == "3.142"
+
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_plain_values(self):
+        assert format_cell(42) == "42"
+        assert format_cell("text") == "text"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["name", "area"], [["hal", 607.0], ["cosine", 1513.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "hal" in text and "607.00" in text
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text

@@ -1,0 +1,88 @@
+"""Unit tests for the classical ASAP and ALAP schedulers."""
+
+import pytest
+
+from repro.ir.cdfg import CDFGError
+from repro.library.selection import MinPowerSelection, selection_delays, selection_powers
+from repro.scheduling.alap import alap_schedule, alap_schedule_with_library
+from repro.scheduling.asap import asap_schedule, asap_schedule_with_library
+from repro.scheduling.constraints import TimeConstraint
+
+
+def maps_for(cdfg, library):
+    selection = MinPowerSelection().select(cdfg, library)
+    return selection_delays(selection, cdfg), selection_powers(selection, cdfg)
+
+
+class TestAsap:
+    def test_respects_precedence(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        schedule = asap_schedule(hal, delays, powers)
+        schedule.verify()
+
+    def test_sources_start_at_zero(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        schedule = asap_schedule(hal, delays, powers)
+        for source in hal.sources():
+            assert schedule.start(source) == 0
+
+    def test_every_op_starts_at_data_ready(self, cosine, library):
+        delays, powers = maps_for(cosine, library)
+        schedule = asap_schedule(cosine, delays, powers)
+        for name in cosine.operation_names():
+            ready = max(
+                (schedule.finish(p) for p in cosine.predecessors(name)), default=0
+            )
+            assert schedule.start(name) == ready
+
+    def test_makespan_equals_critical_path(self, hal, library):
+        from repro.ir.analysis import critical_path_length
+
+        delays, powers = maps_for(hal, library)
+        schedule = asap_schedule(hal, delays, powers)
+        assert schedule.makespan == critical_path_length(hal, delays)
+
+    def test_locked_operations_respected(self, diamond, library):
+        delays, powers = maps_for(diamond, library)
+        schedule = asap_schedule(diamond, delays, powers, locked={"left": 5})
+        assert schedule.start("left") == 5
+        assert schedule.start("bottom") >= 6
+
+    def test_with_library_wrapper(self, hal, library):
+        schedule = asap_schedule_with_library(hal, library)
+        schedule.verify()
+        assert schedule.delays["m1_3x"] == 4  # min-power selection -> serial multiplier
+
+
+class TestAlap:
+    def test_respects_precedence_and_latency(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        schedule = alap_schedule(hal, delays, powers, latency=20)
+        schedule.verify(time=TimeConstraint(20))
+
+    def test_everything_pushed_to_the_bound(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        schedule = alap_schedule(hal, delays, powers, latency=20)
+        for sink in hal.sinks():
+            assert schedule.finish(sink) == 20
+
+    def test_alap_never_earlier_than_asap(self, cosine, library):
+        delays, powers = maps_for(cosine, library)
+        asap = asap_schedule(cosine, delays, powers)
+        alap = alap_schedule(cosine, delays, powers, latency=25)
+        for name in cosine.operation_names():
+            assert alap.start(name) >= asap.start(name)
+
+    def test_infeasible_latency_rejected(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        with pytest.raises(CDFGError):
+            alap_schedule(hal, delays, powers, latency=5)
+
+    def test_locked_operations_respected(self, diamond, library):
+        delays, powers = maps_for(diamond, library)
+        schedule = alap_schedule(diamond, delays, powers, latency=12, locked={"right": 2})
+        assert schedule.start("right") == 2
+
+    def test_with_library_wrapper(self, hal, library):
+        schedule = alap_schedule_with_library(hal, library, TimeConstraint(20))
+        schedule.verify(time=TimeConstraint(20))

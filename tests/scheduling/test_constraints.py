@@ -1,0 +1,106 @@
+"""Unit tests for repro.scheduling.constraints."""
+
+import math
+
+import pytest
+
+from repro.scheduling.constraints import (
+    ConstraintError,
+    PowerConstraint,
+    ResourceConstraint,
+    SynthesisConstraints,
+    TimeConstraint,
+    feasible_power_floor,
+    minimum_feasible_power,
+)
+from repro.library.module import FUModule
+from repro.ir.operation import OpType
+
+
+class TestTimeConstraint:
+    def test_satisfied(self):
+        t = TimeConstraint(10)
+        assert t.satisfied_by(10)
+        assert t.satisfied_by(3)
+        assert not t.satisfied_by(11)
+
+    def test_positive_latency_required(self):
+        with pytest.raises(ConstraintError):
+            TimeConstraint(0)
+        with pytest.raises(ConstraintError):
+            TimeConstraint(-3)
+
+
+class TestPowerConstraint:
+    def test_allows_with_tolerance(self):
+        p = PowerConstraint(10.0)
+        assert p.allows(10.0)
+        assert p.allows(9.99)
+        assert not p.allows(10.01)
+
+    def test_headroom(self):
+        assert PowerConstraint(10.0).headroom(4.0) == pytest.approx(6.0)
+
+    def test_unbounded(self):
+        p = PowerConstraint.unbounded()
+        assert p.is_unbounded
+        assert p.allows(1e12)
+        assert math.isinf(p.max_power)
+
+    def test_positive_budget_required(self):
+        with pytest.raises(ConstraintError):
+            PowerConstraint(0.0)
+        with pytest.raises(ConstraintError):
+            PowerConstraint(-1.0)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConstraintError):
+            PowerConstraint(1.0, tolerance=-1e-3)
+
+
+class TestResourceConstraint:
+    def test_limits(self):
+        adder = FUModule.make("add", {OpType.ADD}, 87, 1, 2.5)
+        mult = FUModule.make("Mult (ser.)", {OpType.MUL}, 103, 4, 2.7)
+        limits = ResourceConstraint({"add": 2})
+        assert limits.limit_for(adder) == 2
+        assert limits.limit_for(mult) is None
+
+    def test_unlimited(self):
+        adder = FUModule.make("add", {OpType.ADD}, 87, 1, 2.5)
+        assert ResourceConstraint.unlimited().limit_for(adder) is None
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ConstraintError):
+            ResourceConstraint({"add": -1})
+
+
+class TestSynthesisConstraints:
+    def test_of_with_power(self):
+        constraints = SynthesisConstraints.of(12, 25.0)
+        assert constraints.time.latency == 12
+        assert constraints.power.max_power == 25.0
+
+    def test_of_without_power(self):
+        constraints = SynthesisConstraints.of(12)
+        assert constraints.power.is_unbounded
+
+
+class TestBounds:
+    def test_feasible_power_floor(self):
+        assert feasible_power_floor(120.0, 10) == pytest.approx(12.0)
+        with pytest.raises(ConstraintError):
+            feasible_power_floor(1.0, 0)
+        with pytest.raises(ConstraintError):
+            feasible_power_floor(-1.0, 5)
+
+    def test_minimum_feasible_power_dominated_by_single_op(self):
+        powers = {"big": 8.1, "small": 0.5}
+        delays = {"big": 2, "small": 1}
+        # energy = 16.7 over 20 cycles -> floor 0.835, but the big op alone needs 8.1
+        assert minimum_feasible_power(powers, delays, 20) == pytest.approx(8.1)
+
+    def test_minimum_feasible_power_dominated_by_energy(self):
+        powers = {f"op{i}": 2.5 for i in range(10)}
+        delays = {f"op{i}": 1 for i in range(10)}
+        assert minimum_feasible_power(powers, delays, 5) == pytest.approx(5.0)

@@ -1,0 +1,102 @@
+"""Unit and property tests for the exact reference scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.builder import CDFGBuilder
+from repro.library.library import default_library
+from repro.library.selection import MinPowerSelection, selection_delays, selection_powers
+from repro.scheduling.constraints import PowerConstraint
+from repro.scheduling.exact import (
+    ExactSchedulerError,
+    exists_schedule,
+    minimum_latency_under_power,
+    optimality_gap,
+)
+from repro.scheduling.pasap import pasap_schedule
+from repro.suite.generators import GeneratorConfig, random_cdfg
+
+LIBRARY = default_library()
+
+
+def maps_for(cdfg):
+    selection = MinPowerSelection().select(cdfg, LIBRARY)
+    return selection_delays(selection, cdfg), selection_powers(selection, cdfg)
+
+
+def two_independent_adds():
+    b = CDFGBuilder("pair")
+    x = b.const("x")
+    y = b.const("y")
+    b.add("a1", x, y)
+    b.add("a2", x, y)
+    return b.build()
+
+
+class TestExactScheduler:
+    def test_unbounded_power_gives_critical_path(self, diamond):
+        delays, powers = maps_for(diamond)
+        from repro.ir.analysis import critical_path_length
+
+        optimum = minimum_latency_under_power(
+            diamond, delays, powers, PowerConstraint.unbounded()
+        )
+        assert optimum == critical_path_length(diamond, delays)
+
+    def test_power_budget_forces_serialization(self):
+        cdfg = two_independent_adds()
+        delays, powers = maps_for(cdfg)
+        # Both adds together draw 5.0; a 3.0 budget forces them into
+        # different cycles, doubling the optimal makespan.
+        parallel = minimum_latency_under_power(cdfg, delays, powers, PowerConstraint(10.0))
+        serial = minimum_latency_under_power(cdfg, delays, powers, PowerConstraint(3.0))
+        assert parallel == 1
+        assert serial == 2
+
+    def test_exists_schedule(self):
+        cdfg = two_independent_adds()
+        delays, powers = maps_for(cdfg)
+        assert exists_schedule(cdfg, delays, powers, PowerConstraint(3.0), latency=2)
+        assert not exists_schedule(cdfg, delays, powers, PowerConstraint(3.0), latency=1)
+
+    def test_size_guard(self, cosine):
+        delays, powers = maps_for(cosine)
+        with pytest.raises(ExactSchedulerError):
+            minimum_latency_under_power(cosine, delays, powers, PowerConstraint(30.0))
+
+    def test_gap_zero_on_diamond(self, diamond):
+        delays, powers = maps_for(diamond)
+        budget = PowerConstraint(20.0)
+        heuristic = pasap_schedule(diamond, delays, powers, budget)
+        assert optimality_gap(heuristic, budget) == pytest.approx(0.0)
+
+
+@st.composite
+def small_case(draw):
+    config = GeneratorConfig(
+        operations=draw(st.integers(min_value=2, max_value=7)),
+        inputs=draw(st.integers(min_value=1, max_value=2)),
+        levels=draw(st.integers(min_value=1, max_value=3)),
+        mul_fraction=draw(st.floats(min_value=0.0, max_value=0.4)),
+        sub_fraction=0.2,
+        outputs=0,
+        seed=draw(st.integers(min_value=0, max_value=2000)),
+    )
+    cdfg = random_cdfg(config)
+    budget = PowerConstraint(draw(st.sampled_from([8.5, 10.0, 15.0, 30.0])))
+    return cdfg, budget
+
+
+@given(small_case())
+@settings(max_examples=30, deadline=None)
+def test_pasap_never_beats_the_exact_optimum(case):
+    """pasap is feasible, therefore its makespan is >= the exact optimum; the
+    exact optimum under a budget the heuristic satisfies always exists."""
+    cdfg, budget = case
+    delays, powers = maps_for(cdfg)
+    heuristic = pasap_schedule(cdfg, delays, powers, budget)
+    optimum = minimum_latency_under_power(
+        cdfg, delays, powers, budget, horizon=heuristic.makespan
+    )
+    assert optimum is not None
+    assert optimum <= heuristic.makespan

@@ -1,0 +1,58 @@
+"""Unit tests for the force-directed scheduling baseline."""
+
+import pytest
+
+from repro.ir.analysis import concurrency_profile, critical_path_length
+from repro.library.selection import MinPowerSelection, selection_delays, selection_powers
+from repro.scheduling.asap import asap_schedule
+from repro.scheduling.constraints import TimeConstraint
+from repro.scheduling.force_directed import force_directed_schedule
+
+
+def maps_for(cdfg, library):
+    selection = MinPowerSelection().select(cdfg, library)
+    return selection_delays(selection, cdfg), selection_powers(selection, cdfg)
+
+
+class TestForceDirected:
+    def test_respects_precedence_and_latency(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        latency = critical_path_length(hal, delays) + 4
+        schedule = force_directed_schedule(hal, delays, powers, latency)
+        schedule.verify(time=TimeConstraint(latency))
+
+    def test_at_critical_path_matches_asap_makespan(self, diamond, library):
+        delays, powers = maps_for(diamond, library)
+        latency = critical_path_length(diamond, delays)
+        schedule = force_directed_schedule(diamond, delays, powers, latency)
+        assert schedule.makespan == latency
+
+    def test_balances_concurrency(self, wide, library):
+        """With slack, FDS must not stack all multiplications in one cycle."""
+        delays, powers = maps_for(wide, library)
+        asap = asap_schedule(wide, delays, powers)
+        latency = asap.makespan + 12
+        balanced = force_directed_schedule(wide, delays, powers, latency)
+        asap_conc = max(concurrency_profile(wide, asap.start_times, delays))
+        fds_conc = max(concurrency_profile(wide, balanced.start_times, delays))
+        assert fds_conc < asap_conc
+
+    def test_lowers_peak_power_with_slack(self, cosine, library):
+        delays, powers = maps_for(cosine, library)
+        asap = asap_schedule(cosine, delays, powers)
+        balanced = force_directed_schedule(cosine, delays, powers, asap.makespan + 8)
+        assert balanced.peak_power <= asap.peak_power
+
+    def test_deterministic(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        first = force_directed_schedule(hal, delays, powers, 20)
+        second = force_directed_schedule(hal, delays, powers, 20)
+        assert first.start_times == second.start_times
+
+    @pytest.mark.parametrize("extra", [0, 2, 6])
+    def test_all_benchmarks_all_slacks(self, hal, cosine, fir, library, extra):
+        for graph in (hal, cosine, fir):
+            delays, powers = maps_for(graph, library)
+            latency = critical_path_length(graph, delays) + extra
+            schedule = force_directed_schedule(graph, delays, powers, latency)
+            schedule.verify(time=TimeConstraint(latency))

@@ -1,0 +1,92 @@
+"""Unit tests for the resource-constrained list scheduler."""
+
+import pytest
+
+from repro.ir.analysis import critical_path_length
+from repro.library.selection import MinPowerSelection, selection_delays, selection_powers
+from repro.scheduling.list_scheduler import (
+    ResourceInfeasibleError,
+    greedy_allocation_for_latency,
+    list_schedule,
+    minimal_allocation,
+)
+
+
+def setup(cdfg, library):
+    selection = MinPowerSelection().select(cdfg, library)
+    delays = selection_delays(selection, cdfg)
+    powers = selection_powers(selection, cdfg)
+    return selection, delays, powers
+
+
+class TestListSchedule:
+    def test_respects_precedence(self, hal, library):
+        selection, delays, powers = setup(hal, library)
+        allocation = minimal_allocation(hal, selection)
+        schedule = list_schedule(hal, delays, powers, selection, allocation)
+        schedule.verify()
+
+    def test_respects_resource_limits(self, cosine, library):
+        selection, delays, powers = setup(cosine, library)
+        allocation = {"Mult (ser.)": 2, "add": 2, "sub": 2, "input": 2, "output": 2}
+        schedule = list_schedule(cosine, delays, powers, selection, allocation)
+        # at no cycle more than the allocated number of each module runs
+        for cycle in range(schedule.makespan):
+            running = schedule.operations_in_cycle(cycle)
+            per_module = {}
+            for op in running:
+                if op in selection:
+                    per_module[selection[op].name] = per_module.get(selection[op].name, 0) + 1
+            for module_name, count in per_module.items():
+                assert count <= allocation.get(module_name, 1)
+
+    def test_single_instance_serializes(self, wide, library):
+        selection, delays, powers = setup(wide, library)
+        allocation = {"Mult (ser.)": 1, "input": 4, "output": 8}
+        schedule = list_schedule(wide, delays, powers, selection, allocation)
+        # eight 4-cycle multiplications on one unit take at least 32 cycles
+        assert schedule.makespan >= 32
+
+    def test_more_resources_never_slower(self, cosine, library):
+        selection, delays, powers = setup(cosine, library)
+        small = list_schedule(
+            cosine, delays, powers, selection, {"Mult (ser.)": 1, "add": 1, "sub": 1}
+        )
+        large = list_schedule(
+            cosine, delays, powers, selection, {"Mult (ser.)": 4, "add": 4, "sub": 4}
+        )
+        assert large.makespan <= small.makespan
+
+    def test_zero_allocation_rejected(self, hal, library):
+        selection, delays, powers = setup(hal, library)
+        with pytest.raises(ResourceInfeasibleError):
+            list_schedule(hal, delays, powers, selection, {"Mult (ser.)": 0})
+
+    def test_missing_module_assignment_rejected(self, hal, library):
+        selection, delays, powers = setup(hal, library)
+        del selection["m1_3x"]
+        with pytest.raises(ResourceInfeasibleError):
+            list_schedule(hal, delays, powers, selection, {"Mult (ser.)": 1})
+
+
+class TestAllocations:
+    def test_minimal_allocation_one_per_needed_module(self, hal, library):
+        selection, *_ = setup(hal, library)
+        allocation = minimal_allocation(hal, selection)
+        assert allocation["Mult (ser.)"] == 1
+        assert allocation["add"] == 1
+        assert "Mult (par.)" not in allocation
+
+    def test_greedy_allocation_meets_latency(self, hal, library):
+        selection, delays, powers = setup(hal, library)
+        target = critical_path_length(hal, delays) + 4
+        allocation = greedy_allocation_for_latency(hal, delays, powers, selection, target)
+        schedule = list_schedule(hal, delays, powers, selection, allocation)
+        assert schedule.makespan <= target
+
+    def test_greedy_allocation_rejects_sub_critical_latency(self, hal, library):
+        selection, delays, powers = setup(hal, library)
+        with pytest.raises(ResourceInfeasibleError):
+            greedy_allocation_for_latency(
+                hal, delays, powers, selection, critical_path_length(hal, delays) - 1
+            )

@@ -1,0 +1,97 @@
+"""Unit tests for the pasap/palap scheduling windows (repro.scheduling.mobility)."""
+
+import pytest
+
+from repro.library.selection import MinPowerSelection, selection_delays, selection_powers
+from repro.scheduling.constraints import PowerConstraint, TimeConstraint
+from repro.scheduling.mobility import Window, compute_windows, windows_feasible
+from repro.scheduling.pasap import PowerInfeasibleError
+
+
+def maps_for(cdfg, library):
+    selection = MinPowerSelection().select(cdfg, library)
+    return selection_delays(selection, cdfg), selection_powers(selection, cdfg)
+
+
+class TestWindow:
+    def test_width_and_feasibility(self):
+        assert Window(2, 5).width == 3
+        assert Window(2, 5).feasible
+        assert not Window(5, 2).feasible
+        assert Window(5, 2).width == -3
+
+    def test_contains(self):
+        w = Window(2, 5)
+        assert w.contains(2) and w.contains(5) and w.contains(3)
+        assert not w.contains(1) and not w.contains(6)
+
+
+class TestWindowSet:
+    def test_windows_cover_all_operations(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        windows = compute_windows(
+            hal, delays, powers, PowerConstraint(10.0), TimeConstraint(20)
+        )
+        assert set(iter(windows)) == set(hal.operation_names())
+        assert windows.all_feasible
+        assert windows.infeasible_operations() == []
+
+    def test_windows_are_pasap_palap(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        windows = compute_windows(
+            hal, delays, powers, PowerConstraint(10.0), TimeConstraint(20)
+        )
+        for name in hal.operation_names():
+            assert windows[name].earliest == windows.pasap_starts[name]
+            assert windows[name].latest == windows.palap_starts[name]
+
+    def test_locked_operations_have_zero_width(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        windows = compute_windows(
+            hal,
+            delays,
+            powers,
+            PowerConstraint(10.0),
+            TimeConstraint(20),
+            locked={"m1_3x": 2},
+        )
+        assert windows["m1_3x"].earliest == windows["m1_3x"].latest == 2
+
+    def test_total_mobility_grows_with_latency(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        tight = compute_windows(hal, delays, powers, PowerConstraint(10.0), TimeConstraint(17))
+        loose = compute_windows(hal, delays, powers, PowerConstraint(10.0), TimeConstraint(25))
+        assert loose.total_mobility() > tight.total_mobility()
+
+    def test_tighter_power_shrinks_mobility(self, cosine, library):
+        delays, powers = maps_for(cosine, library)
+        loose = compute_windows(cosine, delays, powers, PowerConstraint(40.0), TimeConstraint(19))
+        tight = compute_windows(cosine, delays, powers, PowerConstraint(22.0), TimeConstraint(19))
+        assert tight.total_mobility() <= loose.total_mobility()
+
+    def test_infeasible_power_raises(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        with pytest.raises(PowerInfeasibleError):
+            compute_windows(hal, delays, powers, PowerConstraint(1.0), TimeConstraint(20))
+
+
+class TestFeasibilityPredicate:
+    def test_feasible_case(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        assert windows_feasible(hal, delays, powers, PowerConstraint(10.0), TimeConstraint(20))
+
+    def test_power_too_small(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        assert not windows_feasible(hal, delays, powers, PowerConstraint(1.0), TimeConstraint(20))
+
+    def test_latency_too_small(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        # critical path with serial multipliers is 16 cycles
+        assert not windows_feasible(hal, delays, powers, PowerConstraint(50.0), TimeConstraint(12))
+
+    def test_combined_pressure(self, hal, library):
+        """Power that fits a loose deadline may not fit a tight one."""
+        delays, powers = maps_for(hal, library)
+        budget = PowerConstraint(6.0)
+        assert windows_feasible(hal, delays, powers, budget, TimeConstraint(40))
+        assert not windows_feasible(hal, delays, powers, budget, TimeConstraint(16))

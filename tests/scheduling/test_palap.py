@@ -1,0 +1,91 @@
+"""Unit tests for the power-constrained ALAP scheduler (palap)."""
+
+import pytest
+
+from repro.ir.analysis import critical_path_length
+from repro.library.selection import MinPowerSelection, selection_delays, selection_powers
+from repro.scheduling.alap import alap_schedule
+from repro.scheduling.constraints import PowerConstraint, TimeConstraint
+from repro.scheduling.palap import (
+    palap_schedule,
+    palap_schedule_with_library,
+    palap_start_times,
+)
+from repro.scheduling.pasap import PowerInfeasibleError, pasap_schedule
+
+
+def maps_for(cdfg, library):
+    selection = MinPowerSelection().select(cdfg, library)
+    return selection_delays(selection, cdfg), selection_powers(selection, cdfg)
+
+
+class TestPalap:
+    def test_unbounded_budget_reduces_to_alap(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        latency = critical_path_length(hal, delays) + 4
+        classic = alap_schedule(hal, delays, powers, latency)
+        power_aware = palap_schedule(
+            hal, delays, powers, PowerConstraint.unbounded(), latency
+        )
+        assert power_aware.start_times == classic.start_times
+
+    def test_respects_power_and_latency(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        budget = PowerConstraint(8.0)
+        schedule = palap_schedule(hal, delays, powers, budget, latency=24)
+        schedule.verify(time=TimeConstraint(24), power=budget)
+
+    def test_respects_precedence(self, elliptic, library):
+        delays, powers = maps_for(elliptic, library)
+        schedule = palap_schedule(elliptic, delays, powers, PowerConstraint(9.0), latency=30)
+        assert schedule.respects_precedence()
+
+    def test_never_later_than_classic_alap(self, cosine, library):
+        """The power budget can only pull operations earlier, never later."""
+        delays, powers = maps_for(cosine, library)
+        latency = 25
+        classic = alap_schedule(cosine, delays, powers, latency)
+        power_aware = palap_schedule(cosine, delays, powers, PowerConstraint(13.0), latency)
+        for name in cosine.operation_names():
+            assert power_aware.start(name) <= classic.start(name)
+
+    def test_palap_not_before_pasap(self, hal, library):
+        """The [pasap, palap] window must be well-formed when feasible."""
+        delays, powers = maps_for(hal, library)
+        budget = PowerConstraint(8.0)
+        latency = 24
+        early = pasap_schedule(hal, delays, powers, budget)
+        late = palap_schedule(hal, delays, powers, budget, latency)
+        for name in hal.operation_names():
+            assert late.start(name) >= early.start(name)
+
+    def test_infeasible_latency_rejected(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        with pytest.raises(PowerInfeasibleError):
+            palap_schedule(hal, delays, powers, PowerConstraint(8.0), latency=10)
+
+    def test_locked_beyond_latency_rejected(self, diamond, library):
+        delays, powers = maps_for(diamond, library)
+        with pytest.raises(PowerInfeasibleError):
+            palap_schedule(
+                diamond, delays, powers, PowerConstraint(20.0), latency=8, locked={"out": 9}
+            )
+
+    def test_locked_operations_respected(self, diamond, library):
+        delays, powers = maps_for(diamond, library)
+        schedule = palap_schedule(
+            diamond, delays, powers, PowerConstraint(20.0), latency=10, locked={"right": 1}
+        )
+        assert schedule.start("right") == 1
+
+    def test_wrappers(self, hal, library):
+        budget = PowerConstraint(8.0)
+        schedule = palap_schedule_with_library(hal, library, budget, TimeConstraint(24))
+        schedule.verify(time=TimeConstraint(24), power=budget)
+        starts = palap_start_times(
+            hal,
+            *maps_for(hal, library),
+            PowerConstraint(8.0),
+            24,
+        )
+        assert set(starts) == set(hal.operation_names())

@@ -1,0 +1,116 @@
+"""Unit tests for the paper's power-constrained ASAP scheduler (pasap)."""
+
+import pytest
+
+from repro.library.selection import MinPowerSelection, selection_delays, selection_powers
+from repro.scheduling.asap import asap_schedule
+from repro.scheduling.constraints import PowerConstraint
+from repro.scheduling.pasap import (
+    PowerInfeasibleError,
+    pasap_schedule,
+    pasap_schedule_with_library,
+    pasap_start_times,
+)
+
+
+def maps_for(cdfg, library):
+    selection = MinPowerSelection().select(cdfg, library)
+    return selection_delays(selection, cdfg), selection_powers(selection, cdfg)
+
+
+class TestPasapCore:
+    def test_unbounded_budget_reduces_to_asap(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        asap = asap_schedule(hal, delays, powers)
+        pasap = pasap_schedule(hal, delays, powers, PowerConstraint.unbounded())
+        assert pasap.start_times == asap.start_times
+
+    def test_respects_power_budget(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        budget = PowerConstraint(8.0)
+        schedule = pasap_schedule(hal, delays, powers, budget)
+        schedule.verify(power=budget)
+
+    def test_respects_precedence(self, cosine, library):
+        delays, powers = maps_for(cosine, library)
+        schedule = pasap_schedule(cosine, delays, powers, PowerConstraint(10.0))
+        assert schedule.respects_precedence()
+
+    def test_stretches_the_schedule(self, wide, library):
+        """Independent multiplications must be serialized by a tight budget."""
+        delays, powers = maps_for(wide, library)
+        loose = pasap_schedule(wide, delays, powers, PowerConstraint.unbounded())
+        tight = pasap_schedule(wide, delays, powers, PowerConstraint(6.0))
+        assert tight.makespan > loose.makespan
+        assert tight.peak_power <= 6.0
+        # stretching moves power around but never changes the total energy
+        assert tight.total_energy == pytest.approx(loose.total_energy)
+
+    def test_peak_monotone_in_budget(self, cosine, library):
+        delays, powers = maps_for(cosine, library)
+        peaks = []
+        for budget in (8.0, 12.0, 20.0, 40.0):
+            schedule = pasap_schedule(cosine, delays, powers, PowerConstraint(budget))
+            assert schedule.peak_power <= budget + 1e-9
+            peaks.append(schedule.peak_power)
+        assert peaks == sorted(peaks)
+
+    def test_never_starts_before_data_ready(self, elliptic, library):
+        delays, powers = maps_for(elliptic, library)
+        schedule = pasap_schedule(elliptic, delays, powers, PowerConstraint(9.0))
+        for name in elliptic.operation_names():
+            ready = max(
+                (schedule.finish(p) for p in elliptic.predecessors(name)), default=0
+            )
+            assert schedule.start(name) >= ready
+
+    def test_single_operation_exceeding_budget_rejected(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        with pytest.raises(PowerInfeasibleError):
+            pasap_schedule(hal, delays, powers, PowerConstraint(2.0))
+
+    def test_locked_operations_pre_committed(self, wide, library):
+        delays, powers = maps_for(wide, library)
+        budget = PowerConstraint(6.0)
+        locked = {"m0": 3}  # later than its data-ready time; must be honoured verbatim
+        schedule = pasap_schedule(wide, delays, powers, budget, locked=locked)
+        assert schedule.start("m0") == 3
+        schedule.verify(power=budget)
+
+    def test_horizon_guard_raises_instead_of_spinning(self, wide, library):
+        delays, powers = maps_for(wide, library)
+        with pytest.raises(PowerInfeasibleError):
+            pasap_schedule(
+                wide, delays, powers, PowerConstraint(3.0), max_horizon=4
+            )
+
+    def test_virtual_operations_free(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        schedule = pasap_schedule(hal, delays, powers, PowerConstraint(6.0))
+        # The constant contributes nothing to any cycle.
+        assert schedule.powers["const_3"] == 0.0
+
+
+class TestPasapWrappers:
+    def test_with_library(self, hal, library):
+        budget = PowerConstraint(8.0)
+        schedule = pasap_schedule_with_library(hal, library, budget)
+        schedule.verify(power=budget)
+
+    def test_start_times_helper(self, hal, library):
+        delays, powers = maps_for(hal, library)
+        starts = pasap_start_times(hal, delays, powers, PowerConstraint(8.0))
+        assert set(starts) == set(hal.operation_names())
+
+
+class TestFigure1Behaviour:
+    """pasap is what turns the 'undesired' profile into the 'desired' one."""
+
+    def test_flattens_spiky_profile(self, cosine, library):
+        delays, powers = maps_for(cosine, library)
+        unconstrained = asap_schedule(cosine, delays, powers)
+        budget = PowerConstraint(12.0)
+        constrained = pasap_schedule(cosine, delays, powers, budget)
+        assert unconstrained.peak_power > 12.0
+        assert constrained.peak_power <= 12.0
+        assert constrained.total_energy == pytest.approx(unconstrained.total_energy)

@@ -1,0 +1,148 @@
+"""Unit tests for repro.scheduling.schedule."""
+
+import pytest
+
+from repro.scheduling.constraints import PowerConstraint, TimeConstraint
+from repro.scheduling.schedule import (
+    Schedule,
+    ScheduleError,
+    add_to_profile,
+    empty_power_profile,
+    profile_allows,
+)
+
+
+def make_schedule(diamond, starts=None):
+    starts = starts or {"a": 0, "c": 0, "left": 1, "right": 1, "bottom": 5, "out": 6}
+    delays = {"a": 1, "c": 1, "left": 1, "right": 4, "bottom": 1, "out": 1}
+    powers = {"a": 0.2, "c": 0.2, "left": 2.5, "right": 2.7, "bottom": 2.5, "out": 1.7}
+    return Schedule(diamond, dict(starts), delays, powers, label="test")
+
+
+class TestBasics:
+    def test_start_finish_interval(self, diamond):
+        s = make_schedule(diamond)
+        assert s.start("right") == 1
+        assert s.finish("right") == 5
+        assert s.interval("right") == (1, 5)
+
+    def test_makespan(self, diamond):
+        assert make_schedule(diamond).makespan == 7
+
+    def test_unknown_operation(self, diamond):
+        with pytest.raises(ScheduleError):
+            make_schedule(diamond).start("ghost")
+
+    def test_missing_operation_rejected(self, diamond):
+        with pytest.raises(ScheduleError):
+            Schedule(diamond, {"a": 0}, {"a": 1}, {"a": 1.0})
+
+    def test_negative_start_rejected(self, diamond):
+        starts = {"a": -1, "c": 0, "left": 1, "right": 1, "bottom": 5, "out": 6}
+        with pytest.raises(ScheduleError):
+            make_schedule(diamond, starts)
+
+    def test_operations_in_cycle(self, diamond):
+        s = make_schedule(diamond)
+        assert set(s.operations_in_cycle(1)) == {"left", "right"}
+        assert set(s.operations_in_cycle(3)) == {"right"}
+
+
+class TestPower:
+    def test_power_profile_length_and_sum(self, diamond):
+        s = make_schedule(diamond)
+        profile = s.power_profile()
+        assert len(profile) == s.makespan
+        assert sum(profile) == pytest.approx(s.total_energy)
+
+    def test_profile_accumulates_concurrent_ops(self, diamond):
+        s = make_schedule(diamond)
+        # cycle 1: left (2.5) and right (2.7) overlap
+        assert s.power_profile()[1] == pytest.approx(5.2)
+
+    def test_peak_and_average(self, diamond):
+        s = make_schedule(diamond)
+        assert s.peak_power == pytest.approx(max(s.power_profile()))
+        assert s.average_power == pytest.approx(sum(s.power_profile()) / s.makespan)
+
+    def test_total_energy(self, diamond):
+        s = make_schedule(diamond)
+        expected = 0.2 + 0.2 + 2.5 + 2.7 * 4 + 2.5 + 1.7
+        assert s.total_energy == pytest.approx(expected)
+
+    def test_profile_horizon_padding(self, diamond):
+        s = make_schedule(diamond)
+        assert len(s.power_profile(horizon=20)) == 20
+
+
+class TestLegality:
+    def test_valid_schedule_verifies(self, diamond):
+        s = make_schedule(diamond)
+        s.verify(time=TimeConstraint(7), power=PowerConstraint(6.0))
+
+    def test_precedence_violation_detected(self, diamond):
+        starts = {"a": 0, "c": 0, "left": 1, "right": 1, "bottom": 2, "out": 6}
+        s = make_schedule(diamond, starts)
+        # bottom starts at 2 but right (4 cycles) finishes at 5
+        assert ("right", "bottom") in s.precedence_violations()
+        with pytest.raises(ScheduleError):
+            s.verify()
+
+    def test_latency_violation_detected(self, diamond):
+        s = make_schedule(diamond)
+        with pytest.raises(ScheduleError):
+            s.verify(time=TimeConstraint(6))
+
+    def test_power_violation_detected(self, diamond):
+        s = make_schedule(diamond)
+        with pytest.raises(ScheduleError):
+            s.verify(power=PowerConstraint(5.0))
+
+    def test_respects_helpers(self, diamond):
+        s = make_schedule(diamond)
+        assert s.respects_time(TimeConstraint(10))
+        assert not s.respects_time(TimeConstraint(3))
+        assert s.respects_power(PowerConstraint(10.0))
+        assert not s.respects_power(PowerConstraint(1.0))
+
+
+class TestPresentation:
+    def test_by_cycle_groups(self, diamond):
+        grouped = make_schedule(diamond).by_cycle()
+        assert set(grouped[0]) == {"a", "c"}
+        assert set(grouped[1]) == {"left", "right"}
+
+    def test_describe_mentions_label_and_peak(self, diamond):
+        text = make_schedule(diamond).describe()
+        assert "makespan=7" in text
+        assert "cycle" in text
+
+    def test_copy_with_overrides(self, diamond):
+        s = make_schedule(diamond)
+        copy = s.copy_with(label="other")
+        assert copy.label == "other"
+        assert copy.start_times == s.start_times
+        assert copy.start_times is not s.start_times
+
+
+class TestProfileHelpers:
+    def test_empty_profile(self):
+        assert empty_power_profile(3) == [0.0, 0.0, 0.0]
+        with pytest.raises(ValueError):
+            empty_power_profile(-1)
+
+    def test_add_to_profile_grows(self):
+        profile = [1.0]
+        add_to_profile(profile, 2, 2, 3.0)
+        assert profile == [1.0, 0.0, 3.0, 3.0]
+
+    def test_profile_allows(self):
+        constraint = PowerConstraint(5.0)
+        profile = [2.0, 4.0]
+        assert profile_allows(profile, 0, 1, 3.0, constraint)
+        assert not profile_allows(profile, 1, 1, 3.0, constraint)
+        # beyond the current profile the draw starts from zero
+        assert profile_allows(profile, 5, 3, 5.0, constraint)
+
+    def test_profile_allows_unbounded(self):
+        assert profile_allows([100.0], 0, 1, 100.0, PowerConstraint.unbounded())

@@ -1,0 +1,61 @@
+"""Unit tests for the random CDFG generator."""
+
+import pytest
+
+from repro.ir.operation import OpType
+from repro.ir.validate import is_valid
+from repro.suite.generators import GeneratorConfig, random_cdfg, random_cdfg_batch
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(operations=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(inputs=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(levels=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(mul_fraction=1.5)
+        with pytest.raises(ValueError):
+            GeneratorConfig(mul_fraction=0.7, sub_fraction=0.7)
+
+
+class TestGeneration:
+    def test_graph_is_valid_and_sized(self):
+        config = GeneratorConfig(operations=15, inputs=3, outputs=2, seed=7)
+        graph = random_cdfg(config)
+        assert is_valid(graph)
+        arithmetic = [n for n in graph.operation_names() if graph.operation(n).is_arithmetic]
+        assert len(arithmetic) == 15
+        assert len(graph.operations_of_type(OpType.INPUT)) == 3
+        assert len(graph.operations_of_type(OpType.OUTPUT)) <= 2
+
+    def test_deterministic_for_same_seed(self):
+        a = random_cdfg(GeneratorConfig(seed=42))
+        b = random_cdfg(GeneratorConfig(seed=42))
+        assert a.operation_names() == b.operation_names()
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = random_cdfg(GeneratorConfig(operations=20, seed=1))
+        b = random_cdfg(GeneratorConfig(operations=20, seed=2))
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_type_mix_follows_fractions(self):
+        config = GeneratorConfig(operations=60, mul_fraction=1.0, sub_fraction=0.0, seed=3)
+        graph = random_cdfg(config)
+        assert len(graph.operations_of_type(OpType.MUL)) == 60
+
+        config = GeneratorConfig(operations=60, mul_fraction=0.0, sub_fraction=0.0, seed=3)
+        graph = random_cdfg(config)
+        assert len(graph.operations_of_type(OpType.ADD)) == 60
+
+    def test_custom_name(self):
+        assert random_cdfg(GeneratorConfig(seed=1), name="custom").name == "custom"
+
+    def test_batch(self):
+        graphs = random_cdfg_batch(4, base_seed=10, operations=8)
+        assert len(graphs) == 4
+        assert len({g.name for g in graphs}) == 4
+        assert all(is_valid(g) for g in graphs)

@@ -1,0 +1,58 @@
+"""Tests for the engine's tunable options and internal decision scoring."""
+
+import pytest
+
+from repro.scheduling.constraints import SynthesisConstraints
+from repro.synthesis.engine import EngineOptions, PowerConstrainedSynthesizer
+
+
+def run(cdfg, library, latency, power, **option_overrides):
+    options = EngineOptions(**option_overrides)
+    constraints = SynthesisConstraints.of(latency, power)
+    return PowerConstrainedSynthesizer(library, constraints, options).synthesize(cdfg)
+
+
+class TestDelayPenalty:
+    def test_zero_weight_recovers_pure_area_greedy(self, cosine, library):
+        """With no delay penalty the greedy is purely area-lexicographic; the
+        result is still legal, just (usually) larger."""
+        priced = run(cosine, library, 15, 30.0)
+        unpriced = run(cosine, library, 15, 30.0, delay_area_weight=0.0)
+        priced.verify()
+        unpriced.verify()
+        # Pricing schedule delay should not hurt on the paper benchmarks.
+        assert priced.total_area <= unpriced.total_area * 1.05
+
+    def test_large_weight_still_legal(self, hal, library):
+        result = run(hal, library, 17, 12.0, delay_area_weight=50.0)
+        result.verify()
+
+
+class TestModuleUpgrade:
+    def test_disabled_upgrade_never_uses_parallel_multiplier_at_loose_t(self, hal, library):
+        result = run(hal, library, 17, 12.0, allow_module_upgrade=False)
+        result.verify()
+        assert result.allocation_summary().get("Mult (par.)", 0) == 0
+
+    def test_upgrade_allowed_can_differ(self, cosine, library):
+        """Allowing per-decision module upgrades must never make the result
+        illegal; areas may legitimately differ from the restricted run."""
+        restricted = run(cosine, library, 12, 30.0, allow_module_upgrade=False)
+        free = run(cosine, library, 12, 30.0, allow_module_upgrade=True)
+        restricted.verify()
+        free.verify()
+
+
+class TestOptionObject:
+    def test_defaults(self):
+        options = EngineOptions()
+        assert options.trace is True
+        assert options.allow_module_upgrade is True
+        assert options.delay_area_weight == pytest.approx(4.0)
+
+    def test_options_recorded_per_run(self, hal, library):
+        first = run(hal, library, 17, 12.0)
+        second = run(hal, library, 17, 12.0, trace=False)
+        assert first.trace and not second.trace
+        # identical constraints -> identical datapath regardless of tracing
+        assert first.total_area == second.total_area

@@ -1,0 +1,102 @@
+"""Unit tests for design-space exploration (repro.synthesis.explore)."""
+
+import pytest
+
+from repro.synthesis.explore import (
+    SweepPoint,
+    SweepResult,
+    default_power_grid,
+    minimum_feasible_power,
+    power_area_sweep,
+    synthesize_point,
+)
+
+
+class TestSynthesizePoint:
+    def test_feasible_point_returns_result(self, hal, library):
+        result = synthesize_point(hal, library, latency=17, power_budget=12.0)
+        assert result is not None
+        assert result.peak_power <= 12.0 + 1e-9
+
+    def test_infeasible_point_returns_none(self, hal, library):
+        assert synthesize_point(hal, library, latency=17, power_budget=2.0) is None
+        assert synthesize_point(hal, library, latency=6, power_budget=100.0) is None
+
+
+class TestMinimumFeasiblePower:
+    def test_result_is_feasible_and_tight(self, hal, library):
+        p_min = minimum_feasible_power(hal, library, latency=17, precision=0.5)
+        assert synthesize_point(hal, library, 17, p_min) is not None
+        assert synthesize_point(hal, library, 17, p_min - 1.0) is None
+
+    def test_tighter_latency_needs_more_power(self, hal, library):
+        loose = minimum_feasible_power(hal, library, latency=17)
+        tight = minimum_feasible_power(hal, library, latency=10)
+        assert tight > loose
+
+    def test_impossible_latency_raises(self, hal, library):
+        from repro.synthesis.result import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            minimum_feasible_power(hal, library, latency=5)
+
+
+class TestPowerGrid:
+    def test_grid_endpoints_and_length(self):
+        grid = default_power_grid(10.0, 150.0, steps=8)
+        assert len(grid) == 8
+        assert grid[0] == pytest.approx(10.0)
+        assert grid[-1] == pytest.approx(150.0)
+        assert grid == sorted(grid)
+
+    def test_degenerate_range(self):
+        grid = default_power_grid(20.0, 10.0, steps=3)
+        assert all(value == pytest.approx(20.0) for value in grid)
+
+    def test_too_few_steps_rejected(self):
+        with pytest.raises(ValueError):
+            default_power_grid(1.0, 2.0, steps=1)
+
+
+class TestSweep:
+    def test_sweep_covers_all_budgets(self, hal, library):
+        budgets = [9.0, 12.0, 20.0, 60.0]
+        sweep = power_area_sweep(hal, library, 17, budgets)
+        assert [p.power_budget for p in sweep.points] == budgets
+        assert all(p.feasible for p in sweep.points)
+
+    def test_infeasible_budgets_marked(self, hal, library):
+        sweep = power_area_sweep(hal, library, 17, [2.0, 12.0])
+        assert not sweep.points[0].feasible
+        assert sweep.points[0].area is None
+        assert sweep.points[1].feasible
+
+    def test_results_respect_their_budget(self, cosine, library):
+        sweep = power_area_sweep(cosine, library, 15, [25.0, 40.0, 90.0])
+        for point in sweep.feasible_points():
+            assert point.peak_power <= point.power_budget + 1e-9
+            assert point.latency <= 15
+
+    def test_cumulative_best_is_monotone(self, cosine, library):
+        budgets = default_power_grid(24.0, 120.0, steps=6)
+        sweep = power_area_sweep(cosine, library, 12, budgets, cumulative_best=True)
+        assert sweep.is_monotone_non_increasing()
+
+    def test_helpers(self, hal, library):
+        sweep = power_area_sweep(hal, library, 17, [12.0, 60.0])
+        assert len(sweep.areas()) == len(sweep.budgets()) == 2
+        assert sweep.area_at(12.0) == sweep.points[0].area
+        assert sweep.area_at(999.0) is None
+
+
+class TestSweepResultLogic:
+    def test_monotonicity_check(self):
+        sweep = SweepResult("x", 10)
+        sweep.points = [
+            SweepPoint(1.0, True, area=100.0),
+            SweepPoint(2.0, True, area=90.0),
+            SweepPoint(3.0, True, area=90.0),
+        ]
+        assert sweep.is_monotone_non_increasing()
+        sweep.points.append(SweepPoint(4.0, True, area=95.0))
+        assert not sweep.is_monotone_non_increasing()

@@ -1,0 +1,50 @@
+"""Unit tests for the synthesis-result container and its verification."""
+
+import pytest
+
+from repro.scheduling.constraints import SynthesisConstraints
+from repro.scheduling.schedule import ScheduleError
+from repro.synthesis.engine import synthesize
+from repro.synthesis.result import SynthesisError
+
+
+class TestVerification:
+    def test_verify_passes_on_engine_output(self, hal, library):
+        synthesize(hal, library, 17, 12.0).verify()
+
+    def test_verify_catches_latency_violation(self, hal, library):
+        result = synthesize(hal, library, 17, 12.0)
+        tampered = result
+        tampered.constraints = SynthesisConstraints.of(result.latency - 1, 12.0)
+        with pytest.raises(ScheduleError):
+            tampered.verify()
+
+    def test_verify_catches_power_violation(self, hal, library):
+        result = synthesize(hal, library, 17, 12.0)
+        result.constraints = SynthesisConstraints.of(17, result.peak_power / 2)
+        with pytest.raises(ScheduleError):
+            result.verify()
+
+    def test_verify_catches_sharing_conflicts(self, hal, library):
+        result = synthesize(hal, library, 17, 12.0)
+        # Force two operations of some shared instance into the same cycle.
+        shared = next(
+            (inst for inst in result.datapath.instances.values() if len(inst.bound_ops) >= 2),
+            None,
+        )
+        assert shared is not None, "expected at least one shared instance at T=17"
+        first, second = shared.bound_ops[:2]
+        result.schedule.start_times[second] = result.schedule.start_times[first]
+        with pytest.raises((SynthesisError, ScheduleError)):
+            result.verify()
+
+
+class TestAccessors:
+    def test_scalar_accessors(self, hal, library):
+        result = synthesize(hal, library, 17, 12.0)
+        assert result.total_area == result.area.total
+        assert result.fu_area == result.area.functional_units
+        assert result.latency == result.schedule.makespan
+        assert result.peak_power == result.schedule.peak_power
+        assert isinstance(result.allocation_summary(), dict)
+        assert result.metadata["library"] == library.name

@@ -1,0 +1,84 @@
+"""Unit tests for the command-line interface (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_INFEASIBLE, build_parser, main
+from repro.ir import save
+from repro.suite import hal_cdfg
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synthesize", "-b", "bogus", "-T", "17"])
+
+
+class TestTable1AndBenchmarks:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Mult (ser.)" in out and "339" in out
+
+    def test_benchmarks_listing(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("hal", "cosine", "elliptic"):
+            assert name in out
+
+
+class TestSynthesize:
+    def test_feasible_run(self, capsys):
+        code = main(["synthesize", "-b", "hal", "-T", "17", "-P", "12", "--schedule", "--datapath"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "synthesis of 'hal'" in out
+        assert "cycle" in out          # schedule printed
+        assert "datapath for" in out   # datapath printed
+
+    def test_infeasible_run_exit_code(self, capsys):
+        code = main(["synthesize", "-b", "hal", "-T", "17", "-P", "2"])
+        assert code == EXIT_INFEASIBLE
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_verilog_export(self, tmp_path, capsys):
+        target = tmp_path / "hal.v"
+        code = main(["synthesize", "-b", "hal", "-T", "17", "-P", "12", "--verilog", str(target)])
+        assert code == 0
+        assert target.read_text().startswith("module")
+
+    def test_cdfg_file_input(self, tmp_path, capsys):
+        path = tmp_path / "hal.json"
+        save(hal_cdfg(), path)
+        code = main(["synthesize", "--cdfg", str(path), "-T", "17", "-P", "12"])
+        assert code == 0
+        assert "synthesis of 'hal'" in capsys.readouterr().out
+
+
+class TestSweepAndProfile:
+    def test_sweep(self, capsys):
+        code = main(["sweep", "-b", "hal", "-T", "17", "--steps", "3", "--cap", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Power/area sweep" in out
+        assert "hal (T=17)" in out
+
+    def test_sweep_infeasible_latency(self, capsys):
+        code = main(["sweep", "-b", "hal", "-T", "5", "--steps", "3"])
+        assert code == EXIT_INFEASIBLE
+
+    def test_profile_unconstrained(self, capsys):
+        code = main(["profile", "-b", "hal"])
+        assert code == 0
+        assert "power profile" in capsys.readouterr().out
+
+    def test_profile_figure1(self, capsys):
+        code = main(["profile", "-b", "hal", "-T", "17", "-P", "11"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "undesired" in out and "desired" in out
