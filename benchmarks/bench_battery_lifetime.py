@@ -12,12 +12,18 @@ low-quality and a high-quality battery.
 
 from __future__ import annotations
 
+from repro.api import SynthesisTask, run_task
 from repro.power.battery import high_quality_battery, low_quality_battery
 from repro.power.lifetime import compare_lifetimes
 from repro.reporting.table import render_table
 from repro.suite.registry import build_benchmark
-from repro.synthesis.baseline import naive_synthesis
 from repro.synthesis.engine import synthesize
+
+
+def naive_design(cdfg, library):
+    """The unconstrained 'undesired' design: ASAP, one FU per operation."""
+    task = SynthesisTask.naive(cdfg.name, library=library.name)
+    return run_task(task, cdfg=cdfg, library=library).result
 
 CASES = [
     ("hal", 17, 11.0),
@@ -32,7 +38,7 @@ def run_lifetime_study(library):
     rows = []
     for name, latency, budget in CASES:
         cdfg = build_benchmark(name)
-        unconstrained = naive_synthesis(cdfg, library)
+        unconstrained = naive_design(cdfg, library)
         constrained = synthesize(cdfg, library, latency, budget)
         for battery_name, battery in (
             ("low quality", low_quality_battery(CAPACITY)),

@@ -21,7 +21,7 @@ import pytest
 
 from repro.reporting.experiments import figure2_experiment
 from repro.suite.registry import build_benchmark
-from repro.synthesis.baseline import time_constrained_synthesis
+from repro.synthesis.engine import synthesize
 
 POWER_CAP = 150.0
 
@@ -53,7 +53,7 @@ def test_figure2_reproduction(benchmark, library, sweep_steps):
 
         # Shape check 2: the loose end of the curve matches the
         # power-unconstrained synthesis (the curve's asymptote).
-        unconstrained = time_constrained_synthesis(build_benchmark(name), library, latency)
+        unconstrained = synthesize(build_benchmark(name), library, latency)
         loosest = sweep.feasible_points()[-1]
         assert loosest.area <= unconstrained.total_area + 1e-6
 

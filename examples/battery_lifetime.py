@@ -15,7 +15,7 @@ The cheap battery shows the larger lifetime extension, mirroring the
 
 from __future__ import annotations
 
-from repro import build_benchmark, default_library, naive_synthesis, synthesize
+from repro import SynthesisTask, build_benchmark, default_library, run_task, synthesize
 from repro.power.battery import high_quality_battery, low_quality_battery
 from repro.power.lifetime import compare_lifetimes
 from repro.power.profile import profile_from_schedule
@@ -31,7 +31,8 @@ def main() -> None:
     library = default_library()
     cdfg = build_benchmark(BENCHMARK)
 
-    unconstrained = naive_synthesis(cdfg, library)
+    naive_task = SynthesisTask.naive(cdfg.name, library=library.name)
+    unconstrained = run_task(naive_task, cdfg=cdfg, library=library).result
     constrained = synthesize(cdfg, library, LATENCY, POWER_BUDGET)
 
     print("Per-cycle power profiles:")

@@ -21,9 +21,10 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
+from repro import SynthesisTask, run_batch
 from repro.ir import CDFGBuilder, OpType, save, to_dot
 from repro.library import FULibrary, FUModule
-from repro.synthesis import synthesize, synthesize_point
+from repro.synthesis import synthesize
 
 
 def build_cmac_cdfg():
@@ -72,14 +73,21 @@ def main() -> None:
     print(library.describe())
     print()
 
-    # Explore a few constraint corners.
+    # Explore a few constraint corners through the batch executor.  The
+    # custom graph and library are inlined into each task spec, so these
+    # tasks serialize to JSON and parallelize with jobs=N like any other.
+    corners = ((6, None), (9, 12.0), (12, 8.0), (16, 6.0))
+    tasks = [
+        SynthesisTask.of(cdfg, library=library, latency=latency, power_budget=budget)
+        for latency, budget in corners
+    ]
     print("constraint corners:")
-    for latency, budget in ((6, None), (9, 12.0), (12, 8.0), (16, 6.0)):
-        result = synthesize_point(cdfg, library, latency, budget)
+    for (latency, budget), record in zip(corners, run_batch(tasks)):
         label = f"T={latency:3d}  P={budget if budget is not None else 'inf':>5}"
-        if result is None:
+        if not record.feasible:
             print(f"  {label}: infeasible")
         else:
+            result = record.result
             print(
                 f"  {label}: area={result.total_area:7.1f}  "
                 f"peak={result.peak_power:5.1f}  "

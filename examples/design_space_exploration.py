@@ -22,10 +22,14 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--steps", type=int, default=8, help="budgets per sweep")
     parser.add_argument("--cap", type=float, default=150.0, help="largest power budget")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="parallel workers per sweep (batch executor)",
+    )
     args = parser.parse_args()
 
     print("Running the Figure-2 sweep (six cases); this takes a few seconds...\n")
-    data = figure2_experiment(power_cap=args.cap, steps=args.steps)
+    data = figure2_experiment(power_cap=args.cap, steps=args.steps, jobs=args.jobs)
 
     print(data.table)
     print()

@@ -12,11 +12,14 @@ This walks through the core API in five steps:
 3. run the combined power-constrained synthesis,
 4. inspect the resulting schedule, datapath and area,
 5. compare against the power-unconstrained baseline.
+
+Steps 3 and 5 use the declarative :class:`~repro.api.task.SynthesisTask`
+API — the same specs the batch executor and the ``repro`` CLI run.
 """
 
 from __future__ import annotations
 
-from repro import default_library, hal_cdfg, synthesize, time_constrained_synthesis
+from repro import SynthesisTask, default_library, hal_cdfg, run_task, synthesize
 from repro.power.profile import profile_from_schedule
 
 
@@ -31,7 +34,10 @@ def main() -> None:
     print()
 
     # 3. Combined scheduling + allocation + binding under T = 17, P = 11.
-    result = synthesize(cdfg, library, latency=17, max_power=11.0)
+    #    A SynthesisTask is plain data (try print(task.to_json())); the
+    #    one-call synthesize(cdfg, library, 17, 11.0) builds the same task.
+    task = SynthesisTask(graph="hal", latency=17, power_budget=11.0)
+    result = run_task(task).result
     print(result.describe())
     print()
 
@@ -46,8 +52,9 @@ def main() -> None:
     print(result.datapath.describe())
     print()
 
-    # 5. What the power constraint cost us: compare with the unconstrained run.
-    unconstrained = time_constrained_synthesis(cdfg, library, latency=17)
+    # 5. What the power constraint cost us: compare with the unconstrained run
+    #    (same engine, no power budget).
+    unconstrained = synthesize(cdfg, library, latency=17)
     print(
         f"power-unconstrained area: {unconstrained.total_area:.0f} "
         f"(peak power {unconstrained.peak_power:.1f})"

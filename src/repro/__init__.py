@@ -19,12 +19,22 @@ The package provides:
 * :mod:`repro.reporting` — the experiment drivers reproducing the paper's
   Table 1, Figure 1 and Figure 2.
 
+* :mod:`repro.api` — the unified ``SynthesisTask`` / ``Pipeline`` /
+  ``run_batch`` entry points tying everything together, with string-keyed
+  strategy registries in :mod:`repro.registries`.
+
 Quickstart::
 
-    from repro import default_library, hal_cdfg, synthesize
+    from repro import SynthesisTask, run_task
 
-    result = synthesize(hal_cdfg(), default_library(), latency=17, max_power=12.0)
-    print(result.describe())
+    record = run_task(SynthesisTask(graph="hal", latency=17, power_budget=12.0))
+    print(record.result.describe())
+
+or, batched across cores::
+
+    from repro import Sweep
+
+    records = Sweep("hal", 17, [8, 10, 12, 15, 20]).run(jobs=4)
 """
 
 from .ir import CDFG, CDFGBuilder, Operation, OpType
@@ -53,9 +63,27 @@ from .suite import (
     elliptic_cdfg,
     fir_cdfg,
     hal_cdfg,
+    register_benchmark,
+)
+from .registries import (
+    BINDERS,
+    LIBRARIES,
+    SCHEDULERS,
+    SELECTORS,
+    StrategyRegistry,
+    UnknownStrategyError,
+)
+from .api import (
+    Pipeline,
+    PipelineContext,
+    Sweep,
+    SynthesisTask,
+    TaskResult,
+    run_batch,
+    run_task,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CDFG",
@@ -86,5 +114,19 @@ __all__ = [
     "elliptic_cdfg",
     "fir_cdfg",
     "hal_cdfg",
+    "register_benchmark",
+    "StrategyRegistry",
+    "UnknownStrategyError",
+    "SCHEDULERS",
+    "BINDERS",
+    "SELECTORS",
+    "LIBRARIES",
+    "SynthesisTask",
+    "Pipeline",
+    "PipelineContext",
+    "TaskResult",
+    "Sweep",
+    "run_task",
+    "run_batch",
     "__version__",
 ]

@@ -1,0 +1,268 @@
+"""Parallel batch execution of synthesis tasks.
+
+``run_batch`` fans a list of :class:`~repro.api.task.SynthesisTask` specs
+out over a :class:`concurrent.futures.ProcessPoolExecutor` and returns a
+structured :class:`TaskResult` per task, in input order.  Because tasks
+are plain data, shipping them to workers is trivial; workers return the
+scalar metrics (area, peak power, latency, …) so the parent never has to
+unpickle a full datapath.  With ``jobs <= 1`` everything runs in-process
+and the full :class:`~repro.synthesis.result.SynthesisResult` objects are
+kept on the records.
+
+Infeasible constraint combinations are *data*, not errors: they come back
+as ``feasible=False`` records carrying the failure message, which is what
+lets a sweep probe below the feasibility frontier without try/except at
+every call site.  Genuine programming errors still propagate.
+
+:class:`Sweep` is the declarative form of the most common batch — one
+benchmark, one latency bound, many power budgets (one Figure-2 curve).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..scheduling.constraints import ConstraintError
+from ..scheduling.exact import ExactSchedulerError
+from ..scheduling.list_scheduler import ResourceInfeasibleError
+from ..scheduling.pasap import PowerInfeasibleError
+from ..scheduling.schedule import ScheduleError
+from ..synthesis.result import SynthesisError, SynthesisResult
+from .pipeline import Pipeline
+from .task import SynthesisTask, TaskError
+
+#: Exception types recorded as an infeasible task rather than raised.
+INFEASIBLE_ERRORS = (
+    SynthesisError,
+    ScheduleError,
+    ResourceInfeasibleError,
+    PowerInfeasibleError,
+    ExactSchedulerError,
+    ConstraintError,
+)
+
+
+@dataclass
+class TaskResult:
+    """Structured outcome of one task in a batch.
+
+    Attributes:
+        task: The spec that was run.
+        feasible: Whether synthesis succeeded under the task's constraints.
+        area: Total datapath area (``None`` when infeasible).
+        fu_area: Functional-unit area only (``None`` when infeasible).
+        peak_power: Peak per-cycle power of the result.
+        latency: Cycles used by the result.
+        backtracks: Engine backtrack-and-lock invocations.
+        error: Failure message for infeasible tasks.
+        error_type: Exception class name for infeasible tasks.
+        elapsed: Wall-clock seconds the task took.
+        result: The full result object — only populated for in-process
+            (sequential) execution; worker processes return scalars only.
+    """
+
+    task: SynthesisTask
+    feasible: bool
+    area: Optional[float] = None
+    fu_area: Optional[float] = None
+    peak_power: Optional[float] = None
+    latency: Optional[int] = None
+    backtracks: int = 0
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    elapsed: float = 0.0
+    result: Optional[SynthesisResult] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (drops the heavy ``result`` object)."""
+        return {
+            "task": self.task.to_dict(),
+            "feasible": self.feasible,
+            "area": self.area,
+            "fu_area": self.fu_area,
+            "peak_power": self.peak_power,
+            "latency": self.latency,
+            "backtracks": self.backtracks,
+            "error": self.error,
+            "error_type": self.error_type,
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TaskResult":
+        data = dict(data)
+        task = SynthesisTask.from_dict(data.pop("task"))
+        return cls(task=task, **data)
+
+
+def run_task(
+    task: SynthesisTask,
+    *,
+    keep_result: bool = True,
+    pipeline: Optional[Pipeline] = None,
+    cdfg=None,
+    library=None,
+) -> TaskResult:
+    """Run one task; return a record instead of raising on infeasibility.
+
+    ``cdfg`` / ``library`` are forwarded to :meth:`Pipeline.run` so
+    in-process callers holding live objects skip the task's own
+    resolution (and any inline-dict round-trip).
+    """
+    pipeline = pipeline or Pipeline.default()
+    started = time.perf_counter()
+    try:
+        result = pipeline.run(task, cdfg=cdfg, library=library)
+    except INFEASIBLE_ERRORS as exc:
+        return TaskResult(
+            task=task,
+            feasible=False,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            elapsed=time.perf_counter() - started,
+        )
+    return TaskResult(
+        task=task,
+        feasible=True,
+        area=result.total_area,
+        fu_area=result.fu_area,
+        peak_power=result.peak_power,
+        latency=result.latency,
+        backtracks=result.backtracks,
+        elapsed=time.perf_counter() - started,
+        result=result if keep_result else None,
+    )
+
+
+def _run_task_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: task dict in, record dict out (both picklable)."""
+    task = SynthesisTask.from_dict(payload)
+    return run_task(task, keep_result=False).to_dict()
+
+
+def run_batch(
+    tasks: Iterable[SynthesisTask],
+    *,
+    jobs: Optional[int] = None,
+    keep_results: Optional[bool] = None,
+    pipeline: Optional[Pipeline] = None,
+) -> List[TaskResult]:
+    """Run many tasks, optionally in parallel; results in input order.
+
+    Args:
+        tasks: Task specs to run.
+        jobs: Worker processes.  ``None`` or ``<= 1`` runs sequentially
+            in-process (full result objects kept by default).
+        keep_results: Keep full :class:`SynthesisResult` objects on the
+            records.  Defaults to True sequentially; forced off for
+            ``jobs > 1`` (workers return scalars only).
+        pipeline: Custom pipeline — sequential execution only, since a
+            pipeline with ad-hoc passes cannot be shipped to workers.
+
+    Returns:
+        One :class:`TaskResult` per task, in the same order as ``tasks``.
+    """
+    task_list = list(tasks)
+    workers = 1 if jobs is None else int(jobs)
+    if workers <= 1 or len(task_list) <= 1:
+        keep = True if keep_results is None else keep_results
+        return [run_task(t, keep_result=keep, pipeline=pipeline) for t in task_list]
+    if pipeline is not None:
+        raise ValueError(
+            "a custom pipeline cannot be used with jobs > 1; "
+            "run sequentially or register the custom strategies instead"
+        )
+    if keep_results:
+        raise ValueError("keep_results=True requires sequential execution (jobs <= 1)")
+    payloads = [task.to_dict() for task in task_list]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        records = list(pool.map(_run_task_payload, payloads))
+    return [TaskResult.from_dict(record) for record in records]
+
+
+@dataclass
+class Sweep:
+    """A declarative batch: one benchmark × one latency × many power budgets.
+
+    ``Sweep("hal", 17, [8, 10, 12, 15]).run(jobs=4)`` is one Figure-2
+    curve computed on four cores.
+    """
+
+    graph: Union[str, Dict[str, Any]]
+    latency: int
+    power_budgets: Sequence[float]
+    library: Union[str, Dict[str, Any]] = "table1"
+    scheduler: str = "engine"
+    binder: str = "greedy"
+    selector: str = "min_power"
+    options: Dict[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    def tasks(self) -> List[SynthesisTask]:
+        """Expand into one task per power budget (ascending)."""
+        if isinstance(self.power_budgets, (str, int, float)) or not hasattr(
+            self.power_budgets, "__iter__"
+        ):
+            raise TaskError(
+                f"sweep power_budgets must be a list of numbers, got {self.power_budgets!r}"
+            )
+        if not self.power_budgets:
+            raise TaskError("a sweep needs at least one power budget")
+        return [
+            SynthesisTask(
+                graph=self.graph,
+                latency=self.latency,
+                power_budget=budget,
+                library=self.library,
+                scheduler=self.scheduler,
+                binder=self.binder,
+                selector=self.selector,
+                options=dict(self.options),
+                label=self.label,
+            )
+            for budget in sorted(self.power_budgets)
+        ]
+
+    def run(self, jobs: Optional[int] = None) -> List[TaskResult]:
+        """Run the expanded tasks through :func:`run_batch`."""
+        keep = None if (jobs is None or jobs <= 1) else False
+        return run_batch(self.tasks(), jobs=jobs, keep_results=keep)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "graph": self.graph,
+            "latency": self.latency,
+            "power_budgets": list(self.power_budgets),
+            "library": self.library,
+            "scheduler": self.scheduler,
+            "binder": self.binder,
+            "selector": self.selector,
+            "options": dict(self.options),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Sweep":
+        if not isinstance(data, dict):
+            raise TaskError(f"sweep spec must be an object, got {type(data).__name__}")
+        valid = {
+            "graph",
+            "latency",
+            "power_budgets",
+            "library",
+            "scheduler",
+            "binder",
+            "selector",
+            "options",
+            "label",
+        }
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise TaskError(f"unknown sweep field(s) {unknown}; valid: {sorted(valid)}")
+        for required in ("graph", "latency", "power_budgets"):
+            if required not in data:
+                raise TaskError(f"sweep spec is missing the required {required!r} field")
+        return cls(**data)

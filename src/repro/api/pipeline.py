@@ -1,0 +1,284 @@
+"""The composable synthesis pipeline.
+
+A :class:`Pipeline` is an ordered list of named passes, each a callable
+mutating a shared :class:`PipelineContext`.  The default pipeline is
+
+``select`` → ``schedule`` → ``bind`` → ``finalize`` → ``analyze``
+
+* **select** resolves the task's module-selection policy and computes the
+  tentative per-operation delays/powers.
+* **schedule** resolves the task's scheduler strategy by name.  The
+  paper's combined ``engine`` strategy schedules, allocates *and* binds
+  in one pass (setting ``ctx.result`` directly); classical schedulers
+  only set ``ctx.schedule``.
+* **bind** resolves the binder strategy when the scheduler did not
+  produce a datapath.
+* **finalize** builds the :class:`~repro.synthesis.result.SynthesisResult`
+  (area breakdown, constraints record) and optionally verifies it.
+* **analyze** attaches power metrics (peak, energy, headroom) to the
+  result metadata.
+
+Pipelines are immutable-by-convention: the editing helpers
+(:meth:`Pipeline.replaced`, :meth:`Pipeline.without`,
+:meth:`Pipeline.inserted_after`) return new pipelines, so a customized
+flow never perturbs the shared default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..datapath.rtl import Datapath
+from ..ir.cdfg import CDFG
+from ..library.library import FULibrary
+from ..library.selection import Selection, selection_delays, selection_powers
+from ..power.profile import profile_from_schedule
+from ..registries import BINDERS, SCHEDULERS, SELECTORS
+from ..scheduling.constraints import (
+    PowerConstraint,
+    SynthesisConstraints,
+    TimeConstraint,
+)
+from ..scheduling.schedule import Schedule
+from ..synthesis.engine import EngineOptions
+from ..synthesis.result import SynthesisResult
+from .task import SynthesisTask, TaskError
+
+
+class PipelineError(RuntimeError):
+    """A pass violated the pipeline contract (missing inputs/outputs)."""
+
+
+@dataclass
+class PipelineContext:
+    """Mutable state threaded through the passes of one task run."""
+
+    task: SynthesisTask
+    cdfg: CDFG
+    library: FULibrary
+    options: EngineOptions
+    selection: Optional[Selection] = None
+    delays: Optional[Dict[str, int]] = None
+    powers: Optional[Dict[str, float]] = None
+    schedule: Optional[Schedule] = None
+    datapath: Optional[Datapath] = None
+    result: Optional[SynthesisResult] = None
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def power_constraint(self) -> PowerConstraint:
+        """The task's power budget as a constraint (unbounded when absent)."""
+        if self.task.power_budget is None:
+            return PowerConstraint.unbounded()
+        return PowerConstraint(self.task.power_budget)
+
+    def require_latency(self, strategy: str) -> int:
+        """The task's latency bound; raise when the strategy needs one."""
+        if self.task.latency is None:
+            raise TaskError(
+                f"strategy {strategy!r} requires a latency bound, but the task "
+                "has latency=None"
+            )
+        return int(self.task.latency)
+
+    @property
+    def constraints(self) -> SynthesisConstraints:
+        """(T, P) bundle for strategies needing both (e.g. ``engine``)."""
+        return SynthesisConstraints(
+            TimeConstraint(self.require_latency(self.task.scheduler)),
+            self.power_constraint,
+        )
+
+    def strategy_label(self, strategy: str) -> str:
+        return f"{strategy}[{self.cdfg.name}]"
+
+
+# --------------------------------------------------------------------------- #
+# Default passes
+# --------------------------------------------------------------------------- #
+def select_pass(ctx: PipelineContext) -> None:
+    """Pick a tentative module per operation via the task's selector.
+
+    Skipped for self-contained schedulers (``needs_selection = False`` on
+    the strategy, e.g. the combined ``engine``) — they perform their own
+    module selection and would discard this pass's output.
+    """
+    if not getattr(SCHEDULERS.get(ctx.task.scheduler), "needs_selection", True):
+        return
+    policy = SELECTORS.get(ctx.task.selector)()
+    ctx.selection = policy.select(ctx.cdfg, ctx.library)
+    ctx.delays = selection_delays(ctx.selection, ctx.cdfg)
+    ctx.powers = selection_powers(ctx.selection, ctx.cdfg)
+
+
+def schedule_pass(ctx: PipelineContext) -> None:
+    """Run the task's scheduler strategy."""
+    SCHEDULERS.get(ctx.task.scheduler)(ctx)
+    if ctx.schedule is None:
+        raise PipelineError(
+            f"scheduler {ctx.task.scheduler!r} did not produce a schedule"
+        )
+
+
+def bind_pass(ctx: PipelineContext) -> None:
+    """Bind operations to FU instances unless the scheduler already did."""
+    if ctx.datapath is not None:
+        return
+    BINDERS.get(ctx.task.binder)(ctx)
+    if ctx.datapath is None:
+        raise PipelineError(f"binder {ctx.task.binder!r} did not produce a datapath")
+
+
+def finalize_pass(ctx: PipelineContext) -> None:
+    """Assemble (and optionally verify) the synthesis result."""
+    if ctx.result is not None:  # the combined engine built it already
+        return
+    datapath = ctx.datapath
+    if datapath.schedule is None:
+        datapath.schedule = ctx.schedule
+    datapath.finalize()
+    bound = ctx.task.latency if ctx.task.latency is not None else ctx.schedule.makespan
+    constraints = SynthesisConstraints.of(bound, ctx.task.power_budget)
+    result = SynthesisResult(
+        datapath=datapath,
+        schedule=ctx.schedule,
+        constraints=constraints,
+        area=datapath.area(),
+        trace=[f"pipeline: scheduler={ctx.task.scheduler}, binder={ctx.task.binder}"],
+        backtracks=0,
+        metadata={"library": ctx.library.name},
+    )
+    if ctx.task.verify:
+        result.verify()
+    ctx.result = result
+
+
+def analyze_pass(ctx: PipelineContext) -> None:
+    """Attach power metrics to the result metadata."""
+    profile = profile_from_schedule(ctx.schedule)
+    ctx.metrics.setdefault("peak_power", profile.peak)
+    ctx.metrics.setdefault("energy", sum(profile))
+    if ctx.task.power_budget is not None:
+        ctx.metrics.setdefault("power_headroom", ctx.task.power_budget - profile.peak)
+    metadata = ctx.result.metadata
+    metadata.setdefault("scheduler", ctx.task.scheduler)
+    metadata.setdefault("binder", ctx.task.binder)
+    if ctx.task.label is not None:
+        metadata.setdefault("label", ctx.task.label)
+    metadata.setdefault("metrics", {}).update(ctx.metrics)
+
+
+PipelinePass = Tuple[str, Callable[[PipelineContext], None]]
+
+DEFAULT_PASSES: Tuple[PipelinePass, ...] = (
+    ("select", select_pass),
+    ("schedule", schedule_pass),
+    ("bind", bind_pass),
+    ("finalize", finalize_pass),
+    ("analyze", analyze_pass),
+)
+
+
+class Pipeline:
+    """An ordered sequence of named passes over a :class:`PipelineContext`."""
+
+    def __init__(self, passes: Optional[Sequence[PipelinePass]] = None) -> None:
+        self.passes: List[PipelinePass] = list(passes if passes is not None else DEFAULT_PASSES)
+
+    @classmethod
+    def default(cls) -> "Pipeline":
+        """The standard select → schedule → bind → finalize → analyze flow."""
+        return cls(DEFAULT_PASSES)
+
+    # ------------------------------------------------------------------ #
+    # Composition helpers (each returns a NEW pipeline)
+    # ------------------------------------------------------------------ #
+    def pass_names(self) -> List[str]:
+        return [name for name, _ in self.passes]
+
+    def _index_of(self, name: str) -> int:
+        for index, (pass_name, _) in enumerate(self.passes):
+            if pass_name == name:
+                return index
+        raise KeyError(f"no pass named {name!r}; passes: {self.pass_names()}")
+
+    def replaced(self, name: str, fn: Callable[[PipelineContext], None]) -> "Pipeline":
+        """A copy with pass ``name`` swapped for ``fn``."""
+        index = self._index_of(name)
+        passes = list(self.passes)
+        passes[index] = (name, fn)
+        return Pipeline(passes)
+
+    def without(self, name: str) -> "Pipeline":
+        """A copy with pass ``name`` removed."""
+        index = self._index_of(name)
+        passes = list(self.passes)
+        del passes[index]
+        return Pipeline(passes)
+
+    def inserted_after(
+        self, name: str, new_name: str, fn: Callable[[PipelineContext], None]
+    ) -> "Pipeline":
+        """A copy with a new pass inserted right after ``name``."""
+        index = self._index_of(name)
+        passes = list(self.passes)
+        passes.insert(index + 1, (new_name, fn))
+        return Pipeline(passes)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        task: SynthesisTask,
+        cdfg: Optional[CDFG] = None,
+        library: Optional[FULibrary] = None,
+    ) -> SynthesisResult:
+        """Run ``task`` through every pass; return the synthesis result.
+
+        ``cdfg`` / ``library`` short-circuit the task's own resolution —
+        the in-process shims pass the live objects they were handed so no
+        round-trip through the inline-dict form is needed.
+
+        Raises:
+            repro.synthesis.result.SynthesisError: on infeasible (T, P).
+            repro.registries.UnknownStrategyError: on unregistered names.
+            TaskError: when a strategy needs a missing task field.
+        """
+        ctx = self.context(task, cdfg=cdfg, library=library)
+        for _, fn in self.passes:
+            fn(ctx)
+        if ctx.result is None:
+            raise PipelineError(
+                f"pipeline {self.pass_names()} finished without a result"
+            )
+        return ctx.result
+
+    def context(
+        self,
+        task: SynthesisTask,
+        cdfg: Optional[CDFG] = None,
+        library: Optional[FULibrary] = None,
+    ) -> PipelineContext:
+        """Build the initial context (exposed for tests and custom drivers)."""
+        return PipelineContext(
+            task=task,
+            cdfg=cdfg if cdfg is not None else task.resolve_graph(),
+            library=library if library is not None else task.resolve_library(),
+            options=_engine_options(task.options),
+        )
+
+    def __repr__(self) -> str:
+        return f"Pipeline({self.pass_names()})"
+
+
+def _engine_options(overrides: Dict[str, Any]) -> EngineOptions:
+    """Build :class:`EngineOptions` from a task's plain-dict overrides."""
+    valid = {f.name for f in EngineOptions.__dataclass_fields__.values()}
+    unknown = sorted(set(overrides) - valid)
+    if unknown:
+        raise TaskError(
+            f"unknown engine option(s) {unknown}; valid options: {sorted(valid)}"
+        )
+    return EngineOptions(**overrides)

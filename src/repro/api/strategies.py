@@ -1,0 +1,78 @@
+"""Built-in binder strategies and registration of every stock strategy.
+
+Importing this module guarantees the registries are fully populated:
+
+* schedulers register themselves in :mod:`repro.scheduling` (``asap``,
+  ``alap``, ``list``, ``force_directed``, ``pasap``, ``palap``,
+  ``two_step``, ``exact``) and :mod:`repro.synthesis.engine`
+  (``engine``),
+* selectors and libraries register in :mod:`repro.library`,
+* the binders below register here (``greedy``, ``naive``).
+
+A binder maps a *fixed* schedule plus a module selection to a datapath.
+The combined ``engine`` scheduler never reaches a binder — it binds while
+scheduling, which is the paper's whole point — so these serve the
+classical two-phase flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..binding.intervals import Interval
+from ..datapath.rtl import Datapath
+from ..registries import BINDERS
+
+# Imported for their registration side effects (see module docstring).
+from .. import library as _library  # noqa: F401
+from .. import scheduling as _scheduling  # noqa: F401
+from ..synthesis import engine as _engine  # noqa: F401
+
+
+@BINDERS.register("naive")
+def naive_binder(ctx) -> None:
+    """One FU instance per operation — no sharing at all.
+
+    The fastest, largest, most power-spiky datapath; the "undesired"
+    baseline of the paper's Figure 1.
+    """
+    datapath = Datapath(cdfg=ctx.cdfg, schedule=ctx.schedule)
+    for op_name in ctx.cdfg.schedulable_operations():
+        instance = datapath.add_instance(ctx.selection[op_name])
+        datapath.bind(op_name, instance.name)
+    ctx.datapath = datapath
+
+
+@BINDERS.register("greedy")
+def greedy_binder(ctx) -> None:
+    """Left-edge sharing: bind each operation to the first free instance.
+
+    Operations are visited in start-time order; each goes onto an
+    existing instance of its selected module whose busy intervals do not
+    overlap, or onto a fresh instance.  This is the classical left-edge
+    binder — optimal instance counts per module for a fixed schedule.
+    """
+    datapath = Datapath(cdfg=ctx.cdfg, schedule=ctx.schedule)
+    busy: Dict[str, List[Interval]] = {}
+    operations = sorted(
+        ctx.cdfg.schedulable_operations(),
+        key=lambda name: (ctx.schedule.start(name), name),
+    )
+    for op_name in operations:
+        module = ctx.selection[op_name]
+        start = ctx.schedule.start(op_name)
+        interval = Interval(start, start + module.latency)
+        target = None
+        for instance in datapath.instances.values():
+            if instance.module.name != module.name:
+                continue
+            if any(interval.overlaps(existing) for existing in busy[instance.name]):
+                continue
+            target = instance
+            break
+        if target is None:
+            target = datapath.add_instance(module)
+            busy[target.name] = []
+        datapath.bind(op_name, target.name)
+        busy[target.name].append(interval)
+    ctx.datapath = datapath

@@ -1,0 +1,355 @@
+"""Declarative synthesis task specifications.
+
+A :class:`SynthesisTask` fully describes one synthesis run as plain data:
+the graph (a registered benchmark name or an inline CDFG dictionary), the
+technology library (a registered name or an inline module table), the
+(T, P) constraints, and the names of the strategies to use for module
+selection, scheduling and binding.  Because every field is a string,
+number or plain dictionary, tasks serialize to JSON and can be shipped to
+worker processes, stored next to experiment results, or written by hand
+in a batch file for ``repro batch``.
+
+Strategy names resolve through :mod:`repro.registries` at run time, so a
+task file can use any scheduler or binder a plugin has registered.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from ..ir.cdfg import CDFG
+from ..ir.operation import OpType
+from ..ir.serialize import from_dict as cdfg_from_dict
+from ..ir.serialize import to_dict as cdfg_to_dict
+from ..library.library import FULibrary
+from ..library.module import FUModule
+from ..registries import LIBRARIES
+from ..suite.registry import build_benchmark
+
+
+class TaskError(ValueError):
+    """A malformed task specification."""
+
+
+# --------------------------------------------------------------------------- #
+# Inline library (de)serialization
+# --------------------------------------------------------------------------- #
+def library_to_dict(library: FULibrary) -> Dict[str, Any]:
+    """Serialize a library so a task can carry a custom one inline."""
+    return {
+        "name": library.name,
+        "modules": [
+            {
+                "name": module.name,
+                "ops": sorted(op.value for op in module.supported_ops),
+                "area": module.area,
+                "latency": module.latency,
+                "power": module.power,
+            }
+            for module in library.modules()
+        ],
+    }
+
+
+def library_from_dict(data: Dict[str, Any]) -> FULibrary:
+    """Reconstruct a library from :func:`library_to_dict` output."""
+    try:
+        modules = [
+            FUModule.make(
+                entry["name"],
+                {OpType(op) for op in entry["ops"]},
+                area=entry["area"],
+                latency=entry["latency"],
+                power=entry["power"],
+            )
+            for entry in data["modules"]
+        ]
+        return FULibrary(modules, name=data.get("name", "library"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TaskError(f"malformed inline library spec: {exc}") from exc
+
+
+# --------------------------------------------------------------------------- #
+# The task spec
+# --------------------------------------------------------------------------- #
+_TASK_FIELDS = (
+    "graph",
+    "latency",
+    "power_budget",
+    "library",
+    "scheduler",
+    "binder",
+    "selector",
+    "options",
+    "verify",
+    "label",
+)
+
+
+@dataclass
+class SynthesisTask:
+    """A declarative, JSON-serializable spec of one synthesis run.
+
+    Attributes:
+        graph: Registered benchmark name (e.g. ``"hal"``) or an inline
+            CDFG dictionary in :func:`repro.ir.serialize.to_dict` format.
+        latency: Latency bound ``T`` in cycles.  ``None`` means "whatever
+            the schedule takes" — only schedulers that do not need a bound
+            (``asap``, ``pasap``) accept that.
+        power_budget: Per-cycle power budget ``P``; ``None`` = unbounded.
+        library: Registered library name (``"table1"``, ``"single"``) or
+            an inline :func:`library_to_dict` dictionary.
+        scheduler: Scheduler strategy name (see ``SCHEDULERS.names()``).
+            The default ``"engine"`` is the paper's combined
+            scheduling/allocation/binding algorithm.
+        binder: Binder strategy name used when the scheduler does not bind
+            (every scheduler except ``engine``).
+        selector: Module-selection policy name feeding the scheduler.
+        options: Plain-dict overrides for
+            :class:`repro.synthesis.engine.EngineOptions` fields.
+        verify: Re-check precedence/latency/power/conflicts on the result
+            and raise on violation.
+        label: Optional free-form label echoed in reports.
+    """
+
+    graph: Union[str, Dict[str, Any]]
+    latency: Optional[int] = None
+    power_budget: Optional[float] = None
+    library: Union[str, Dict[str, Any]] = "table1"
+    scheduler: str = "engine"
+    binder: str = "greedy"
+    selector: str = "min_power"
+    options: Dict[str, Any] = field(default_factory=dict)
+    verify: bool = True
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.graph, (str, dict)):
+            raise TaskError(
+                "task graph must be a benchmark name or an inline CDFG dict, "
+                f"got {type(self.graph).__name__}"
+            )
+        if not isinstance(self.library, (str, dict)):
+            raise TaskError(
+                "task library must be a registered name or an inline dict, "
+                f"got {type(self.library).__name__}"
+            )
+        if self.latency is not None:
+            try:
+                self.latency = int(self.latency)
+            except (TypeError, ValueError):
+                raise TaskError(f"latency bound must be an integer, got {self.latency!r}") from None
+            if self.latency <= 0:
+                raise TaskError(f"latency bound must be positive, got {self.latency}")
+        if self.power_budget is not None:
+            try:
+                self.power_budget = float(self.power_budget)
+            except (TypeError, ValueError):
+                raise TaskError(f"power budget must be a number, got {self.power_budget!r}") from None
+            if self.power_budget <= 0:
+                raise TaskError(f"power budget must be positive, got {self.power_budget}")
+        for field_name in ("scheduler", "binder", "selector"):
+            if not isinstance(getattr(self, field_name), str):
+                raise TaskError(f"task {field_name} must be a strategy name (string)")
+        if not isinstance(self.options, dict):
+            raise TaskError("task options must be a plain dict of engine options")
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def of(
+        cls,
+        graph: Union[str, Dict[str, Any], CDFG],
+        *,
+        library: Union[str, Dict[str, Any], FULibrary] = "table1",
+        latency: Optional[int] = None,
+        power_budget: Optional[float] = None,
+        scheduler: str = "engine",
+        binder: str = "greedy",
+        selector: str = "min_power",
+        options: Any = None,
+        verify: bool = True,
+        label: Optional[str] = None,
+    ) -> "SynthesisTask":
+        """Build a task from live objects, inlining them as serializable data.
+
+        Accepts a :class:`~repro.ir.cdfg.CDFG` for ``graph``, a
+        :class:`~repro.library.library.FULibrary` for ``library`` and an
+        ``EngineOptions`` instance (or any dataclass / dict) for
+        ``options``; everything is converted to plain dictionaries so the
+        resulting task still round-trips through JSON.
+        """
+        if isinstance(graph, CDFG):
+            graph = cdfg_to_dict(graph)
+        if isinstance(library, FULibrary):
+            library = library_to_dict(library)
+        if options is None:
+            options = {}
+        elif dataclasses.is_dataclass(options) and not isinstance(options, type):
+            options = dataclasses.asdict(options)
+        elif not isinstance(options, dict):
+            raise TaskError(
+                "options must be an EngineOptions instance or a plain dict, "
+                f"got {type(options).__name__}"
+            )
+        return cls(
+            graph=graph,
+            latency=latency,
+            power_budget=power_budget,
+            library=library,
+            scheduler=scheduler,
+            binder=binder,
+            selector=selector,
+            options=dict(options),
+            verify=verify,
+            label=label,
+        )
+
+    @classmethod
+    def naive(
+        cls,
+        graph: Union[str, Dict[str, Any], CDFG],
+        *,
+        library: Union[str, Dict[str, Any], FULibrary] = "table1",
+        latency: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> "SynthesisTask":
+        """The unconstrained 'undesired' baseline of the paper's Figure 1.
+
+        ASAP schedule, cheapest module per operation, one FU instance per
+        operation, no verification — maximal area and an unconstrained,
+        spiky power profile.
+        """
+        return cls.of(
+            graph,
+            library=library,
+            latency=latency,
+            scheduler="asap",
+            binder="naive",
+            selector="min_area",
+            verify=False,
+            label=label,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+    def resolve_graph(self) -> CDFG:
+        """Materialize the CDFG (benchmark lookup or inline deserialization)."""
+        if isinstance(self.graph, str):
+            return build_benchmark(self.graph)
+        return cdfg_from_dict(self.graph)
+
+    def resolve_library(self) -> FULibrary:
+        """Materialize the library (registry lookup or inline deserialization)."""
+        if isinstance(self.library, str):
+            return LIBRARIES.get(self.library)()
+        return library_from_dict(self.library)
+
+    @property
+    def graph_name(self) -> str:
+        """Display name of the graph without materializing it."""
+        if isinstance(self.graph, str):
+            return self.graph
+        return str(self.graph.get("name", "<inline>"))
+
+    def describe(self) -> str:
+        parts = [f"graph={self.graph_name}", f"scheduler={self.scheduler}"]
+        if self.latency is not None:
+            parts.append(f"T={self.latency}")
+        parts.append(f"P={self.power_budget:g}" if self.power_budget is not None else "P=inf")
+        if self.label:
+            parts.append(f"label={self.label!r}")
+        return "SynthesisTask(" + ", ".join(parts) + ")"
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-safe); inverse of :meth:`from_dict`."""
+        return {
+            "graph": self.graph,
+            "latency": self.latency,
+            "power_budget": self.power_budget,
+            "library": self.library,
+            "scheduler": self.scheduler,
+            "binder": self.binder,
+            "selector": self.selector,
+            "options": dict(self.options),
+            "verify": self.verify,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SynthesisTask":
+        """Build a task from a plain dict, rejecting unknown keys.
+
+        Raises:
+            TaskError: on unknown keys or malformed values, naming the
+                offending key so batch-file mistakes are easy to find.
+        """
+        if not isinstance(data, dict):
+            raise TaskError(f"task spec must be an object, got {type(data).__name__}")
+        unknown = sorted(set(data) - set(_TASK_FIELDS))
+        if unknown:
+            raise TaskError(
+                f"unknown task field(s) {unknown}; valid fields: {list(_TASK_FIELDS)}"
+            )
+        if "graph" not in data:
+            raise TaskError("task spec is missing the required 'graph' field")
+        return cls(**data)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SynthesisTask":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------ #
+    # Execution sugar
+    # ------------------------------------------------------------------ #
+    def run(self):
+        """Run this task through the default pipeline; return the result.
+
+        Raises the usual :class:`~repro.synthesis.result.SynthesisError`
+        subclasses on infeasible constraints.  For a non-raising record
+        (and for parallel execution) use :func:`repro.api.batch.run_task`
+        / :func:`repro.api.batch.run_batch`.
+        """
+        from .pipeline import Pipeline  # local import to avoid a cycle
+
+        return Pipeline.default().run(self)
+
+
+def tasks_from_json(text: str) -> List[SynthesisTask]:
+    """Parse a batch file: a JSON list of task specs or ``{"tasks": [...]}``.
+
+    ``{"sweeps": [...]}`` entries are expanded through
+    :class:`repro.api.batch.Sweep`.
+    """
+    from .batch import Sweep  # local import to avoid a cycle
+
+    payload = json.loads(text)
+    specs: List[Dict[str, Any]] = []
+    sweeps: List[Dict[str, Any]] = []
+    if isinstance(payload, list):
+        specs = payload
+    elif isinstance(payload, dict):
+        specs = payload.get("tasks", [])
+        sweeps = payload.get("sweeps", [])
+        unknown = sorted(set(payload) - {"tasks", "sweeps"})
+        if unknown:
+            raise TaskError(f"unknown batch-file key(s) {unknown}; use 'tasks'/'sweeps'")
+    else:
+        raise TaskError("batch file must be a JSON list of tasks or an object")
+    tasks = [SynthesisTask.from_dict(spec) for spec in specs]
+    for sweep_spec in sweeps:
+        tasks.extend(Sweep.from_dict(sweep_spec).tasks())
+    if not tasks:
+        raise TaskError("batch file contains no tasks")
+    return tasks

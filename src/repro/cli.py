@@ -1,53 +1,61 @@
 """Command-line interface.
 
-``python -m repro <command>`` exposes the main flows without writing any
-Python:
+``repro <command>`` (or ``python -m repro <command>``) exposes the main
+flows without writing any Python:
 
 * ``table1`` — print the functional-unit library (the paper's Table 1),
-* ``bench list`` (via ``benchmarks``) — list the registered benchmark CDFGs,
-* ``synthesize`` — run the combined power-constrained synthesis on a
-  benchmark (or a CDFG JSON file) and print the result,
+* ``benchmarks`` — list the registered benchmark CDFGs,
+* ``synthesize`` — run synthesis on a benchmark (or a CDFG JSON file)
+  with any registered scheduler/binder and print the result,
 * ``sweep`` — the Figure-2 power/area sweep for one benchmark and latency,
 * ``profile`` — print the per-cycle power profile of the unconstrained vs.
-  the power-constrained design (Figure 1 for any benchmark).
+  the power-constrained design (Figure 1 for any benchmark),
+* ``batch`` — run a JSON file of :class:`~repro.api.task.SynthesisTask`
+  specs through the parallel batch executor and print a result table.
 
-The CLI is a thin shell over the library API; every command returns a
-process exit code of 0 on success and 2 on infeasible constraint sets so
-it can be scripted.
+Every command builds a ``SynthesisTask`` and routes it through the shared
+:class:`~repro.api.pipeline.Pipeline`, so the CLI, the library API and
+the experiment drivers are the same code path.  Commands return a process
+exit code of 0 on success and 2 on infeasible constraint sets so they can
+be scripted.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
+from .api.batch import Sweep, TaskResult, run_batch, run_task
+from .api.task import SynthesisTask, TaskError, tasks_from_json
 from .ir import load as load_cdfg
+from .ir.serialize import to_dict as cdfg_to_dict
 from .library import default_library
 from .power.profile import profile_from_schedule
+from .registries import BINDERS, SCHEDULERS, UnknownStrategyError
 from .reporting.experiments import figure1_experiment, table1_report
 from .reporting.series import Series, ascii_plot
 from .reporting.table import render_table
 from .suite.registry import benchmark_names, build_benchmark, get_benchmark
-from .synthesis.baseline import naive_synthesis
 from .synthesis.explore import (
     default_power_grid,
     minimum_feasible_power,
     power_area_sweep,
 )
-from .synthesis.engine import synthesize
 from .synthesis.result import SynthesisError
 
 #: Exit code used for infeasible constraint combinations.
 EXIT_INFEASIBLE = 2
 
 
-def _load_graph(args: argparse.Namespace):
-    """Resolve the --benchmark / --cdfg options into a CDFG."""
+def _graph_spec(args: argparse.Namespace):
+    """Resolve the --benchmark / --cdfg options into a task graph spec."""
     if args.cdfg is not None:
-        return load_cdfg(Path(args.cdfg))
-    return build_benchmark(args.benchmark)
+        return cdfg_to_dict(load_cdfg(Path(args.cdfg)))
+    return args.benchmark
 
 
 def _cmd_table1(_: argparse.Namespace) -> int:
@@ -80,13 +88,18 @@ def _cmd_benchmarks(_: argparse.Namespace) -> int:
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
-    library = default_library()
-    cdfg = _load_graph(args)
-    try:
-        result = synthesize(cdfg, library, args.latency, args.power)
-    except SynthesisError as exc:
-        print(f"infeasible: {exc}", file=sys.stderr)
+    task = SynthesisTask(
+        graph=_graph_spec(args),
+        latency=args.latency,
+        power_budget=args.power,
+        scheduler=args.scheduler,
+        binder=args.binder,
+    )
+    record = run_task(task)
+    if not record.feasible:
+        print(f"infeasible: {record.error}", file=sys.stderr)
         return EXIT_INFEASIBLE
+    result = record.result
     print(result.describe())
     if args.schedule:
         print()
@@ -102,7 +115,10 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     library = default_library()
-    cdfg = _load_graph(args)
+    if args.cdfg is not None:
+        cdfg = load_cdfg(Path(args.cdfg))
+    else:
+        cdfg = build_benchmark(args.benchmark)
     try:
         p_min = minimum_feasible_power(cdfg, library, args.latency)
     except SynthesisError as exc:
@@ -110,7 +126,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return EXIT_INFEASIBLE
     budgets = default_power_grid(p_min, args.cap, args.steps)
     sweep = power_area_sweep(
-        cdfg, library, args.latency, budgets, cumulative_best=not args.raw
+        cdfg,
+        library,
+        args.latency,
+        budgets,
+        cumulative_best=not args.raw,
+        jobs=args.jobs,
     )
     rows = [
         [point.power_budget, point.feasible, point.area, point.peak_power]
@@ -132,11 +153,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    library = default_library()
-    cdfg = _load_graph(args)
     if args.power is None:
-        unconstrained = naive_synthesis(cdfg, library)
-        print(profile_from_schedule(unconstrained.schedule).describe())
+        record = run_task(SynthesisTask.naive(_graph_spec(args)))
+        print(profile_from_schedule(record.result.schedule).describe())
         return 0
     try:
         data = figure1_experiment(
@@ -147,6 +166,69 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         return EXIT_INFEASIBLE
     print(data.report)
     return 0
+
+
+def _batch_rows(records: List[TaskResult]) -> List[List[object]]:
+    rows: List[List[object]] = []
+    for index, record in enumerate(records):
+        task = record.task
+        rows.append(
+            [
+                index,
+                task.label or task.graph_name,
+                task.scheduler,
+                task.latency if task.latency is not None else "-",
+                f"{task.power_budget:g}" if task.power_budget is not None else "inf",
+                "yes" if record.feasible else "no",
+                f"{record.area:g}" if record.area is not None else "-",
+                f"{record.peak_power:.2f}" if record.peak_power is not None else "-",
+                record.latency if record.latency is not None else "-",
+                f"{record.elapsed:.2f}",
+            ]
+        )
+    return rows
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        tasks = tasks_from_json(Path(args.file).read_text())
+    except (TaskError, ValueError, TypeError, OSError) as exc:
+        # ValueError covers json.JSONDecodeError; TypeError catches
+        # type-level spec mistakes (e.g. a scalar where a list belongs).
+        print(f"bad batch file: {exc}", file=sys.stderr)
+        return 1
+
+    started = time.perf_counter()
+    try:
+        records = run_batch(tasks, jobs=args.jobs, keep_results=False)
+    except (TaskError, UnknownStrategyError) as exc:
+        print(f"bad task: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+
+    print(
+        render_table(
+            ["#", "task", "scheduler", "T", "P", "feasible", "area", "peak", "cycles", "sec"],
+            _batch_rows(records),
+            title=f"Batch results ({args.file})",
+        )
+    )
+    feasible = sum(1 for record in records if record.feasible)
+    print(
+        f"\n{feasible}/{len(records)} tasks feasible in {elapsed:.2f}s "
+        f"(jobs={args.jobs})"
+    )
+    for record in records:
+        if not record.feasible:
+            print(f"  task {record.task.describe()}: {record.error}")
+    if args.output is not None:
+        Path(args.output).write_text(
+            json.dumps([record.to_dict() for record in records], indent=2)
+        )
+        print(f"wrote structured results to {args.output}")
+    # Partial infeasibility is normal sweep data; a batch where *nothing*
+    # was feasible honours the scriptable infeasible exit code.
+    return 0 if feasible else EXIT_INFEASIBLE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -167,10 +249,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--benchmark", "-b", default="hal", choices=benchmark_names())
         p.add_argument("--cdfg", help="path to a CDFG JSON file (overrides --benchmark)")
 
-    synth = sub.add_parser("synthesize", help="run the combined synthesis")
+    synth = sub.add_parser("synthesize", help="run synthesis with any registered strategy")
     add_graph_options(synth)
     synth.add_argument("--latency", "-T", type=int, required=True)
     synth.add_argument("--power", "-P", type=float, default=None)
+    synth.add_argument(
+        "--scheduler",
+        default="engine",
+        choices=SCHEDULERS.names(),
+        help="scheduler strategy (default: the paper's combined engine)",
+    )
+    synth.add_argument(
+        "--binder",
+        default="greedy",
+        choices=BINDERS.names(),
+        help="binder strategy for non-engine schedulers",
+    )
     synth.add_argument("--schedule", action="store_true", help="print the schedule")
     synth.add_argument("--datapath", action="store_true", help="print the datapath")
     synth.add_argument("--verilog", help="write a structural Verilog skeleton to this path")
@@ -182,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cap", type=float, default=150.0)
     sweep.add_argument("--steps", type=int, default=8)
     sweep.add_argument("--raw", action="store_true", help="disable the running-best convention")
+    sweep.add_argument("--jobs", "-j", type=int, default=1, help="parallel workers")
     sweep.set_defaults(handler=_cmd_sweep)
 
     profile = sub.add_parser("profile", help="per-cycle power profile (Figure 1)")
@@ -189,6 +284,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--latency", "-T", type=int, default=17)
     profile.add_argument("--power", "-P", type=float, default=None)
     profile.set_defaults(handler=_cmd_profile)
+
+    batch = sub.add_parser(
+        "batch", help="run a JSON file of SynthesisTask specs, optionally in parallel"
+    )
+    batch.add_argument("file", help="JSON: a list of task specs or {'tasks': [...], 'sweeps': [...]}")
+    batch.add_argument("--jobs", "-j", type=int, default=1, help="parallel workers")
+    batch.add_argument("--output", "-o", help="also write structured JSON results here")
+    batch.set_defaults(handler=_cmd_batch)
 
     return parser
 

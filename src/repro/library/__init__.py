@@ -38,3 +38,19 @@ __all__ = [
     "selection_powers",
     "total_energy",
 ]
+
+
+# --------------------------------------------------------------------------- #
+# Strategy registrations: technology libraries and selection policies are
+# addressable by name so SynthesisTask specs stay pure data.
+# --------------------------------------------------------------------------- #
+from ..registries import LIBRARIES as _LIBRARIES
+from ..registries import SELECTORS as _SELECTORS
+
+_LIBRARIES.register("table1", default_library)
+_LIBRARIES.register("default", default_library)
+_LIBRARIES.register("single", single_implementation_library)
+
+_SELECTORS.register("min_power", MinPowerSelection)
+_SELECTORS.register("min_area", MinAreaSelection)
+_SELECTORS.register("min_latency", MinLatencySelection)

@@ -1,0 +1,156 @@
+"""String-keyed strategy registries for the pluggable synthesis pipeline.
+
+Every interchangeable piece of the flow — schedulers, binders, module
+selectors, technology libraries and benchmark graphs — registers itself
+under a short name.  A :class:`~repro.api.task.SynthesisTask` then refers
+to strategies purely by name, which is what makes tasks JSON-serializable
+and lets ``run_batch`` ship them to worker processes.
+
+Adding a new algorithm no longer means adding a new top-level entry
+point; decorate it instead::
+
+    from repro.registries import SCHEDULERS
+
+    @SCHEDULERS.register("my_scheduler")
+    def my_scheduler(ctx):
+        ctx.schedule = ...  # any precedence-legal Schedule
+
+Strategy contracts (``ctx`` is a :class:`repro.api.pipeline.PipelineContext`):
+
+* **scheduler** — ``fn(ctx) -> None``; must set ``ctx.schedule``.  The
+  combined ``engine`` strategy may additionally set ``ctx.datapath`` and
+  ``ctx.result`` (scheduling, allocation and binding are simultaneous in
+  the paper's algorithm).
+* **binder** — ``fn(ctx) -> None``; must set ``ctx.datapath`` from
+  ``ctx.schedule`` and ``ctx.selection``.
+* **selector** — ``fn() -> SelectionPolicy``.
+* **library** — ``fn() -> FULibrary``.
+
+This module deliberately has no imports from the rest of the package so
+any layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class UnknownStrategyError(KeyError):
+    """A strategy name was not found in its registry."""
+
+    def __init__(self, kind: str, name: str, known: List[str]) -> None:
+        self.kind = kind
+        self.name = name
+        self.known = known
+        super().__init__(
+            f"unknown {kind} {name!r}; registered: {', '.join(known) or '(none)'}"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable
+        return self.args[0]
+
+    def __reduce__(self):
+        # Default exception pickling would call __init__ with the single
+        # formatted message and fail; batch workers ship this across the
+        # process boundary, so reconstruct from the original fields.
+        return (UnknownStrategyError, (self.kind, self.name, self.known))
+
+
+class DuplicateStrategyError(ValueError):
+    """A strategy name was registered twice without ``replace=True``."""
+
+
+class StrategyRegistry(Generic[T]):
+    """A named mapping from strategy names to implementations.
+
+    Registries preserve registration order (``names()`` is deterministic)
+    and support decorator-style registration::
+
+        @REGISTRY.register("name")
+        def strategy(...): ...
+
+    or direct registration of an existing object::
+
+        REGISTRY.register("name", strategy)
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    def register(
+        self,
+        name: str,
+        obj: Optional[T] = None,
+        *,
+        replace: bool = False,
+    ):
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        Raises:
+            DuplicateStrategyError: when ``name`` is taken and ``replace``
+                is False.
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError(f"{self.kind} name must be a non-empty string")
+
+        def _add(value: T) -> T:
+            if name in self._entries and not replace:
+                raise DuplicateStrategyError(
+                    f"{self.kind} {name!r} is already registered; "
+                    "pass replace=True to override"
+                )
+            self._entries[name] = value
+            return value
+
+        if obj is None:
+            return _add
+        return _add(obj)
+
+    def unregister(self, name: str) -> None:
+        """Remove a strategy (mainly for tests plugging in temporaries)."""
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> T:
+        """Look up a strategy by name.
+
+        Raises:
+            UnknownStrategyError: with the list of registered names.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownStrategyError(self.kind, name, self.names()) from None
+
+    def names(self) -> List[str]:
+        """Registered names in registration order."""
+        return list(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"StrategyRegistry({self.kind!r}, {self.names()})"
+
+
+#: Scheduling strategies (``asap``, ``alap``, ``list``, ``force_directed``,
+#: ``pasap``, ``palap``, ``two_step``, ``exact``, ``engine``).
+SCHEDULERS: StrategyRegistry[Callable] = StrategyRegistry("scheduler")
+
+#: Binding strategies mapping a fixed schedule to a datapath
+#: (``greedy``, ``naive``).
+BINDERS: StrategyRegistry[Callable] = StrategyRegistry("binder")
+
+#: Module-selection policies (``min_power``, ``min_area``, ``min_latency``).
+SELECTORS: StrategyRegistry[Callable] = StrategyRegistry("selector")
+
+#: Technology-library factories (``table1``/``default``, ``single``).
+LIBRARIES: StrategyRegistry[Callable] = StrategyRegistry("library")

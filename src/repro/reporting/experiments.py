@@ -10,13 +10,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api.pipeline import Pipeline
+from ..api.task import SynthesisTask
 from ..ir.cdfg import CDFG
 from ..library.library import FULibrary, TABLE1_ROWS, default_library
 from ..power.analysis import spike_report
 from ..power.profile import profile_from_schedule
-from ..scheduling.asap import asap_schedule_with_library
-from ..synthesis.baseline import naive_synthesis
-from ..synthesis.engine import synthesize
 from ..synthesis.explore import (
     SweepResult,
     default_power_grid,
@@ -74,9 +73,22 @@ def figure1_experiment(
     """
     library = library or default_library()
     cdfg = build_benchmark(benchmark)
+    pipeline = Pipeline.default()
 
-    unconstrained = naive_synthesis(cdfg, library).schedule
-    constrained = synthesize(cdfg, library, latency, power_budget).schedule
+    naive_task = SynthesisTask.naive(
+        cdfg.name,
+        library=library.name,
+        label=f"figure1-unconstrained[{benchmark}]",
+    )
+    constrained_task = SynthesisTask.of(
+        cdfg,
+        library=library,
+        latency=latency,
+        power_budget=power_budget,
+        label=f"figure1-constrained[{benchmark}]",
+    )
+    unconstrained = pipeline.run(naive_task, cdfg=cdfg, library=library).schedule
+    constrained = pipeline.run(constrained_task, cdfg=cdfg, library=library).schedule
 
     unconstrained_profile = profile_from_schedule(unconstrained)
     constrained_profile = profile_from_schedule(constrained)
@@ -126,6 +138,7 @@ def figure2_experiment(
     steps: int = 10,
     library: Optional[FULibrary] = None,
     cumulative_best: bool = True,
+    jobs: Optional[int] = None,
 ) -> Figure2Data:
     """Reproduce Figure 2: area vs. power budget for each (benchmark, T).
 
@@ -137,6 +150,8 @@ def figure2_experiment(
         cumulative_best: Report the running best area as the budget is
             relaxed (a tighter-budget design is also valid under a looser
             budget); see :func:`repro.synthesis.explore.power_area_sweep`.
+        jobs: Worker processes per sweep — forwarded to the batch
+            executor behind :func:`~repro.synthesis.explore.power_area_sweep`.
     """
     library = library or default_library()
     cases = list(cases) if cases is not None else figure2_cases()
@@ -148,7 +163,7 @@ def figure2_experiment(
         p_min = minimum_feasible_power(cdfg, library, latency)
         budgets = default_power_grid(p_min, power_cap, steps)
         sweep = power_area_sweep(
-            cdfg, library, latency, budgets, cumulative_best=cumulative_best
+            cdfg, library, latency, budgets, cumulative_best=cumulative_best, jobs=jobs
         )
         data.sweeps[(benchmark, latency)] = sweep
 

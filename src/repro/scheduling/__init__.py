@@ -31,6 +31,7 @@ from .force_directed import force_directed_schedule
 from .two_step import TwoStepResult, two_step_schedule
 from .exact import (
     ExactSchedulerError,
+    exact_schedule,
     exists_schedule,
     minimum_latency_under_power,
     optimality_gap,
@@ -72,7 +73,128 @@ __all__ = [
     "TwoStepResult",
     "two_step_schedule",
     "ExactSchedulerError",
+    "exact_schedule",
     "exists_schedule",
     "minimum_latency_under_power",
     "optimality_gap",
 ]
+
+
+# --------------------------------------------------------------------------- #
+# Strategy registrations
+#
+# Each adapter bridges a scheduler's native signature to the pipeline
+# contract: read what it needs from the PipelineContext (duck-typed, so
+# this package never imports repro.api), write ctx.schedule.  New
+# schedulers plug in the same way — decorate an adapter and a task can
+# name it; no new top-level entry point required.
+# --------------------------------------------------------------------------- #
+from ..registries import SCHEDULERS as _SCHEDULERS
+
+
+@_SCHEDULERS.register("asap")
+def _asap_strategy(ctx) -> None:
+    """Earliest data-ready start for every operation (no constraints)."""
+    ctx.schedule = asap_schedule(
+        ctx.cdfg, ctx.delays, ctx.powers, label=ctx.strategy_label("asap")
+    )
+
+
+@_SCHEDULERS.register("alap")
+def _alap_strategy(ctx) -> None:
+    """Latest start under the latency bound."""
+    ctx.schedule = alap_schedule(
+        ctx.cdfg,
+        ctx.delays,
+        ctx.powers,
+        ctx.require_latency("alap"),
+        label=ctx.strategy_label("alap"),
+    )
+
+
+@_SCHEDULERS.register("list")
+def _list_strategy(ctx) -> None:
+    """Resource-constrained list scheduling with a greedy minimal allocation."""
+    latency = ctx.require_latency("list")
+    module_of = {
+        name: ctx.selection[name] for name in ctx.cdfg.schedulable_operations()
+    }
+    allocation = greedy_allocation_for_latency(
+        ctx.cdfg, ctx.delays, ctx.powers, module_of, latency
+    )
+    ctx.schedule = list_schedule(
+        ctx.cdfg,
+        ctx.delays,
+        ctx.powers,
+        module_of,
+        allocation,
+        latency_hint=latency,
+        label=ctx.strategy_label("list"),
+    )
+    ctx.metrics["allocation"] = dict(allocation)
+
+
+@_SCHEDULERS.register("force_directed")
+def _force_directed_strategy(ctx) -> None:
+    """Paulin/Knight force-directed scheduling under the latency bound."""
+    ctx.schedule = force_directed_schedule(
+        ctx.cdfg,
+        ctx.delays,
+        ctx.powers,
+        ctx.require_latency("force_directed"),
+        label=ctx.strategy_label("force_directed"),
+    )
+
+
+@_SCHEDULERS.register("pasap")
+def _pasap_strategy(ctx) -> None:
+    """The paper's power-constrained ASAP (no latency bound needed)."""
+    ctx.schedule = pasap_schedule(
+        ctx.cdfg,
+        ctx.delays,
+        ctx.powers,
+        ctx.power_constraint,
+        label=ctx.strategy_label("pasap"),
+    )
+
+
+@_SCHEDULERS.register("palap")
+def _palap_strategy(ctx) -> None:
+    """The paper's power-constrained ALAP under the latency bound."""
+    ctx.schedule = palap_schedule(
+        ctx.cdfg,
+        ctx.delays,
+        ctx.powers,
+        ctx.power_constraint,
+        ctx.require_latency("palap"),
+        label=ctx.strategy_label("palap"),
+    )
+
+
+@_SCHEDULERS.register("two_step")
+def _two_step_strategy(ctx) -> None:
+    """Schedule-then-repair baseline; records whether the repair met P."""
+    outcome = two_step_schedule(
+        ctx.cdfg,
+        ctx.delays,
+        ctx.powers,
+        ctx.power_constraint,
+        TimeConstraint(ctx.require_latency("two_step")),
+        label=ctx.strategy_label("two_step"),
+    )
+    ctx.schedule = outcome.schedule
+    ctx.metrics["met_power"] = outcome.met_power
+    ctx.metrics["repair_moves"] = outcome.moves
+
+
+@_SCHEDULERS.register("exact")
+def _exact_strategy(ctx) -> None:
+    """Exhaustive makespan-optimal scheduling (tiny graphs only)."""
+    ctx.schedule = exact_schedule(
+        ctx.cdfg,
+        ctx.delays,
+        ctx.powers,
+        ctx.power_constraint,
+        ctx.require_latency("exact"),
+        label=ctx.strategy_label("exact"),
+    )

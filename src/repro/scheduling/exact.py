@@ -51,13 +51,18 @@ def _search(
     profile: List[float],
     best: List[Optional[int]],
 ) -> None:
-    """Depth-first search over start times in a fixed topological order."""
+    """Depth-first search over start times in a fixed topological order.
+
+    ``best`` is a two-slot cell: ``best[0]`` holds the incumbent makespan
+    and ``best[1]`` the start-time map achieving it.
+    """
     if index == len(order):
         makespan = max(
             (start[n] + delays[n] for n in start), default=0
         )
         if best[0] is None or makespan < best[0]:
             best[0] = makespan
+            best[1] = dict(start)
         return
 
     name = order[index]
@@ -105,7 +110,7 @@ def minimum_latency_under_power(
     operations = [n for n in cdfg.topological_order()]
     if horizon is None:
         horizon = sum(delays[n] for n in operations) + 1
-    best: List[Optional[int]] = [None]
+    best: List = [None, None]
     _search(
         cdfg,
         operations,
@@ -131,6 +136,38 @@ def exists_schedule(
     """True if some schedule meets both the power budget and the latency bound."""
     best = minimum_latency_under_power(cdfg, delays, powers, power, horizon=latency)
     return best is not None and best <= latency
+
+
+def exact_schedule(
+    cdfg: CDFG,
+    delays: Mapping[str, int],
+    powers: Mapping[str, float],
+    power: PowerConstraint,
+    latency: int,
+    label: str = "exact",
+) -> Schedule:
+    """Makespan-optimal schedule under ``(latency, power)`` by exhaustive search.
+
+    Raises:
+        ExactSchedulerError: when the graph exceeds :data:`MAX_OPERATIONS`
+            or no schedule exists within the latency bound.
+    """
+    _check_size(cdfg)
+    order = list(cdfg.topological_order())
+    best: List = [None, None]
+    _search(cdfg, order, delays, powers, power, latency, 0, {}, [], best)
+    if best[0] is None or best[0] > latency:
+        raise ExactSchedulerError(
+            f"no schedule for {cdfg.name!r} meets T={latency} under the power budget"
+        )
+    return Schedule(
+        cdfg=cdfg,
+        start_times=dict(best[1]),
+        delays=dict(delays),
+        powers=dict(powers),
+        label=label,
+        metadata={"optimal_makespan": best[0], "latency_bound": latency},
+    )
 
 
 def optimality_gap(

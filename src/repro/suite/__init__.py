@@ -12,6 +12,7 @@ from .registry import (
     build_benchmark,
     figure2_cases,
     get_benchmark,
+    register_benchmark,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "build_benchmark",
     "figure2_cases",
     "get_benchmark",
+    "register_benchmark",
 ]

@@ -1,11 +1,23 @@
-"""Benchmark registry: name → CDFG builder with the paper's latency bounds."""
+"""Benchmark registry: name → CDFG builder with the paper's latency bounds.
+
+Benchmarks register by name through :func:`register_benchmark`, following
+the same string-keyed-registry convention as the scheduler/binder/library
+registries in :mod:`repro.registries`.  A registered name is what a
+:class:`~repro.api.task.SynthesisTask` puts in its ``graph`` field, so a
+new workload becomes batch-runnable with a single decorator::
+
+    @register_benchmark("my_filter", latencies=(10, 14))
+    def my_filter_cdfg() -> CDFG:
+        ...
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..ir.cdfg import CDFG
+from ..registries import StrategyRegistry
 from .ar import ar_cdfg
 from .cosine import COSINE_LATENCIES, cosine_cdfg
 from .elliptic import ELLIPTIC_LATENCIES, elliptic_cdfg
@@ -26,21 +38,60 @@ class BenchmarkSpec:
         return self.builder()
 
 
-_REGISTRY: Dict[str, BenchmarkSpec] = {
-    "hal": BenchmarkSpec("hal", hal_cdfg, tuple(HAL_LATENCIES), in_paper=True),
-    "cosine": BenchmarkSpec("cosine", cosine_cdfg, tuple(COSINE_LATENCIES), in_paper=True),
-    "elliptic": BenchmarkSpec("elliptic", elliptic_cdfg, tuple(ELLIPTIC_LATENCIES), in_paper=True),
-    "fir": BenchmarkSpec("fir", fir_cdfg, (8, 12), in_paper=False),
-    "ar": BenchmarkSpec("ar", ar_cdfg, (14, 20), in_paper=False),
-}
+#: The benchmark registry proper — same machinery as SCHEDULERS/BINDERS.
+BENCHMARKS: StrategyRegistry[BenchmarkSpec] = StrategyRegistry("benchmark")
+
+
+def register_benchmark(
+    name: str,
+    builder: Optional[Callable[[], CDFG]] = None,
+    *,
+    latencies: Sequence[int] = (),
+    in_paper: bool = False,
+    replace: bool = False,
+):
+    """Register a benchmark CDFG builder under ``name``; decorator-friendly.
+
+    A thin wrapper over :class:`~repro.registries.StrategyRegistry` that
+    attaches the benchmark metadata (``latencies``, ``in_paper``) to the
+    stored :class:`BenchmarkSpec`.
+
+    Args:
+        name: Registry key (what task specs put in their ``graph`` field).
+        builder: Zero-argument CDFG factory; omit to use as a decorator.
+        latencies: Latency bounds the benchmark is evaluated at.
+        in_paper: Whether the benchmark appears in the paper's evaluation.
+        replace: Allow overriding an existing registration.
+
+    Raises:
+        repro.registries.DuplicateStrategyError: when ``name`` is taken
+            and ``replace`` is False.
+    """
+
+    def _add(fn: Callable[[], CDFG]) -> Callable[[], CDFG]:
+        BENCHMARKS.register(
+            name, BenchmarkSpec(name, fn, tuple(latencies), in_paper), replace=replace
+        )
+        return fn
+
+    if builder is None:
+        return _add
+    return _add(builder)
+
+
+register_benchmark("hal", hal_cdfg, latencies=HAL_LATENCIES, in_paper=True)
+register_benchmark("cosine", cosine_cdfg, latencies=COSINE_LATENCIES, in_paper=True)
+register_benchmark("elliptic", elliptic_cdfg, latencies=ELLIPTIC_LATENCIES, in_paper=True)
+register_benchmark("fir", fir_cdfg, latencies=(8, 12))
+register_benchmark("ar", ar_cdfg, latencies=(14, 20))
 
 
 def benchmark_names(paper_only: bool = False) -> List[str]:
     """Names of registered benchmarks (optionally only the paper's three)."""
     return [
         name
-        for name, spec in _REGISTRY.items()
-        if spec.in_paper or not paper_only
+        for name in BENCHMARKS.names()
+        if BENCHMARKS.get(name).in_paper or not paper_only
     ]
 
 
@@ -48,14 +99,10 @@ def get_benchmark(name: str) -> BenchmarkSpec:
     """Look up a benchmark spec by name.
 
     Raises:
-        KeyError: with the list of known names when the name is unknown.
+        repro.registries.UnknownStrategyError: (a ``KeyError``) naming the
+            registered benchmarks when the name is unknown.
     """
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown benchmark {name!r}; known: {sorted(_REGISTRY)}"
-        ) from None
+    return BENCHMARKS.get(name)
 
 
 def build_benchmark(name: str) -> CDFG:

@@ -12,19 +12,25 @@ Two baselines bracket the paper's combined algorithm:
   ASAP schedule.  This is the fastest, largest and most power-spiky
   design; useful as an upper bound on area and peak power in tests and
   examples.
+
+.. deprecated:: 1.1
+    Both functions are thin shims over the :class:`~repro.api.task.SynthesisTask`
+    / :class:`~repro.api.pipeline.Pipeline` API and will go away once the
+    callers migrate.  ``time_constrained_synthesis(cdfg, lib, T)`` is
+    ``SynthesisTask.of(cdfg, library=lib, latency=T)`` (engine scheduler,
+    no power budget); ``naive_synthesis(cdfg, lib)`` is
+    ``SynthesisTask.of(cdfg, library=lib, scheduler="asap",
+    binder="naive", selector="min_area", verify=False)``.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
-from ..datapath.rtl import Datapath
 from ..ir.cdfg import CDFG
 from ..library.library import FULibrary
-from ..library.selection import MinAreaSelection, selection_delays, selection_powers
-from ..scheduling.asap import asap_schedule
-from ..scheduling.constraints import SynthesisConstraints
-from .engine import EngineOptions, PowerConstrainedSynthesizer
+from .engine import EngineOptions
 from .result import SynthesisResult
 
 
@@ -34,9 +40,25 @@ def time_constrained_synthesis(
     latency: int,
     options: Optional[EngineOptions] = None,
 ) -> SynthesisResult:
-    """Area-minimizing synthesis under a latency bound only (no power cap)."""
-    constraints = SynthesisConstraints.of(latency, max_power=None)
-    return PowerConstrainedSynthesizer(library, constraints, options).synthesize(cdfg)
+    """Area-minimizing synthesis under a latency bound only (no power cap).
+
+    .. deprecated:: 1.1
+        Use a :class:`~repro.api.task.SynthesisTask` with
+        ``power_budget=None`` instead.
+    """
+    warnings.warn(
+        "time_constrained_synthesis() is deprecated; build a SynthesisTask "
+        "with power_budget=None and run it through the Pipeline instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api.pipeline import Pipeline
+    from ..api.task import SynthesisTask
+
+    task = SynthesisTask.of(
+        cdfg, library=library, latency=latency, power_budget=None, options=options
+    )
+    return Pipeline.default().run(task, cdfg=cdfg, library=library)
 
 
 def naive_synthesis(
@@ -57,26 +79,23 @@ def naive_synthesis(
     Returns:
         A :class:`SynthesisResult` with maximal area and an unconstrained
         power profile.
+
+    .. deprecated:: 1.1
+        Use a :class:`~repro.api.task.SynthesisTask` with
+        ``scheduler="asap"``, ``binder="naive"``, ``selector="min_area"``
+        instead.
     """
-    selection = MinAreaSelection().select(cdfg, library)
-    delays = selection_delays(selection, cdfg)
-    powers = selection_powers(selection, cdfg)
-    schedule = asap_schedule(cdfg, delays, powers, label=f"naive[{cdfg.name}]")
-
-    datapath = Datapath(cdfg=cdfg, schedule=schedule)
-    for op_name in cdfg.schedulable_operations():
-        instance = datapath.add_instance(selection[op_name])
-        datapath.bind(op_name, instance.name)
-    datapath.finalize()
-
-    bound = latency if latency is not None else schedule.makespan
-    constraints = SynthesisConstraints.of(bound, max_power=None)
-    return SynthesisResult(
-        datapath=datapath,
-        schedule=schedule,
-        constraints=constraints,
-        area=datapath.area(),
-        trace=["naive: one instance per operation"],
-        backtracks=0,
-        metadata={"library": library.name, "flow": "naive"},
+    warnings.warn(
+        "naive_synthesis() is deprecated; build a SynthesisTask with "
+        "scheduler='asap', binder='naive', selector='min_area' instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from ..api.pipeline import Pipeline
+    from ..api.task import SynthesisTask
+
+    task = SynthesisTask.naive(cdfg.name, library=library.name, latency=latency)
+    result = Pipeline.default().run(task, cdfg=cdfg, library=library)
+    result.trace.append("naive: one instance per operation")
+    result.metadata.setdefault("flow", "naive")
+    return result

@@ -567,6 +567,29 @@ class PowerConstrainedSynthesizer:
         return powers
 
 
+from ..registries import SCHEDULERS as _SCHEDULERS
+
+
+@_SCHEDULERS.register("engine")
+def _engine_strategy(ctx) -> None:
+    """The paper's combined scheduling/allocation/binding algorithm.
+
+    Unlike the classical strategies this one binds while scheduling, so it
+    sets ``ctx.datapath`` and ``ctx.result`` as well — the pipeline's
+    ``bind`` and ``finalize`` passes then have nothing left to do.
+    """
+    synthesizer = PowerConstrainedSynthesizer(ctx.library, ctx.constraints, ctx.options)
+    result = synthesizer.synthesize(ctx.cdfg)
+    ctx.schedule = result.schedule
+    ctx.datapath = result.datapath
+    ctx.result = result
+
+
+# The engine selects (and adapts) its own modules; the pipeline's select
+# pass would be dead work before it.
+_engine_strategy.needs_selection = False
+
+
 def synthesize(
     cdfg: CDFG,
     library: FULibrary,
@@ -574,6 +597,17 @@ def synthesize(
     max_power: Optional[float] = None,
     options: Optional[EngineOptions] = None,
 ) -> SynthesisResult:
-    """One-call convenience wrapper around :class:`PowerConstrainedSynthesizer`."""
-    constraints = SynthesisConstraints.of(latency, max_power)
-    return PowerConstrainedSynthesizer(library, constraints, options).synthesize(cdfg)
+    """One-call convenience wrapper; routes through the task/pipeline API."""
+    from ..api.pipeline import Pipeline  # local import: api depends on this module
+    from ..api.task import SynthesisTask
+
+    # The graph/library fields are nominal records only: the live objects
+    # are handed straight to the pipeline, so nothing is serialized here.
+    task = SynthesisTask.of(
+        cdfg.name,
+        library=library.name,
+        latency=latency,
+        power_budget=max_power,
+        options=options,
+    )
+    return Pipeline.default().run(task, cdfg=cdfg, library=library)

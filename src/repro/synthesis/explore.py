@@ -2,9 +2,10 @@
 
 Figure 2 of the paper plots, for each benchmark and latency bound, the
 datapath area obtained for a range of power constraints.  This module
-drives those sweeps: it finds the smallest feasible power budget, sweeps a
-grid of budgets up to a cap, and returns structured records the benchmark
-harness and the examples turn into tables/series.
+drives those sweeps on top of the unified task/batch API: every point is
+a :class:`~repro.api.task.SynthesisTask` and the grid is executed through
+:func:`~repro.api.batch.run_batch`, so a sweep parallelizes across cores
+by passing ``jobs=N``.
 """
 
 from __future__ import annotations
@@ -14,13 +15,8 @@ from typing import List, Optional, Sequence
 
 from ..ir.cdfg import CDFG
 from ..library.library import FULibrary
-from .engine import EngineOptions, synthesize
-from .result import (
-    PowerInfeasibleSynthesisError,
-    SynthesisError,
-    SynthesisResult,
-    TimingInfeasibleError,
-)
+from .engine import EngineOptions
+from .result import SynthesisError, SynthesisResult
 
 
 @dataclass(frozen=True)
@@ -73,6 +69,31 @@ class SweepResult:
         return all(later <= earlier + tolerance for earlier, later in zip(areas, areas[1:]))
 
 
+def _point_task(
+    cdfg: CDFG,
+    library: FULibrary,
+    latency: int,
+    power_budget: Optional[float],
+    options: Optional[EngineOptions],
+    inline: bool = False,
+):
+    """One (T, P) point as a task.
+
+    ``inline=True`` serializes the graph and library into the spec so it
+    can ship to worker processes; otherwise the fields are nominal and
+    the caller passes the live objects to the executor directly.
+    """
+    from ..api.task import SynthesisTask
+
+    return SynthesisTask.of(
+        cdfg if inline else cdfg.name,
+        library=library if inline else library.name,
+        latency=latency,
+        power_budget=power_budget,
+        options=options,
+    )
+
+
 def synthesize_point(
     cdfg: CDFG,
     library: FULibrary,
@@ -81,10 +102,11 @@ def synthesize_point(
     options: Optional[EngineOptions] = None,
 ) -> Optional[SynthesisResult]:
     """Synthesize one (T, P) point; return ``None`` when infeasible."""
-    try:
-        return synthesize(cdfg, library, latency, power_budget, options)
-    except (PowerInfeasibleSynthesisError, TimingInfeasibleError):
-        return None
+    from ..api.batch import run_task
+
+    task = _point_task(cdfg, library, latency, power_budget, options)
+    record = run_task(task, cdfg=cdfg, library=library)
+    return record.result if record.feasible else None
 
 
 def minimum_feasible_power(
@@ -125,8 +147,14 @@ def power_area_sweep(
     power_budgets: Sequence[float],
     options: Optional[EngineOptions] = None,
     cumulative_best: bool = False,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Synthesize the benchmark for every budget in ``power_budgets``.
+
+    Every budget becomes one :class:`~repro.api.task.SynthesisTask`; the
+    grid runs through :func:`~repro.api.batch.run_batch`, in parallel when
+    ``jobs > 1``.  Parallel results are identical to sequential ones —
+    each point is an independent synthesis run.
 
     Args:
         cdfg: Benchmark graph.
@@ -142,26 +170,45 @@ def power_area_sweep(
             greedy heuristic's occasional non-monotone noise from the
             reported curve.  The raw per-budget results are what you get
             with the default ``False``.
+        jobs: Worker processes for the batch executor (``None``/1 =
+            sequential).
     """
+    from ..api.batch import run_batch, run_task
+
+    budgets = sorted(power_budgets)
+    parallel = jobs is not None and jobs > 1 and len(budgets) > 1
+    if parallel:
+        tasks = [
+            _point_task(cdfg, library, latency, budget, options, inline=True)
+            for budget in budgets
+        ]
+        records = run_batch(tasks, jobs=jobs, keep_results=False)
+    else:
+        records = [
+            run_task(
+                _point_task(cdfg, library, latency, budget, options),
+                cdfg=cdfg,
+                library=library,
+            )
+            for budget in budgets
+        ]
+
     sweep = SweepResult(benchmark=cdfg.name, latency_bound=latency)
-    best_area: Optional[float] = None
     best_point: Optional[SweepPoint] = None
-    for budget in sorted(power_budgets):
-        result = synthesize_point(cdfg, library, latency, budget, options)
-        if result is None:
+    for budget, record in zip(budgets, records):
+        if not record.feasible:
             sweep.points.append(SweepPoint(power_budget=budget, feasible=False))
             continue
         point = SweepPoint(
             power_budget=budget,
             feasible=True,
-            area=result.total_area,
-            fu_area=result.fu_area,
-            peak_power=result.peak_power,
-            latency=result.latency,
+            area=record.area,
+            fu_area=record.fu_area,
+            peak_power=record.peak_power,
+            latency=record.latency,
         )
         if cumulative_best:
-            if best_area is None or point.area < best_area:
-                best_area = point.area
+            if best_point is None or point.area < best_point.area:
                 best_point = point
             else:
                 point = SweepPoint(

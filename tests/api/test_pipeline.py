@@ -1,0 +1,161 @@
+"""Unit tests for the Pipeline: pass composition and strategy matrix."""
+
+import pytest
+
+from repro.api import Pipeline, SynthesisTask
+from repro.api.pipeline import PipelineError
+from repro.api.task import TaskError
+from repro.synthesis.result import SynthesisError
+
+
+class TestDefaultPipeline:
+    def test_pass_order(self):
+        assert Pipeline.default().pass_names() == [
+            "select",
+            "schedule",
+            "bind",
+            "finalize",
+            "analyze",
+        ]
+
+    def test_engine_task_matches_direct_engine_call(self, hal, library):
+        from repro.scheduling.constraints import SynthesisConstraints
+        from repro.synthesis.engine import PowerConstrainedSynthesizer
+
+        direct = PowerConstrainedSynthesizer(
+            library, SynthesisConstraints.of(17, 12.0)
+        ).synthesize(hal)
+        task = SynthesisTask(graph="hal", latency=17, power_budget=12.0)
+        via_pipeline = Pipeline.default().run(task)
+        assert via_pipeline.total_area == direct.total_area
+        assert via_pipeline.peak_power == direct.peak_power
+        assert via_pipeline.latency == direct.latency
+
+    def test_result_metadata_records_strategies(self):
+        task = SynthesisTask(graph="hal", latency=17, power_budget=12.0, label="meta")
+        result = Pipeline.default().run(task)
+        assert result.metadata["scheduler"] == "engine"
+        assert result.metadata["label"] == "meta"
+        assert "peak_power" in result.metadata["metrics"]
+        assert "energy" in result.metadata["metrics"]
+
+    def test_explicit_objects_bypass_resolution(self, hal, library):
+        task = SynthesisTask(graph="ignored-name", latency=17, power_budget=12.0)
+        result = Pipeline.default().run(task, cdfg=hal, library=library)
+        assert result.schedule.cdfg.name == "hal"
+
+
+class TestStrategyMatrix:
+    @pytest.mark.parametrize("scheduler", ["asap", "alap", "force_directed", "list"])
+    def test_classical_schedulers_with_greedy_binder(self, scheduler):
+        task = SynthesisTask(graph="hal", latency=20, scheduler=scheduler, verify=False)
+        result = Pipeline.default().run(task)
+        assert result.schedule.respects_precedence()
+        assert result.datapath.check_no_conflicts() == []
+        assert result.total_area > 0
+
+    @pytest.mark.parametrize("scheduler", ["pasap", "palap", "two_step"])
+    def test_power_aware_schedulers_respect_budget(self, scheduler):
+        task = SynthesisTask(
+            graph="hal", latency=25, power_budget=15.0, scheduler=scheduler
+        )
+        result = Pipeline.default().run(task)
+        assert result.peak_power <= 15.0 + 1e-9
+
+    def test_exact_scheduler_on_small_graph(self, diamond, library):
+        task = SynthesisTask.of(
+            diamond, library=library, latency=15, power_budget=20.0, scheduler="exact"
+        )
+        result = Pipeline.default().run(task)
+        assert result.peak_power <= 20.0 + 1e-9
+        assert result.latency <= 15
+
+    def test_greedy_binder_shares_instances(self):
+        shared = Pipeline.default().run(
+            SynthesisTask(graph="hal", latency=20, scheduler="alap", verify=False)
+        )
+        exclusive = Pipeline.default().run(
+            SynthesisTask(
+                graph="hal", latency=20, scheduler="alap", binder="naive", verify=False
+            )
+        )
+        assert shared.datapath.instance_count() < exclusive.datapath.instance_count()
+        assert shared.total_area < exclusive.total_area
+
+    def test_latency_requiring_scheduler_without_latency(self):
+        task = SynthesisTask(graph="hal", scheduler="alap")
+        with pytest.raises(TaskError):
+            Pipeline.default().run(task)
+
+    def test_verify_catches_budget_violation(self):
+        # ASAP ignores the power budget entirely; verification must flag it.
+        task = SynthesisTask(
+            graph="hal", latency=20, power_budget=5.0, scheduler="asap"
+        )
+        from repro.scheduling.schedule import ScheduleError
+
+        with pytest.raises(ScheduleError):
+            Pipeline.default().run(task)
+
+    def test_unknown_engine_option_rejected(self):
+        task = SynthesisTask(
+            graph="hal", latency=17, options={"not_an_option": True}
+        )
+        with pytest.raises(TaskError) as excinfo:
+            Pipeline.default().run(task)
+        assert "not_an_option" in str(excinfo.value)
+
+    def test_infeasible_engine_task_raises_synthesis_error(self):
+        task = SynthesisTask(graph="hal", latency=17, power_budget=2.0)
+        with pytest.raises(SynthesisError):
+            Pipeline.default().run(task)
+
+
+class TestComposition:
+    def test_without_analyze(self):
+        pipeline = Pipeline.default().without("analyze")
+        task = SynthesisTask(graph="hal", latency=17, power_budget=12.0)
+        result = pipeline.run(task)
+        assert "metrics" not in result.metadata
+
+    def test_replaced_pass_runs(self):
+        seen = []
+
+        def spy(ctx):
+            seen.append(ctx.task.scheduler)
+
+        pipeline = Pipeline.default().replaced("analyze", spy)
+        pipeline.run(SynthesisTask(graph="hal", latency=17, power_budget=12.0))
+        assert seen == ["engine"]
+
+    def test_inserted_after(self):
+        order = []
+
+        def probe(ctx):
+            order.append("probe")
+
+        pipeline = Pipeline.default().inserted_after("schedule", "probe", probe)
+        assert pipeline.pass_names() == [
+            "select",
+            "schedule",
+            "probe",
+            "bind",
+            "finalize",
+            "analyze",
+        ]
+        pipeline.run(SynthesisTask(graph="hal", latency=17, power_budget=12.0))
+        assert order == ["probe"]
+
+    def test_unknown_pass_name(self):
+        with pytest.raises(KeyError):
+            Pipeline.default().without("nonexistent")
+
+    def test_editing_does_not_mutate_original(self):
+        original = Pipeline.default()
+        original.without("analyze")
+        assert "analyze" in original.pass_names()
+
+    def test_empty_pipeline_reports_missing_result(self):
+        task = SynthesisTask(graph="hal", latency=17)
+        with pytest.raises(PipelineError):
+            Pipeline([]).run(task)

@@ -1,0 +1,133 @@
+"""Unit tests for the strategy registries (repro.registries)."""
+
+import pytest
+
+from repro.registries import (
+    BINDERS,
+    LIBRARIES,
+    SCHEDULERS,
+    SELECTORS,
+    DuplicateStrategyError,
+    StrategyRegistry,
+    UnknownStrategyError,
+)
+
+
+class TestStrategyRegistry:
+    def test_register_and_get(self):
+        registry = StrategyRegistry("thing")
+        registry.register("a", lambda: 1)
+        assert registry.get("a")() == 1
+
+    def test_decorator_registration(self):
+        registry = StrategyRegistry("thing")
+
+        @registry.register("decorated")
+        def strategy():
+            return "ok"
+
+        assert strategy() == "ok"  # decorator returns the function unchanged
+        assert registry.get("decorated") is strategy
+
+    def test_unknown_name_raises_with_known_names(self):
+        registry = StrategyRegistry("scheduler")
+        registry.register("asap", lambda: None)
+        with pytest.raises(UnknownStrategyError) as excinfo:
+            registry.get("bogus")
+        message = str(excinfo.value)
+        assert "bogus" in message and "asap" in message
+
+    def test_unknown_strategy_error_pickles(self):
+        # Batch workers ship this exception across the process boundary.
+        import pickle
+
+        error = UnknownStrategyError("scheduler", "bogus", ["asap", "engine"])
+        restored = pickle.loads(pickle.dumps(error))
+        assert isinstance(restored, UnknownStrategyError)
+        assert str(restored) == str(error)
+        assert (restored.kind, restored.name, restored.known) == (
+            "scheduler",
+            "bogus",
+            ["asap", "engine"],
+        )
+
+    def test_duplicate_rejected_unless_replace(self):
+        registry = StrategyRegistry("thing")
+        registry.register("x", lambda: 1)
+        with pytest.raises(DuplicateStrategyError):
+            registry.register("x", lambda: 2)
+        registry.register("x", lambda: 2, replace=True)
+        assert registry.get("x")() == 2
+
+    def test_names_preserve_order_and_membership(self):
+        registry = StrategyRegistry("thing")
+        for name in ("c", "a", "b"):
+            registry.register(name, name)
+        assert registry.names() == ["c", "a", "b"]
+        assert "a" in registry and "z" not in registry
+        assert len(registry) == 3
+
+    def test_unregister(self):
+        registry = StrategyRegistry("thing")
+        registry.register("gone", 1)
+        registry.unregister("gone")
+        assert "gone" not in registry
+        registry.unregister("never-there")  # no error
+
+    def test_bad_name_rejected(self):
+        registry = StrategyRegistry("thing")
+        with pytest.raises(ValueError):
+            registry.register("", lambda: None)
+
+
+class TestBuiltinRegistrations:
+    def test_all_paper_schedulers_registered(self):
+        for name in (
+            "asap",
+            "alap",
+            "list",
+            "force_directed",
+            "pasap",
+            "palap",
+            "two_step",
+            "exact",
+            "engine",
+        ):
+            assert name in SCHEDULERS, name
+
+    def test_binders_and_selectors_and_libraries(self):
+        assert {"greedy", "naive"} <= set(BINDERS.names())
+        assert {"min_power", "min_area", "min_latency"} <= set(SELECTORS.names())
+        assert {"table1", "default", "single"} <= set(LIBRARIES.names())
+
+    def test_library_factories_build(self):
+        table1 = LIBRARIES.get("table1")()
+        assert len(table1) > 0
+        assert LIBRARIES.get("default")().name == table1.name
+
+
+class TestCustomStrategyPluggability:
+    def test_registered_scheduler_is_usable_by_name(self, hal, library):
+        """A scheduler added via the decorator runs through the pipeline."""
+        from repro.api import Pipeline, SynthesisTask
+        from repro.scheduling.asap import asap_schedule
+
+        @SCHEDULERS.register("custom_asap_for_test")
+        def _custom(ctx):
+            ctx.schedule = asap_schedule(ctx.cdfg, ctx.delays, ctx.powers)
+
+        try:
+            task = SynthesisTask(
+                graph="hal", scheduler="custom_asap_for_test", verify=False
+            )
+            result = Pipeline.default().run(task)
+            assert result.schedule.respects_precedence()
+        finally:
+            SCHEDULERS.unregister("custom_asap_for_test")
+
+    def test_unknown_scheduler_surfaces_in_pipeline(self):
+        from repro.api import Pipeline, SynthesisTask
+
+        task = SynthesisTask(graph="hal", latency=17, scheduler="not_a_scheduler")
+        with pytest.raises(UnknownStrategyError):
+            Pipeline.default().run(task)

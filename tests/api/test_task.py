@@ -1,0 +1,167 @@
+"""Unit tests for SynthesisTask specs: validation, resolution, round-trips."""
+
+import json
+
+import pytest
+
+from repro.api.task import (
+    SynthesisTask,
+    TaskError,
+    library_from_dict,
+    library_to_dict,
+    tasks_from_json,
+)
+from repro.ir.serialize import to_dict as cdfg_to_dict
+from repro.synthesis.engine import EngineOptions
+
+
+class TestValidation:
+    def test_graph_must_be_name_or_dict(self):
+        with pytest.raises(TaskError):
+            SynthesisTask(graph=42)
+
+    def test_latency_and_power_must_be_positive(self):
+        with pytest.raises(TaskError):
+            SynthesisTask(graph="hal", latency=0)
+        with pytest.raises(TaskError):
+            SynthesisTask(graph="hal", latency=17, power_budget=-1.0)
+
+    def test_options_must_be_dict(self):
+        with pytest.raises(TaskError):
+            SynthesisTask(graph="hal", latency=17, options=[1, 2])
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(TaskError) as excinfo:
+            SynthesisTask.from_dict({"graph": "hal", "lateny": 17})
+        assert "lateny" in str(excinfo.value)
+
+    def test_from_dict_requires_graph(self):
+        with pytest.raises(TaskError):
+            SynthesisTask.from_dict({"latency": 17})
+
+    def test_numeric_strings_are_coerced(self):
+        task = SynthesisTask(graph="hal", latency="20", power_budget="12.5")
+        assert task.latency == 20 and isinstance(task.latency, int)
+        assert task.power_budget == 12.5 and isinstance(task.power_budget, float)
+
+    def test_non_numeric_constraints_raise_task_error(self):
+        with pytest.raises(TaskError):
+            SynthesisTask(graph="hal", latency="abc")
+        with pytest.raises(TaskError):
+            SynthesisTask(graph="hal", latency=17, power_budget=[12.0])
+
+    def test_strategy_names_must_be_strings(self):
+        with pytest.raises(TaskError):
+            SynthesisTask(graph="hal", latency=17, scheduler=3)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_named_graph(self):
+        task = SynthesisTask(
+            graph="hal",
+            latency=17,
+            power_budget=12.0,
+            scheduler="pasap",
+            binder="naive",
+            selector="min_area",
+            options={"trace": False},
+            verify=False,
+            label="round-trip",
+        )
+        restored = SynthesisTask.from_json(task.to_json())
+        assert restored == task
+
+    def test_json_round_trip_inline_graph_and_library(self, hal, library):
+        task = SynthesisTask.of(hal, library=library, latency=17, power_budget=12.0)
+        restored = SynthesisTask.from_json(task.to_json(indent=2))
+        assert restored == task
+        # The inline specs materialize back into equivalent objects.
+        assert restored.resolve_graph().name == hal.name
+        assert len(restored.resolve_graph()) == len(hal)
+        assert restored.resolve_library().name == library.name
+        assert len(restored.resolve_library()) == len(library)
+
+    def test_to_dict_is_json_safe(self, hal, library):
+        task = SynthesisTask.of(
+            hal, library=library, latency=17, options=EngineOptions(trace=False)
+        )
+        json.dumps(task.to_dict())  # must not raise
+
+
+class TestOf:
+    def test_engine_options_instance_becomes_plain_dict(self, hal):
+        task = SynthesisTask.of(hal, latency=17, options=EngineOptions(delay_area_weight=0.0))
+        assert task.options["delay_area_weight"] == 0.0
+        assert isinstance(task.options, dict)
+
+    def test_bad_options_type_rejected(self, hal):
+        with pytest.raises(TaskError):
+            SynthesisTask.of(hal, latency=17, options="trace=False")
+
+    def test_graph_name_for_inline_and_named(self, hal):
+        assert SynthesisTask(graph="hal", latency=17).graph_name == "hal"
+        inline = SynthesisTask.of(hal, latency=17)
+        assert inline.graph_name == hal.name
+
+
+class TestResolution:
+    def test_named_graph_resolves_via_benchmark_registry(self):
+        task = SynthesisTask(graph="hal", latency=17)
+        assert task.resolve_graph().name == "hal"
+
+    def test_unknown_benchmark_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            SynthesisTask(graph="not-a-benchmark", latency=17).resolve_graph()
+
+    def test_named_library_resolves_via_registry(self):
+        task = SynthesisTask(graph="hal", latency=17, library="single")
+        assert "single" in task.resolve_library().name or len(task.resolve_library()) > 0
+
+    def test_inline_graph_round_trip(self, hal):
+        task = SynthesisTask(graph=cdfg_to_dict(hal), latency=17)
+        assert sorted(task.resolve_graph().operation_names()) == sorted(
+            hal.operation_names()
+        )
+
+
+class TestLibraryDict:
+    def test_library_round_trip_preserves_modules(self, library):
+        restored = library_from_dict(library_to_dict(library))
+        assert {m.name for m in restored.modules()} == {m.name for m in library.modules()}
+        for module in library.modules():
+            twin = restored.module(module.name)
+            assert twin.area == module.area
+            assert twin.latency == module.latency
+            assert twin.power == module.power
+            assert twin.supported_ops == module.supported_ops
+
+    def test_malformed_library_dict_raises(self):
+        with pytest.raises(TaskError):
+            library_from_dict({"modules": [{"name": "x"}]})
+
+
+class TestBatchFileParsing:
+    def test_list_form(self):
+        tasks = tasks_from_json('[{"graph": "hal", "latency": 17}]')
+        assert len(tasks) == 1 and tasks[0].graph == "hal"
+
+    def test_tasks_and_sweeps_form(self):
+        text = json.dumps(
+            {
+                "tasks": [{"graph": "hal", "latency": 17, "power_budget": 12.0}],
+                "sweeps": [
+                    {"graph": "hal", "latency": 17, "power_budgets": [10.0, 12.0]}
+                ],
+            }
+        )
+        tasks = tasks_from_json(text)
+        assert len(tasks) == 3
+        assert [t.power_budget for t in tasks[1:]] == [10.0, 12.0]
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(TaskError):
+            tasks_from_json('{"task": []}')
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(TaskError):
+            tasks_from_json("[]")

@@ -60,6 +60,104 @@ class TestSynthesize:
         assert "synthesis of 'hal'" in capsys.readouterr().out
 
 
+class TestSchedulerFlag:
+    def test_synthesize_with_registry_scheduler(self, capsys):
+        code = main(["synthesize", "-b", "hal", "-T", "20", "--scheduler", "pasap",
+                     "-P", "15"])
+        assert code == 0
+        assert "synthesis of 'hal'" in capsys.readouterr().out
+
+    def test_unknown_scheduler_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["synthesize", "-b", "hal", "-T", "17", "--scheduler", "bogus"]
+            )
+
+    def test_power_oblivious_scheduler_under_budget_is_infeasible(self, capsys):
+        # asap ignores P; the pipeline's verify pass must flag the violation.
+        code = main(["synthesize", "-b", "hal", "-T", "20", "-P", "5",
+                     "--scheduler", "asap"])
+        assert code == EXIT_INFEASIBLE
+        assert "infeasible" in capsys.readouterr().err
+
+
+class TestBatch:
+    def _write_batch(self, tmp_path, payload):
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_batch_runs_tasks_and_prints_table(self, tmp_path, capsys):
+        path = self._write_batch(
+            tmp_path,
+            [
+                {"graph": "hal", "latency": 17, "power_budget": 12.0, "label": "ok"},
+                {"graph": "hal", "latency": 17, "power_budget": 2.0, "label": "probe"},
+            ],
+        )
+        assert main(["batch", path]) == 0
+        out = capsys.readouterr().out
+        assert "Batch results" in out
+        assert "1/2 tasks feasible" in out
+        assert "probe" in out
+
+    def test_batch_with_sweep_and_jobs_and_output(self, tmp_path, capsys):
+        path = self._write_batch(
+            tmp_path,
+            {"sweeps": [{"graph": "hal", "latency": 17,
+                         "power_budgets": [10.0, 12.0, 16.0, 20.0]}]},
+        )
+        results = tmp_path / "results.json"
+        assert main(["batch", path, "--jobs", "2", "-o", str(results)]) == 0
+        assert "4/4 tasks feasible" in capsys.readouterr().out
+        records = json.loads(results.read_text())
+        assert len(records) == 4
+        assert all(r["feasible"] for r in records)
+
+    def test_malformed_batch_file(self, tmp_path, capsys):
+        path = self._write_batch(tmp_path, [{"graph": "hal", "lateny": 17}])
+        assert main(["batch", path]) == 1
+        assert "bad batch file" in capsys.readouterr().err
+
+    def test_type_malformed_specs_report_cleanly(self, tmp_path, capsys):
+        # Non-numeric latency and a scalar sweep budget must not traceback.
+        path = self._write_batch(tmp_path, [{"graph": "hal", "latency": "abc"}])
+        assert main(["batch", path]) == 1
+        assert "bad batch file" in capsys.readouterr().err
+        path = self._write_batch(
+            tmp_path, {"sweeps": [{"graph": "hal", "latency": 17, "power_budgets": 5}]}
+        )
+        assert main(["batch", path]) == 1
+        assert "bad batch file" in capsys.readouterr().err
+
+    def test_fully_infeasible_batch_exits_2(self, tmp_path, capsys):
+        path = self._write_batch(
+            tmp_path,
+            [{"graph": "hal", "latency": 17, "power_budget": 2.0}],
+        )
+        assert main(["batch", path]) == EXIT_INFEASIBLE
+        assert "0/1 tasks feasible" in capsys.readouterr().out
+
+    def test_unknown_scheduler_in_parallel_batch_reports_bad_task(self, tmp_path, capsys):
+        path = self._write_batch(
+            tmp_path,
+            [
+                {"graph": "hal", "latency": 17, "power_budget": 12.0},
+                {"graph": "hal", "latency": 17, "scheduler": "bogus"},
+            ],
+        )
+        assert main(["batch", path, "--jobs", "2"]) == 1
+        assert "bad task" in capsys.readouterr().err
+
+    def test_numeric_string_fields_are_coerced(self, tmp_path, capsys):
+        path = self._write_batch(
+            tmp_path, [{"graph": "hal", "latency": "20", "scheduler": "alap",
+                        "verify": False}]
+        )
+        assert main(["batch", path]) == 0
+        assert "1/1 tasks feasible" in capsys.readouterr().out
+
+
 class TestSweepAndProfile:
     def test_sweep(self, capsys):
         code = main(["sweep", "-b", "hal", "-T", "17", "--steps", "3", "--cap", "60"])
