@@ -5,6 +5,20 @@ partial-clique engine is quadratic-ish in the number of operations, and
 this benchmark tracks the wall-clock cost of one synthesis run on random
 layered graphs of growing size so regressions in the engine's complexity
 show up in the benchmark history.
+
+The 80- and 120-operation sizes were added together with the incremental
+hot-path work (cached CDFG topology, Schedule-free pasap/palap cores,
+incremental locked profiles); before that work a 120-operation synthesis
+took over a second, which is why the recorded history in
+``BENCH_scalability.json`` starts at 40 operations.  Larger graphs
+saturate the power budget that suits the small ones, so each size pins
+its own budget.
+
+Record a run into the benchmark history with::
+
+    python benchmarks/record.py --label after
+
+(see :mod:`benchmarks.record`).
 """
 
 from __future__ import annotations
@@ -15,6 +29,10 @@ from repro.ir.analysis import critical_path_length
 from repro.library.selection import MinPowerSelection, selection_delays
 from repro.suite.generators import GeneratorConfig, random_cdfg
 from repro.synthesis.engine import synthesize
+
+#: Per-size power budget: the random 120-op layered graphs need more
+#: headroom than 30 power units to stay feasible at cp + 8 cycles.
+POWER_BUDGETS = {10: 30.0, 20: 30.0, 40: 30.0, 80: 30.0, 120: 40.0}
 
 
 def make_case(operations: int, library):
@@ -34,12 +52,12 @@ def make_case(operations: int, library):
     return cdfg, latency
 
 
-@pytest.mark.parametrize("operations", [10, 20, 40])
+@pytest.mark.parametrize("operations", sorted(POWER_BUDGETS))
 def test_synthesis_scalability(benchmark, library, operations):
     cdfg, latency = make_case(operations, library)
     result = benchmark.pedantic(
         synthesize,
-        args=(cdfg, library, latency, 30.0),
+        args=(cdfg, library, latency, POWER_BUDGETS[operations]),
         rounds=3,
         iterations=1,
     )

@@ -5,6 +5,7 @@ from .cdfg import CDFG, CDFGError
 from .builder import CDFGBuilder
 from .validate import ValidationError, collect_problems, is_valid, validate_cdfg
 from .analysis import (
+    ValidatedDelayMap,
     alap_times,
     asap_times,
     concurrency_profile,
@@ -16,6 +17,7 @@ from .analysis import (
     operation_intervals,
     resource_lower_bound,
     unit_delays,
+    validated_delays,
 )
 from .transform import (
     io_wrapped,
@@ -33,6 +35,8 @@ __all__ = [
     "OpType",
     "CDFG",
     "CDFGError",
+    "ValidatedDelayMap",
+    "validated_delays",
     "CDFGBuilder",
     "ValidationError",
     "collect_problems",

@@ -40,6 +40,66 @@ def _check_delays(cdfg: CDFG, delays: Mapping[str, int]) -> None:
         raise CDFGError(f"negative delays for operations: {sorted(negative)}")
 
 
+class ValidatedDelayMap(dict):
+    """A delay map already copied and checked against one specific CDFG.
+
+    The analyses below defensively copy and validate every incoming delay
+    mapping.  Done naively that work is *quadratic* for callers like the
+    force-directed scheduler or the synthesis engine, which invoke
+    ``asap_times``/``alap_times`` once per committed operation.  Wrapping
+    a map once with :func:`validated_delays` lets every downstream
+    analysis skip the copy and the re-validation.
+
+    The wrapper is tied to the CDFG it was validated against — both by
+    identity and by the graph's mutation counter, so a map validated
+    before the graph changed is re-checked rather than trusted.  Handing
+    it to an analysis over a *different* graph likewise falls back to
+    the normal copy-and-check path.
+    """
+
+    __slots__ = ("cdfg", "version")
+
+    def __init__(self, cdfg: CDFG, data: Mapping[str, int]) -> None:
+        super().__init__(data)
+        self.cdfg = cdfg
+        self.version = cdfg._version
+
+    def _read_only(self, *_args, **_kwargs):
+        raise TypeError(
+            "ValidatedDelayMap is read-only (its contents were validated "
+            "once); build a plain dict from it and re-wrap with "
+            "validated_delays() instead"
+        )
+
+    __setitem__ = _read_only
+    __delitem__ = _read_only
+    clear = _read_only
+    pop = _read_only
+    popitem = _read_only
+    setdefault = _read_only
+    update = _read_only
+
+
+def validated_delays(
+    cdfg: CDFG, delays: Optional[Mapping[str, int]] = None
+) -> ValidatedDelayMap:
+    """Copy + validate ``delays`` for ``cdfg`` exactly once.
+
+    Passing the returned map back into any analysis of the same graph is
+    free; missing or negative delays raise :class:`CDFGError` here, with
+    the same messages the analyses used to produce.
+    """
+    if (
+        isinstance(delays, ValidatedDelayMap)
+        and delays.cdfg is cdfg
+        and delays.version == cdfg._version
+    ):
+        return delays
+    checked = dict(delays) if delays is not None else unit_delays(cdfg)
+    _check_delays(cdfg, checked)
+    return ValidatedDelayMap(cdfg, checked)
+
+
 def asap_times(cdfg: CDFG, delays: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
     """Earliest start time of every operation ignoring resources and power.
 
@@ -50,8 +110,7 @@ def asap_times(cdfg: CDFG, delays: Optional[Mapping[str, int]] = None) -> Dict[s
     Returns:
         Mapping of operation name to earliest start cycle (cycle 0 based).
     """
-    delays = dict(delays) if delays is not None else unit_delays(cdfg)
-    _check_delays(cdfg, delays)
+    delays = validated_delays(cdfg, delays)
     start: Dict[str, int] = {}
     for name in cdfg.topological_order():
         ready = 0
@@ -80,8 +139,7 @@ def alap_times(
     Raises:
         CDFGError: if the latency bound is smaller than the critical path.
     """
-    delays = dict(delays) if delays is not None else unit_delays(cdfg)
-    _check_delays(cdfg, delays)
+    delays = validated_delays(cdfg, delays)
     cp = critical_path_length(cdfg, delays)
     if latency < cp:
         raise CDFGError(
@@ -98,8 +156,7 @@ def alap_times(
 
 def critical_path_length(cdfg: CDFG, delays: Optional[Mapping[str, int]] = None) -> int:
     """Length (in cycles) of the longest dependence chain."""
-    delays = dict(delays) if delays is not None else unit_delays(cdfg)
-    _check_delays(cdfg, delays)
+    delays = validated_delays(cdfg, delays)
     start = asap_times(cdfg, delays)
     if not start:
         return 0
@@ -108,8 +165,7 @@ def critical_path_length(cdfg: CDFG, delays: Optional[Mapping[str, int]] = None)
 
 def critical_path(cdfg: CDFG, delays: Optional[Mapping[str, int]] = None) -> List[str]:
     """One longest dependence chain, as an ordered list of operation names."""
-    delays = dict(delays) if delays is not None else unit_delays(cdfg)
-    _check_delays(cdfg, delays)
+    delays = validated_delays(cdfg, delays)
     start = asap_times(cdfg, delays)
     if not start:
         return []
@@ -132,7 +188,7 @@ def mobility(
     delays: Optional[Mapping[str, int]] = None,
 ) -> Dict[str, int]:
     """Scheduling freedom (ALAP start minus ASAP start) for every operation."""
-    delays = dict(delays) if delays is not None else unit_delays(cdfg)
+    delays = validated_delays(cdfg, delays)
     asap = asap_times(cdfg, delays)
     alap = alap_times(cdfg, latency, delays)
     return {n: alap[n] - asap[n] for n in cdfg.operation_names()}

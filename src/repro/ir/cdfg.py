@@ -16,6 +16,27 @@ Design notes
   interconnect estimator.
 * The graph must remain a DAG; :meth:`CDFG.validate` (see
   :mod:`repro.ir.validate`) enforces this and other structural rules.
+
+Caching and invalidation contract
+---------------------------------
+Scheduler inner loops call :meth:`CDFG.predecessors`,
+:meth:`CDFG.successors`, :meth:`CDFG.operation` and
+:meth:`CDFG.topological_order` millions of times, so these queries are
+memoized on the instance:
+
+* adjacency is cached as immutable **tuples** (one per operation),
+* the (lexicographic) topological order and its reverse are computed
+  once and reused,
+* :meth:`CDFG.reversed` returns a **cached, shared** reversed graph —
+  treat it as read-only, exactly like the :attr:`CDFG.graph` property,
+* per-operation lookups (:meth:`operation`, virtual/schedulable splits)
+  hit plain dicts instead of networkx attribute views.
+
+Every structural mutation (:meth:`add_operation`, :meth:`add_edge`,
+:meth:`remove_operation`) drops all caches, so a mutated graph never
+serves stale answers.  The only way to defeat the contract is to mutate
+the underlying networkx graph through :attr:`CDFG.graph` directly, which
+has always been documented as read-only.
 """
 
 from __future__ import annotations
@@ -53,6 +74,42 @@ class CDFG:
             raise ValueError("CDFG name must be non-empty")
         self.name = name
         self._graph = nx.DiGraph()
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        self._pred_cache: Dict[str, Tuple[str, ...]] = {}
+        self._succ_cache: Dict[str, Tuple[str, ...]] = {}
+        self._op_cache: Dict[str, Operation] = {}
+        self._topo_cache: Optional[Tuple[str, ...]] = None
+        self._rtopo_cache: Optional[Tuple[str, ...]] = None
+        self._topo_pos_cache: Optional[Dict[str, int]] = None
+        self._reversed_cache: Optional["CDFG"] = None
+        self._schedulable_cache: Optional[Tuple[str, ...]] = None
+        #: Bumped on every structural mutation; lets external memoizers
+        #: (e.g. ValidatedDelayMap) detect that the graph changed.
+        self._version = 0
+        #: Set on graphs handed out as shared cached views (reversed());
+        #: mutating such a view would corrupt its owner's caches.
+        self._frozen = False
+
+    def _invalidate(self) -> None:
+        """Drop all memoized queries after a structural mutation."""
+        self._pred_cache.clear()
+        self._succ_cache.clear()
+        self._op_cache.clear()
+        self._topo_cache = None
+        self._rtopo_cache = None
+        self._topo_pos_cache = None
+        self._reversed_cache = None
+        self._schedulable_cache = None
+        self._version += 1
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise CDFGError(
+                f"{self.name!r} is a cached read-only view (a reversed graph); "
+                "mutate the original graph, or take a .copy() first"
+            )
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -63,9 +120,11 @@ class CDFG:
         Raises:
             CDFGError: if an operation with the same name already exists.
         """
+        self._check_mutable()
         if op.name in self._graph:
             raise CDFGError(f"duplicate operation name: {op.name!r}")
         self._graph.add_node(op.name, op=op)
+        self._invalidate()
         return op
 
     def add_edge(self, src: str, dst: str, port: Optional[int] = None) -> None:
@@ -80,6 +139,7 @@ class CDFG:
             CDFGError: if either endpoint is missing, the edge is a
                 self-loop, or the edge would create a cycle.
         """
+        self._check_mutable()
         if src not in self._graph:
             raise CDFGError(f"unknown source operation: {src!r}")
         if dst not in self._graph:
@@ -92,6 +152,7 @@ class CDFG:
             self._graph[src][dst]["multiplicity"] += 1
             if port is not None:
                 self._graph[src][dst].setdefault("ports", []).append(port)
+            self._invalidate()
             return
         self._graph.add_edge(src, dst, multiplicity=1)
         if port is not None:
@@ -99,12 +160,15 @@ class CDFG:
         if not nx.is_directed_acyclic_graph(self._graph):
             self._graph.remove_edge(src, dst)
             raise CDFGError(f"edge {src!r} -> {dst!r} would create a cycle")
+        self._invalidate()
 
     def remove_operation(self, name: str) -> None:
         """Remove an operation and all incident edges."""
+        self._check_mutable()
         if name not in self._graph:
             raise CDFGError(f"unknown operation: {name!r}")
         self._graph.remove_node(name)
+        self._invalidate()
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -126,9 +190,15 @@ class CDFG:
     def operation(self, name: str) -> Operation:
         """Return the :class:`Operation` stored under ``name``."""
         try:
-            return self._graph.nodes[name]["op"]
+            return self._op_cache[name]
+        except KeyError:
+            pass
+        try:
+            op = self._graph.nodes[name]["op"]
         except KeyError:
             raise CDFGError(f"unknown operation: {name!r}") from None
+        self._op_cache[name] = op
+        return op
 
     def operations(self) -> List[Operation]:
         """All operations, in insertion order."""
@@ -149,13 +219,29 @@ class CDFG:
     def num_edges(self) -> int:
         return self._graph.number_of_edges()
 
-    def predecessors(self, name: str) -> List[str]:
-        """Direct data predecessors (producers feeding ``name``)."""
-        return list(self._graph.predecessors(name))
+    def predecessors(self, name: str) -> Tuple[str, ...]:
+        """Direct data predecessors (producers feeding ``name``).
 
-    def successors(self, name: str) -> List[str]:
-        """Direct data successors (consumers of ``name``'s result)."""
-        return list(self._graph.successors(name))
+        Returns a cached, immutable tuple — do not rely on list identity.
+        """
+        try:
+            return self._pred_cache[name]
+        except KeyError:
+            value = tuple(self._graph.predecessors(name))
+            self._pred_cache[name] = value
+            return value
+
+    def successors(self, name: str) -> Tuple[str, ...]:
+        """Direct data successors (consumers of ``name``'s result).
+
+        Returns a cached, immutable tuple — do not rely on list identity.
+        """
+        try:
+            return self._succ_cache[name]
+        except KeyError:
+            value = tuple(self._graph.successors(name))
+            self._succ_cache[name] = value
+            return value
 
     def sources(self) -> List[str]:
         """Operations with no predecessors."""
@@ -165,12 +251,33 @@ class CDFG:
         """Operations with no successors."""
         return [n for n in self._graph.nodes if self._graph.out_degree(n) == 0]
 
-    def topological_order(self) -> List[str]:
-        """Operation names in a topological order (stable for a fixed graph)."""
-        return list(nx.lexicographical_topological_sort(self._graph))
+    def topological_order(self) -> Tuple[str, ...]:
+        """Operation names in a topological order (stable for a fixed graph).
 
-    def reverse_topological_order(self) -> List[str]:
-        return list(reversed(self.topological_order()))
+        The (lexicographic, hence deterministic) order is computed once
+        and cached until the graph mutates.
+        """
+        if self._topo_cache is None:
+            self._topo_cache = tuple(nx.lexicographical_topological_sort(self._graph))
+        return self._topo_cache
+
+    def reverse_topological_order(self) -> Tuple[str, ...]:
+        if self._rtopo_cache is None:
+            self._rtopo_cache = tuple(reversed(self.topological_order()))
+        return self._rtopo_cache
+
+    def topological_positions(self) -> Dict[str, int]:
+        """Operation name → index in :meth:`topological_order` (cached).
+
+        Lets incremental algorithms order a worklist by topological rank
+        without re-scanning the order; treat the returned dict as
+        read-only.
+        """
+        if self._topo_pos_cache is None:
+            self._topo_pos_cache = {
+                name: index for index, name in enumerate(self.topological_order())
+            }
+        return self._topo_pos_cache
 
     def operations_of_type(self, optype: OpType) -> List[str]:
         """Names of all operations of a given type."""
@@ -189,7 +296,11 @@ class CDFG:
 
     def schedulable_operations(self) -> List[str]:
         """Operations the scheduler must place (everything but virtual ops)."""
-        return [n for n in self._graph.nodes if not self.operation(n).is_virtual]
+        if self._schedulable_cache is None:
+            self._schedulable_cache = tuple(
+                n for n in self._graph.nodes if not self.operation(n).is_virtual
+            )
+        return list(self._schedulable_cache)
 
     # ------------------------------------------------------------------ #
     # Derived graphs
@@ -201,10 +312,27 @@ class CDFG:
         return clone
 
     def reversed(self) -> "CDFG":
-        """A copy with every edge direction flipped (used by ALAP/palap)."""
-        clone = CDFG(f"{self.name}.rev")
-        clone._graph = self._graph.reverse(copy=True)
-        return clone
+        """A graph with every edge direction flipped (used by ALAP/palap).
+
+        The reversed graph is built once and **cached** (it shares the
+        immutable :class:`Operation` objects with this graph), so it is
+        read-only: its mutators raise :class:`CDFGError` (take a
+        ``.copy()`` to get a mutable reversal).  palap calls this once
+        per window recomputation; rebuilding the reversal — a full deep
+        copy under networkx — used to dominate the engine's runtime.
+        """
+        if self._reversed_cache is None:
+            clone = CDFG(f"{self.name}.rev")
+            reversed_graph = nx.DiGraph()
+            reversed_graph.add_nodes_from(self._graph.nodes(data=True))
+            reversed_graph.add_edges_from(
+                (dst, src, dict(data))
+                for src, dst, data in self._graph.edges(data=True)
+            )
+            clone._graph = reversed_graph
+            clone._frozen = True
+            self._reversed_cache = clone
+        return self._reversed_cache
 
     def subgraph(self, names: Iterable[str], name: Optional[str] = None) -> "CDFG":
         """Induced subgraph over ``names`` (copy, not a view)."""

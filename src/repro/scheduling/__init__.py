@@ -13,14 +13,16 @@ from .schedule import Schedule, ScheduleError, add_to_profile, profile_allows
 from .asap import asap_schedule, asap_schedule_with_library
 from .alap import alap_schedule, alap_schedule_with_library
 from .pasap import (
+    LockedProfileCache,
     PowerInfeasibleError,
     default_priority,
+    pasap_core,
     pasap_schedule,
     pasap_schedule_with_library,
     pasap_start_times,
 )
-from .palap import palap_schedule, palap_schedule_with_library, palap_start_times
-from .mobility import Window, WindowSet, compute_windows, windows_feasible
+from .palap import palap_core, palap_schedule, palap_schedule_with_library, palap_start_times
+from .mobility import Window, WindowCache, WindowSet, compute_windows, windows_feasible
 from .list_scheduler import (
     ResourceInfeasibleError,
     greedy_allocation_for_latency,
@@ -55,14 +57,18 @@ __all__ = [
     "alap_schedule_with_library",
     "PowerInfeasibleError",
     "default_priority",
+    "LockedProfileCache",
+    "pasap_core",
     "pasap_schedule",
     "pasap_schedule_with_library",
     "pasap_start_times",
+    "palap_core",
     "palap_schedule",
     "palap_schedule_with_library",
     "palap_start_times",
     "Window",
     "WindowSet",
+    "WindowCache",
     "compute_windows",
     "windows_feasible",
     "ResourceInfeasibleError",

@@ -17,6 +17,7 @@ proof.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..ir.cdfg import CDFG
@@ -39,6 +40,53 @@ def _check_size(cdfg: CDFG) -> None:
         )
 
 
+def _tail_lengths(
+    cdfg: CDFG, delays: Mapping[str, int]
+) -> Dict[str, int]:
+    """Longest delay chain from each operation (inclusive) to any sink.
+
+    ``tail[v]`` is a *dominance bound*: any schedule that starts ``v`` at
+    cycle ``t`` finishes no earlier than ``t + tail[v]`` — the chain of
+    successors below ``v`` must run after it, back to back at best.  The
+    search uses it to discard every candidate start time whose best-case
+    completion already matches the incumbent.
+    """
+    tail: Dict[str, int] = {}
+    for name in cdfg.reverse_topological_order():
+        longest_successor = 0
+        for succ in cdfg.successors(name):
+            longest_successor = max(longest_successor, tail[succ])
+        tail[name] = delays[name] + longest_successor
+    return tail
+
+
+def _energy_lower_bound(
+    cdfg: CDFG,
+    delays: Mapping[str, int],
+    powers: Mapping[str, float],
+    power: PowerConstraint,
+    tail: Mapping[str, int],
+) -> int:
+    """Provable minimum makespan of *any* schedule under the budget.
+
+    The larger of the critical-path length and the total-energy bound
+    ``ceil(Σ power·delay / P)`` (the full computation's energy has to
+    fit under the per-cycle cap).  Once the incumbent reaches this value
+    the branch-and-bound can stop: no unexplored branch improves on it.
+    """
+    critical_path = max(tail.values(), default=0)
+    if power.is_unbounded:
+        return critical_path
+    total_energy = sum(delays[n] * powers[n] for n in cdfg.operation_names())
+    if total_energy <= 0:
+        return critical_path
+    # profile_allows admits per-cycle power up to max_power + tolerance,
+    # so bound against that effective cap (and shave an epsilon) to keep
+    # the bound strictly on the sound side of float wobble.
+    effective_cap = power.max_power + power.tolerance
+    return max(critical_path, math.ceil(total_energy / effective_cap - 1e-9))
+
+
 def _search(
     cdfg: CDFG,
     order: List[str],
@@ -50,12 +98,27 @@ def _search(
     start: Dict[str, int],
     profile: List[float],
     best: List[Optional[int]],
+    tail: Mapping[str, int],
+    lower_bound: int,
 ) -> None:
     """Depth-first search over start times in a fixed topological order.
 
     ``best`` is a two-slot cell: ``best[0]`` holds the incumbent makespan
     and ``best[1]`` the start-time map achieving it.
+
+    Two sound prunes keep the enumeration away from provably-worse
+    branches without ever changing which improving schedules are found
+    (so the incumbent sequence — and the returned schedule — is
+    identical to the unpruned search):
+
+    * the memoized **tail bound** ``candidate + tail[name] >= best``
+      cuts a candidate whose downstream chain alone already reaches the
+      incumbent makespan, and
+    * the precomputed **energy/critical-path lower bound** stops the
+      whole search as soon as the incumbent provably cannot be beaten.
     """
+    if best[0] is not None and best[0] <= lower_bound:
+        return
     if index == len(order):
         makespan = max(
             (start[n] + delays[n] for n in start), default=0
@@ -73,17 +136,22 @@ def _search(
 
     op_delay = delays[name]
     op_power = powers[name]
+    op_tail = tail[name]
     for candidate in range(data_ready, horizon - op_delay + 1):
-        # Prune: this operation alone would already finish no earlier than the
-        # incumbent makespan, and later candidates only finish later.
-        if best[0] is not None and candidate + op_delay >= best[0]:
+        # Prune: the dependence chain below this operation alone already
+        # finishes no earlier than the incumbent makespan, and later
+        # candidates only finish later.
+        if best[0] is not None and candidate + op_tail >= best[0]:
             break
         if op_power > 0 and not profile_allows(profile, candidate, op_delay, op_power, power):
             continue
         start[name] = candidate
         if op_power > 0:
             add_to_profile(profile, candidate, op_delay, op_power)
-        _search(cdfg, order, delays, powers, power, horizon, index + 1, start, profile, best)
+        _search(
+            cdfg, order, delays, powers, power, horizon, index + 1,
+            start, profile, best, tail, lower_bound,
+        )
         if op_power > 0:
             for cycle in range(candidate, candidate + op_delay):
                 profile[cycle] -= op_power
@@ -111,6 +179,8 @@ def minimum_latency_under_power(
     if horizon is None:
         horizon = sum(delays[n] for n in operations) + 1
     best: List = [None, None]
+    tail = _tail_lengths(cdfg, delays)
+    lower_bound = _energy_lower_bound(cdfg, delays, powers, power, tail)
     _search(
         cdfg,
         operations,
@@ -122,6 +192,8 @@ def minimum_latency_under_power(
         {},
         [],
         best,
+        tail,
+        lower_bound,
     )
     return best[0]
 
@@ -155,7 +227,12 @@ def exact_schedule(
     _check_size(cdfg)
     order = list(cdfg.topological_order())
     best: List = [None, None]
-    _search(cdfg, order, delays, powers, power, latency, 0, {}, [], best)
+    tail = _tail_lengths(cdfg, delays)
+    lower_bound = _energy_lower_bound(cdfg, delays, powers, power, tail)
+    _search(
+        cdfg, order, delays, powers, power, latency, 0, {}, [], best,
+        tail, lower_bound,
+    )
     if best[0] is None or best[0] > latency:
         raise ExactSchedulerError(
             f"no schedule for {cdfg.name!r} meets T={latency} under the power budget"

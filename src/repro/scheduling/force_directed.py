@@ -16,19 +16,40 @@ The implementation follows the textbook formulation:
    *force* (self force + predecessor/successor forces) and fix it,
    updating windows and distributions.
 
-Only the forces needed for correctness of the baseline are modelled;
-the implementation favours clarity over the last bit of speed since the
-benchmark graphs have tens of operations.
+Incrementality
+--------------
+The greedy loop is *incremental* while staying schedule-identical to the
+textbook version (the golden tests in ``tests/golden/`` pin this):
+
+* ASAP/ALAP windows are not recomputed from scratch after each fixing —
+  only the **cone** actually affected by the newly fixed operation is
+  updated (its descendants for ASAP, its ancestors for ALAP).  Longest-
+  path values outside the cone provably cannot change, and the updates
+  are pure integer arithmetic, so the windows are exactly those a full
+  recomputation would produce.
+* The candidate-independent *average* term of the self force is hoisted
+  out of the per-candidate loop: the textbook formulation recomputes the
+  same sum for every candidate cycle, turning an O(width·delay) scan
+  into O(width²·delay).  The hoisted term is accumulated with the exact
+  same float operations, so forces are bit-identical.
+* The distribution graph is built once per iteration (as before), and
+  the unfixed set is a real set, so removals are O(1).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+import heapq
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..ir.analysis import alap_times, asap_times
+from ..ir.analysis import asap_times, validated_delays
 from ..ir.cdfg import CDFG
 from ..ir.operation import OpType
 from .schedule import Schedule
+
+#: Shared sentinel for "no operation of this type has a window": the
+#: self force over an all-zero series is identically zero, so there is no
+#: need to materialize a throwaway ``[0.0] * latency`` list per miss.
+_NO_DISTRIBUTION: Tuple[float, ...] = ()
 
 
 def _distribution(
@@ -54,23 +75,40 @@ def _distribution(
     return distribution
 
 
+def _window_average(
+    series: Sequence[float],
+    delay: int,
+    earliest: int,
+    latest: int,
+    latency: int,
+) -> float:
+    """Mean occupancy the operation would claim over its whole window.
+
+    This is the candidate-independent term of the self force; it is
+    accumulated in the same order as the textbook per-candidate loop so
+    hoisting it does not change a single bit of the result.
+    """
+    average = 0.0
+    for start in range(earliest, latest + 1):
+        for cycle in range(start, min(start + delay, latency)):
+            average += series[cycle]
+    return average / max(latest - earliest + 1, 1)
+
+
 def _self_force(
     op_type: OpType,
     delays_for_op: int,
     window: Tuple[int, int],
     candidate_start: int,
-    distribution: Mapping[OpType, List[float]],
+    distribution: Mapping[OpType, Sequence[float]],
     latency: int,
 ) -> float:
     """Force of fixing one operation at ``candidate_start``."""
     earliest, latest = window
-    width = latest - earliest + 1
-    series = distribution.get(op_type, [0.0] * latency)
-    average = 0.0
-    for start in range(earliest, latest + 1):
-        for cycle in range(start, min(start + delays_for_op, latency)):
-            average += series[cycle]
-    average /= max(width, 1)
+    series = distribution.get(op_type, _NO_DISTRIBUTION)
+    if not series:
+        return 0.0
+    average = _window_average(series, delays_for_op, earliest, latest, latency)
     chosen = 0.0
     for cycle in range(candidate_start, min(candidate_start + delays_for_op, latency)):
         chosen += series[cycle]
@@ -96,34 +134,47 @@ def force_directed_schedule(
     Returns:
         A precedence-legal schedule meeting the latency bound.
     """
-    delays = dict(delays)
+    delays = validated_delays(cdfg, delays)
+    names = cdfg.operation_names()
+    optypes = {n: cdfg.operation(n).optype for n in names}
     fixed: Dict[str, int] = {}
-    unfixed = [n for n in cdfg.operation_names() if not cdfg.operation(n).is_virtual]
+    unfixed = {n for n in names if not cdfg.operation(n).is_virtual}
+
+    # Initial windows; kept incrementally up to date from here on.
+    asap = asap_times(cdfg, delays)
+    alap = _alap_with_fixed(cdfg, delays, fixed, latency)
 
     while unfixed:
-        asap = asap_times(cdfg, delays) if not fixed else _asap_with_fixed(cdfg, delays, fixed)
-        alap = _alap_with_fixed(cdfg, delays, fixed, latency)
-        windows = {
-            n: (max(asap[n], 0), max(alap[n], asap[n]))
-            for n in cdfg.operation_names()
-        }
+        windows = {n: (max(asap[n], 0), max(alap[n], asap[n])) for n in names}
         distribution = _distribution(cdfg, windows, delays, latency)
 
         best: Optional[Tuple[float, str, int]] = None
         for name in unfixed:
             earliest, latest = windows[name]
-            op_type = cdfg.operation(name).optype
+            series = distribution.get(optypes[name], _NO_DISTRIBUTION)
+            delay = delays[name]
+            if not series:
+                # No distribution for this type: every candidate has zero
+                # force (mirrors _self_force's empty-series answer), so
+                # only the earliest can win the (force, name, cycle) min.
+                key = (0.0, name, earliest)
+                if best is None or key < best:
+                    best = key
+                continue
+            average = _window_average(series, delay, earliest, latest, latency)
             for candidate in range(earliest, latest + 1):
-                force = _self_force(
-                    op_type, delays[name], windows[name], candidate, distribution, latency
-                )
-                key = (force, name, candidate)
+                chosen = 0.0
+                for cycle in range(candidate, min(candidate + delay, latency)):
+                    chosen += series[cycle]
+                key = (chosen - average, name, candidate)
                 if best is None or key < best:
                     best = key
         assert best is not None
         _, chosen_name, chosen_start = best
         fixed[chosen_name] = chosen_start
-        unfixed.remove(chosen_name)
+        unfixed.discard(chosen_name)
+        _refresh_asap_cone(cdfg, delays, fixed, asap, chosen_name)
+        _refresh_alap_cone(cdfg, delays, fixed, alap, chosen_name, latency)
 
     # Virtual operations at their data-ready time.
     start: Dict[str, int] = dict(fixed)
@@ -138,7 +189,7 @@ def force_directed_schedule(
     return Schedule(
         cdfg=cdfg,
         start_times=start,
-        delays=delays,
+        delays=dict(delays),
         powers=dict(powers),
         label=label,
         metadata={"latency_bound": latency},
@@ -167,3 +218,82 @@ def _alap_with_fixed(
             latest_finish = min(latest_finish, start[succ])
         start[name] = fixed.get(name, latest_finish - delays[name])
     return start
+
+
+def _refresh_asap_cone(
+    cdfg: CDFG,
+    delays: Mapping[str, int],
+    fixed: Mapping[str, int],
+    asap: Dict[str, int],
+    changed_op: str,
+) -> None:
+    """Update ``asap`` in place after ``changed_op`` was fixed.
+
+    Longest-path-from-sources values can only change for ``changed_op``
+    itself and its transitive successors, so only nodes reached through
+    *actually changed* values are revisited — a worklist ordered by
+    topological rank, so every node is recomputed after its changed
+    predecessors, exactly as a full pass would.  Nodes whose recomputed
+    value is unchanged do not propagate further.  Produces exactly the
+    map :func:`_asap_with_fixed` would.
+    """
+    new_value = fixed[changed_op]
+    if asap[changed_op] == new_value:
+        return
+    asap[changed_op] = new_value
+    positions = cdfg.topological_positions()
+    heap = [(positions[succ], succ) for succ in cdfg.successors(changed_op)]
+    heapq.heapify(heap)
+    seen = set()
+    while heap:
+        _, name = heapq.heappop(heap)
+        if name in seen:
+            continue
+        seen.add(name)
+        ready = 0
+        for pred in cdfg.predecessors(name):
+            ready = max(ready, asap[pred] + delays[pred])
+        value = fixed.get(name, ready)
+        if value != asap[name]:
+            asap[name] = value
+            for succ in cdfg.successors(name):
+                if succ not in seen:
+                    heapq.heappush(heap, (positions[succ], succ))
+
+
+def _refresh_alap_cone(
+    cdfg: CDFG,
+    delays: Mapping[str, int],
+    fixed: Mapping[str, int],
+    alap: Dict[str, int],
+    changed_op: str,
+    latency: int,
+) -> None:
+    """Update ``alap`` in place after ``changed_op`` was fixed.
+
+    The mirror of :func:`_refresh_asap_cone`: latest-start values can only
+    change for ``changed_op`` and its transitive *predecessors*, visited
+    in reverse topological rank order.
+    """
+    new_value = fixed[changed_op]
+    if alap[changed_op] == new_value:
+        return
+    alap[changed_op] = new_value
+    positions = cdfg.topological_positions()
+    heap = [(-positions[pred], pred) for pred in cdfg.predecessors(changed_op)]
+    heapq.heapify(heap)
+    seen = set()
+    while heap:
+        _, name = heapq.heappop(heap)
+        if name in seen:
+            continue
+        seen.add(name)
+        latest_finish = latency
+        for succ in cdfg.successors(name):
+            latest_finish = min(latest_finish, alap[succ])
+        value = fixed.get(name, latest_finish - delays[name])
+        if value != alap[name]:
+            alap[name] = value
+            for pred in cdfg.predecessors(name):
+                if pred not in seen:
+                    heapq.heappush(heap, (-positions[pred], pred))

@@ -22,8 +22,8 @@ from typing import Dict, Mapping, Optional
 
 from ..ir.cdfg import CDFG
 from .constraints import PowerConstraint, TimeConstraint
-from .palap import palap_schedule
-from .pasap import PowerInfeasibleError, pasap_schedule
+from .palap import palap_core
+from .pasap import LockedProfileCache, PowerInfeasibleError, pasap_core
 
 
 @dataclass(frozen=True)
@@ -80,6 +80,29 @@ class WindowSet:
         return sum(max(0, w.width) for w in self.windows.values())
 
 
+class WindowCache:
+    """Reusable state for repeated window computations over one graph.
+
+    The synthesis engine recomputes pasap/palap windows after every
+    committed binding decision with a locked set that grows by exactly
+    one operation.  The pasap/palap stretching itself is order-sensitive
+    (each placement depends on the power profile of everything placed
+    before it), so the *remaining* operations must genuinely be
+    rescheduled — but the committed part of the profile can be carried
+    over incrementally instead of being rebuilt from all locked
+    operations on every call.  Both directions (forward pasap, reversed
+    palap) keep their own :class:`~repro.scheduling.pasap.LockedProfileCache`.
+
+    The caches replay identical float additions in an identical order,
+    so windows computed with a cache are bit-for-bit those computed
+    without one (the golden engine tests pin this).
+    """
+
+    def __init__(self) -> None:
+        self.forward = LockedProfileCache()
+        self.backward = LockedProfileCache()
+
+
 def compute_windows(
     cdfg: CDFG,
     delays: Mapping[str, int],
@@ -87,6 +110,7 @@ def compute_windows(
     power: PowerConstraint,
     time: TimeConstraint,
     locked: Optional[Mapping[str, int]] = None,
+    cache: Optional[WindowCache] = None,
 ) -> WindowSet:
     """Compute the power-feasible window of every operation.
 
@@ -98,6 +122,9 @@ def compute_windows(
         time: Latency bound ``T``.
         locked: Start times already fixed by prior binding decisions;
             locked operations get a zero-width window at their lock point.
+        cache: Optional :class:`WindowCache` carrying the locked power
+            profiles over from a previous call with a smaller locked set
+            (the engine's greedy loop); never changes the result.
 
     Raises:
         PowerInfeasibleError: propagated from pasap/palap when even the
@@ -105,20 +132,35 @@ def compute_windows(
             single operation's power exceeds ``P``, or locked operations
             already exceed ``T``).
     """
-    locked = dict(locked or {})
-    pasap = pasap_schedule(cdfg, delays, powers, power, locked=locked)
-    palap = palap_schedule(cdfg, delays, powers, power, time.latency, locked=locked)
+    locked = locked if locked is not None else {}
+    pasap_starts = pasap_core(
+        cdfg,
+        delays,
+        powers,
+        power,
+        locked=locked,
+        locked_base=cache.forward if cache is not None else None,
+    )
+    palap_starts = palap_core(
+        cdfg,
+        delays,
+        powers,
+        power,
+        time.latency,
+        locked=locked,
+        locked_base=cache.backward if cache is not None else None,
+    )
 
     windows: Dict[str, Window] = {}
     for name in cdfg.operation_names():
         if name in locked:
             windows[name] = Window(locked[name], locked[name])
         else:
-            windows[name] = Window(pasap.start_times[name], palap.start_times[name])
+            windows[name] = Window(pasap_starts[name], palap_starts[name])
     return WindowSet(
         windows=windows,
-        pasap_starts=dict(pasap.start_times),
-        palap_starts=dict(palap.start_times),
+        pasap_starts=pasap_starts,
+        palap_starts=palap_starts,
     )
 
 

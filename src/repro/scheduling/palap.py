@@ -23,7 +23,13 @@ from ..library.selection import (
     selection_powers,
 )
 from .constraints import PowerConstraint, TimeConstraint
-from .pasap import PowerInfeasibleError, PriorityFn, default_priority, pasap_schedule
+from .pasap import (
+    LockedProfileCache,
+    PowerInfeasibleError,
+    PriorityFn,
+    default_priority,
+    pasap_core,
+)
 from .schedule import Schedule
 
 
@@ -58,6 +64,34 @@ def palap_schedule(
             power-feasible schedule (some operation would start before
             cycle 0).
     """
+    start = palap_core(cdfg, delays, powers, power, latency, locked, priority)
+    return Schedule(
+        cdfg=cdfg,
+        start_times=start,
+        delays=dict(delays),
+        powers=dict(powers),
+        label=label,
+        metadata={"power_budget": power.max_power, "latency_bound": latency},
+    )
+
+
+def palap_core(
+    cdfg: CDFG,
+    delays: Mapping[str, int],
+    powers: Mapping[str, float],
+    power: PowerConstraint,
+    latency: int,
+    locked: Optional[Mapping[str, int]] = None,
+    priority: PriorityFn = default_priority,
+    locked_base: Optional[LockedProfileCache] = None,
+) -> Dict[str, int]:
+    """The palap reversal, returning only the forward start-time map.
+
+    Like :func:`repro.scheduling.pasap.pasap_core` this skips the
+    :class:`Schedule` packaging for the engine's window recomputation
+    loop; the reversed graph itself comes from the CDFG's cache instead
+    of being rebuilt (a full graph copy) on every call.
+    """
     reversed_cdfg = cdfg.reversed()
 
     # Translate locked forward start times into reversed start times.
@@ -71,18 +105,18 @@ def palap_schedule(
                     f"latency bound {latency}"
                 )
 
-    reversed_schedule = pasap_schedule(
+    reversed_start = pasap_core(
         reversed_cdfg,
         delays,
         powers,
         power,
         locked=reversed_locked,
         priority=priority,
-        label=f"{label}.reversed",
+        locked_base=locked_base,
     )
 
     start: Dict[str, int] = {}
-    for name, rev_start in reversed_schedule.start_times.items():
+    for name, rev_start in reversed_start.items():
         fwd_start = latency - rev_start - delays[name]
         if fwd_start < 0:
             raise PowerInfeasibleError(
@@ -91,15 +125,7 @@ def palap_schedule(
                 f"cycle {fwd_start}"
             )
         start[name] = fwd_start
-
-    return Schedule(
-        cdfg=cdfg,
-        start_times=start,
-        delays=dict(delays),
-        powers=dict(powers),
-        label=label,
-        metadata={"power_budget": power.max_power, "latency_bound": latency},
-    )
+    return start
 
 
 def palap_schedule_with_library(

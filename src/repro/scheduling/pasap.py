@@ -90,8 +90,46 @@ def pasap_schedule(
         PowerInfeasibleError: if some operation's own power exceeds the
             budget, or the horizon safety bound is hit.
     """
-    locked = dict(locked or {})
-    schedulable = set(cdfg.schedulable_operations())
+    start = pasap_core(cdfg, delays, powers, power, locked, max_horizon, priority)
+    return Schedule(
+        cdfg=cdfg,
+        start_times=start,
+        delays=dict(delays),
+        powers=dict(powers),
+        label=label,
+        metadata={"power_budget": power.max_power},
+    )
+
+
+def pasap_core(
+    cdfg: CDFG,
+    delays: Mapping[str, int],
+    powers: Mapping[str, float],
+    power: PowerConstraint,
+    locked: Optional[Mapping[str, int]] = None,
+    max_horizon: Optional[int] = None,
+    priority: PriorityFn = default_priority,
+    locked_base: Optional["LockedProfileCache"] = None,
+) -> Dict[str, int]:
+    """The pasap stretching loop, returning only the start-time map.
+
+    This is the hot path of the synthesis engine's window recomputation
+    (called twice per committed binding decision, once forward and once on
+    the reversed graph for palap); it skips the :class:`Schedule`
+    construction — and its defensive dict copies and validation — that
+    :func:`pasap_schedule` layers on top for external callers.
+
+    ``locked_base`` optionally carries the power profile of the locked
+    operations over from the previous engine iteration: the engine's
+    locked set only ever *grows* by the operation it just committed, so
+    the profile can be extended by the delta instead of being rebuilt
+    from every locked operation each time.  The cache replays the same
+    additions in the same order, so the profile is float-identical to a
+    fresh build (a mismatched or shrunken locked set falls back to the
+    full rebuild).
+    """
+    locked = locked if locked is not None else {}
+    schedulable = cdfg.schedulable_operations()
 
     if max_horizon is None:
         total_cycles = sum(delays[n] for n in cdfg.operation_names())
@@ -107,15 +145,11 @@ def pasap_schedule(
                     f"exceeding the budget {power.max_power:.3f}"
                 )
 
-    profile: List[float] = []
-    start: Dict[str, int] = {}
-
-    # Commit locked operations first.
-    for name, fixed_start in locked.items():
-        if name not in cdfg:
-            continue
-        start[name] = fixed_start
-        add_to_profile(profile, fixed_start, delays[name], powers[name])
+    # Commit locked operations first (incrementally when a cache is given).
+    if locked_base is not None:
+        profile, start = locked_base.profile_for(cdfg, delays, powers, locked)
+    else:
+        profile, start = _committed_locked(cdfg, delays, powers, locked)
 
     # Process in topological waves; inside a wave, order by priority.
     remaining = [n for n in cdfg.topological_order() if n not in start]
@@ -155,14 +189,85 @@ def pasap_schedule(
             scheduled.add(name)
         remaining = [n for n in remaining if n not in scheduled]
 
-    return Schedule(
-        cdfg=cdfg,
-        start_times=start,
-        delays=dict(delays),
-        powers=dict(powers),
-        label=label,
-        metadata={"power_budget": power.max_power},
-    )
+    return start
+
+
+def _committed_locked(
+    cdfg: CDFG,
+    delays: Mapping[str, int],
+    powers: Mapping[str, float],
+    locked: Mapping[str, int],
+) -> Tuple[List[float], Dict[str, int]]:
+    """Profile and start map with every locked operation committed."""
+    profile: List[float] = []
+    start: Dict[str, int] = {}
+    for name, fixed_start in locked.items():
+        if name not in cdfg:
+            continue
+        start[name] = fixed_start
+        add_to_profile(profile, fixed_start, delays[name], powers[name])
+    return profile, start
+
+
+class LockedProfileCache:
+    """Incrementally maintained power profile of the locked operations.
+
+    The synthesis engine locks exactly one more operation per committed
+    decision, so successive window recomputations share all but one entry
+    of their locked set.  This cache keeps the previous locked profile
+    and extends it by the delta — committing the new entries in the same
+    ``dict`` insertion order a fresh build would use, which keeps the
+    floating-point profile identical bit for bit.
+
+    Whenever the new locked set is not a superset of the cached one, or a
+    cached operation changed its start/delay/power (e.g. after the
+    engine's backtrack-and-lock rollback), the cache rebuilds from
+    scratch, so correctness never depends on the engine's call pattern.
+    """
+
+    def __init__(self) -> None:
+        self._profile: List[float] = []
+        self._start: Dict[str, int] = {}
+        self._signature: Dict[str, Tuple[int, int, float]] = {}
+        # Locked keys in the iteration order they were committed with;
+        # float addition is order-sensitive, so reuse requires the new
+        # locked mapping to iterate with the cached order as a prefix.
+        self._order: List[str] = []
+
+    def profile_for(
+        self,
+        cdfg: CDFG,
+        delays: Mapping[str, int],
+        powers: Mapping[str, float],
+        locked: Mapping[str, int],
+    ) -> Tuple[List[float], Dict[str, int]]:
+        names = list(locked)
+        reusable = (
+            len(names) >= len(self._order) and names[: len(self._order)] == self._order
+        )
+        if reusable:
+            for name, (cached_start, cached_delay, cached_power) in self._signature.items():
+                if (
+                    locked.get(name) != cached_start
+                    or delays[name] != cached_delay
+                    or powers[name] != cached_power
+                ):
+                    reusable = False
+                    break
+        if not reusable:
+            self._profile = []
+            self._start = {}
+            self._signature = {}
+            self._order = []
+        for name in names[len(self._order) :]:
+            self._order.append(name)
+            if name not in cdfg:
+                continue
+            fixed_start = locked[name]
+            self._start[name] = fixed_start
+            add_to_profile(self._profile, fixed_start, delays[name], powers[name])
+            self._signature[name] = (fixed_start, delays[name], powers[name])
+        return list(self._profile), dict(self._start)
 
 
 def pasap_schedule_with_library(

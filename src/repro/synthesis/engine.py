@@ -45,7 +45,7 @@ from ..scheduling.constraints import (
     SynthesisConstraints,
     TimeConstraint,
 )
-from ..scheduling.mobility import WindowSet, compute_windows
+from ..scheduling.mobility import WindowCache, WindowSet, compute_windows
 from ..scheduling.pasap import PowerInfeasibleError
 from ..scheduling.schedule import Schedule, add_to_profile, profile_allows
 from .result import (
@@ -91,6 +91,9 @@ class _EngineState:
     powers: Dict[str, float] = field(default_factory=dict)
     bound_module: Dict[str, FUModule] = field(default_factory=dict)
     lock_all_mode: bool = False
+    # Carries the locked power profiles between window recomputations so
+    # each call only commits the newly locked operation (see WindowCache).
+    window_cache: WindowCache = field(default_factory=WindowCache)
 
 
 class PowerConstrainedSynthesizer:
@@ -264,6 +267,7 @@ class PowerConstrainedSynthesizer:
                 self.constraints.power,
                 self.constraints.time,
                 locked=state.locked,
+                cache=state.window_cache,
             )
         except PowerInfeasibleError as exc:
             raise PowerInfeasibleSynthesisError(str(exc)) from exc
@@ -352,6 +356,7 @@ class PowerConstrainedSynthesizer:
         op_name: str,
         start: int,
         unbound: List[str],
+        shareable_order: Optional[Dict[str, List[str]]] = None,
     ) -> int:
         """Estimate how many unbound operations a new instance could host.
 
@@ -362,19 +367,28 @@ class PowerConstrainedSynthesizer:
         shareable module (e.g. the parallel multiplier) over the
         operations it is likely to serve, which is what lets the engine
         trade operator implementations as the paper describes.
+
+        ``shareable_order`` memoizes the sorted shareable-operation list
+        per module name across the candidates of one decision round (the
+        list only depends on the module and the current windows, not on
+        ``op_name``, which is skipped during packing instead).
         """
         latency_bound = self.constraints.time.latency
         busy_end = start + module.latency
         count = 1
-        others = [
-            v
-            for v in unbound
-            if v != op_name
-            and module.supports(cdfg.operation(v).optype)
-            and v in windows
-        ]
-        others.sort(key=lambda v: (windows[v].latest, windows[v].earliest, v))
+        others = None if shareable_order is None else shareable_order.get(module.name)
+        if others is None:
+            others = [
+                v
+                for v in unbound
+                if module.supports(cdfg.operation(v).optype) and v in windows
+            ]
+            others.sort(key=lambda v: (windows[v].latest, windows[v].earliest, v))
+            if shareable_order is not None:
+                shareable_order[module.name] = others
         for other in others:
+            if other == op_name:
+                continue
             earliest = max(windows[other].earliest, busy_end)
             if earliest > windows[other].latest:
                 continue
@@ -395,6 +409,17 @@ class PowerConstrainedSynthesizer:
         unbound: List[str],
     ) -> Optional[BindingDecision]:
         best: Optional[BindingDecision] = None
+        # Busy intervals and shareable-operation orderings do not depend
+        # on which ready operation is being evaluated; build them once
+        # per decision round instead of once per candidate.
+        busy_by_instance = {
+            instance.name: [
+                Interval(state.locked[o], state.locked[o] + instance.module.latency)
+                for o in instance.bound_ops
+            ]
+            for instance in datapath.instances.values()
+        }
+        shareable_order: Dict[str, List[str]] = {}
         for op_name in ready:
             data_ready = self._data_ready(cdfg, state, op_name)
             if state.lock_all_mode:
@@ -409,10 +434,7 @@ class PowerConstrainedSynthesizer:
                 for instance in datapath.instances.values():
                     if instance.module.name != module.name:
                         continue
-                    busy = [
-                        Interval(state.locked[o], state.locked[o] + instance.module.latency)
-                        for o in instance.bound_ops
-                    ]
+                    busy = busy_by_instance[instance.name]
                     start = self._earliest_feasible_start(
                         op_name, module, data_ready, window_latest, profile, busy
                     )
@@ -441,7 +463,8 @@ class PowerConstrainedSynthesizer:
                     effective_area: Optional[float] = None
                 else:
                     capacity = self._estimate_capacity(
-                        cdfg, state, windows, module, op_name, start, unbound
+                        cdfg, state, windows, module, op_name, start, unbound,
+                        shareable_order=shareable_order,
                     )
                     effective_area = (
                         module.area / capacity

@@ -124,3 +124,30 @@ class TestProfilesAndBounds:
     def test_operation_intervals(self):
         intervals = operation_intervals({"a": 2}, {"a": 3})
         assert intervals == {"a": (2, 5)}
+
+
+class TestValidatedDelays:
+    def test_wrapper_reused_for_same_graph(self, diamond):
+        from repro.ir.analysis import validated_delays
+
+        delays = validated_delays(diamond, unit_delays(diamond))
+        assert validated_delays(diamond, delays) is delays
+
+    def test_missing_delay_raises_cdfg_error(self, diamond):
+        from repro.ir.analysis import validated_delays
+
+        delays = unit_delays(diamond)
+        delays.pop("left")
+        with pytest.raises(CDFGError):
+            validated_delays(diamond, delays)
+
+    def test_wrapper_revalidated_after_graph_mutation(self, diamond):
+        from repro.ir.analysis import validated_delays
+        from repro.ir.operation import Operation
+
+        delays = validated_delays(diamond, unit_delays(diamond))
+        diamond.add_operation(Operation("late", OpType.ADD))
+        # The stale wrapper is missing the new operation: the analyses
+        # must re-check it and raise the documented error, not KeyError.
+        with pytest.raises(CDFGError):
+            asap_times(diamond, delays)

@@ -17,7 +17,7 @@ class TestBuilder:
         g = b.build()
         assert len(g) == 4
         assert g.operation(s).optype is OpType.ADD
-        assert g.predecessors(out) == [s]
+        assert g.predecessors(out) == (s,)
 
     def test_all_typed_helpers(self):
         b = CDFGBuilder()

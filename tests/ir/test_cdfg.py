@@ -90,7 +90,7 @@ class TestQueries:
     def test_predecessors_successors(self):
         g = build_small()
         assert sorted(g.predecessors("s")) == ["a", "b"]
-        assert g.successors("s") == ["o"]
+        assert g.successors("s") == ("o",)
 
     def test_sources_and_sinks(self):
         g = build_small()
@@ -101,7 +101,7 @@ class TestQueries:
         g = build_small()
         order = g.topological_order()
         assert order.index("a") < order.index("s") < order.index("o")
-        assert list(reversed(order)) == g.reverse_topological_order()
+        assert tuple(reversed(order)) == g.reverse_topological_order()
 
     def test_type_histogram(self):
         histogram = build_small().type_histogram()
@@ -143,6 +143,20 @@ class TestDerivedGraphs:
         assert ("s", "a") in rev.edges() or ("s", "b") in rev.edges()
         # the original is untouched
         assert ("a", "s") in g.edges()
+
+    def test_reversed_is_cached_and_read_only(self):
+        g = build_small()
+        rev = g.reversed()
+        assert g.reversed() is rev  # cached until the base graph mutates
+        with pytest.raises(CDFGError):
+            rev.remove_operation("o")
+        with pytest.raises(CDFGError):
+            rev.add_edge("a", "b")
+        # a copy of the view is mutable again
+        rev.copy().remove_operation("o")
+        # mutating the base graph drops the cached reversal
+        g.add_operation(Operation("extra", OpType.ADD))
+        assert g.reversed() is not rev
 
     def test_subgraph(self):
         g = build_small()

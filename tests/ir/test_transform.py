@@ -57,7 +57,7 @@ class TestStripVirtual:
         b.output("o", m)
         stripped = strip_virtual_operations(b.build())
         assert "c" not in stripped
-        assert stripped.predecessors("m") == ["x"]
+        assert stripped.predecessors("m") == ("x",)
 
     def test_nop_bypassed(self):
         b = CDFGBuilder()

@@ -56,3 +56,33 @@ class TestForceDirected:
             latency = critical_path_length(graph, delays) + extra
             schedule = force_directed_schedule(graph, delays, powers, latency)
             schedule.verify(time=TimeConstraint(latency))
+
+
+class TestSelfForceReference:
+    """_self_force is the reference formulation of the force the scheduler
+    computes inline (with the average hoisted); keep them in lockstep."""
+
+    def test_inline_hoisting_matches_reference(self):
+        from repro.ir.operation import OpType
+        from repro.scheduling.force_directed import _self_force, _window_average
+
+        latency = 8
+        series = [0.5, 1.25, 2.0, 0.75, 0.0, 1.0, 0.25, 0.5]
+        distribution = {OpType.MUL: series}
+        for window in ((0, 4), (2, 6), (1, 1)):
+            for delay in (1, 2, 3):
+                earliest, latest = window
+                average = _window_average(series, delay, earliest, latest, latency)
+                for candidate in range(earliest, latest + 1):
+                    chosen = 0.0
+                    for cycle in range(candidate, min(candidate + delay, latency)):
+                        chosen += series[cycle]
+                    assert chosen - average == _self_force(
+                        OpType.MUL, delay, window, candidate, distribution, latency
+                    )
+
+    def test_empty_series_is_zero_force(self):
+        from repro.ir.operation import OpType
+        from repro.scheduling.force_directed import _self_force
+
+        assert _self_force(OpType.ADD, 2, (0, 3), 1, {}, 8) == 0.0
