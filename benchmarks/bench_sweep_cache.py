@@ -1,0 +1,135 @@
+"""Sweep caching — cold vs. warm exploration of the Figure-2 frontier.
+
+The exploration subsystem's pitch is that repeated (graph, library, T, P)
+points are free: the content-addressed :class:`repro.explore.ResultCache`
+answers them without synthesizing.  This module measures that claim on
+the repository's own headline workload — a Figure-2 style sweep (minimum
+feasible power bisection + a full ``power_area_sweep`` grid per case):
+
+* ``test_figure2_sweep[cold]`` synthesizes every point into a fresh
+  cache directory,
+* ``test_figure2_sweep[warm]`` re-runs the identical sweep against the
+  populated cache,
+* ``test_warm_rerun_is_free_and_10x_faster`` asserts the contract: the
+  warm re-run performs **zero** synthesis calls and is at least 10×
+  faster than the cold run.
+
+Record the cold/warm pair into the repository's benchmark history with::
+
+    python benchmarks/record.py --bench bench_sweep_cache \
+        --history BENCH_scalability.json --label sweep-cache
+
+(see :mod:`benchmarks.record`).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.api.pipeline import Pipeline
+from repro.explore import ResultCache
+from repro.library import default_library
+from repro.reporting.experiments import figure2_experiment
+from repro.suite import hal_cdfg
+from repro.synthesis.explore import (
+    default_power_grid,
+    minimum_feasible_power,
+    power_area_sweep,
+)
+
+#: Reduced Figure-2 case set: large enough that a cold sweep costs real
+#: synthesis time, small enough for the CI perf-smoke job.
+CASES = [("hal", 17), ("fir", 12)]
+POWER_CAP = 60.0
+STEPS = 8
+
+
+@contextmanager
+def count_synthesis_runs():
+    """Count how many times the synthesis pipeline actually executes."""
+    calls = {"count": 0}
+    original = Pipeline.run
+
+    def counting_run(self, *args, **kwargs):
+        calls["count"] += 1
+        return original(self, *args, **kwargs)
+
+    Pipeline.run = counting_run
+    try:
+        yield calls
+    finally:
+        Pipeline.run = original
+
+
+def run_figure2(cache: ResultCache):
+    return figure2_experiment(
+        cases=CASES, power_cap=POWER_CAP, steps=STEPS, cache=cache
+    )
+
+
+@pytest.mark.parametrize("state", ["cold", "warm"])
+def test_figure2_sweep(benchmark, state):
+    """Wall-clock of the Figure-2 sweep, cold vs. warm cache."""
+    root = tempfile.mkdtemp(prefix=f"repro-bench-{state}-")
+    try:
+        if state == "warm":
+            run_figure2(ResultCache(root))  # populate once, outside the timer
+
+            data = benchmark.pedantic(
+                lambda: run_figure2(ResultCache(root)), rounds=3, iterations=1
+            )
+        else:
+            fresh = {"n": 0}
+
+            def setup():
+                fresh["n"] += 1
+                cold_root = f"{root}-{fresh['n']}"
+                return (ResultCache(cold_root),), {}
+
+            data = benchmark.pedantic(run_figure2, setup=setup, rounds=2, iterations=1)
+        assert set(data.sweeps) == set(CASES)
+        for sweep in data.sweeps.values():
+            assert sweep.feasible_points()
+    finally:
+        for path in (root, f"{root}-1", f"{root}-2"):
+            shutil.rmtree(path, ignore_errors=True)
+
+
+def test_warm_rerun_is_free_and_10x_faster():
+    """A cached re-run of a full power_area_sweep grid performs zero new
+    synthesis calls and is >= 10x faster than the cold run."""
+    library = default_library()
+    hal = hal_cdfg()
+    root = tempfile.mkdtemp(prefix="repro-bench-assert-")
+    try:
+        def sweep(cache):
+            p_min = minimum_feasible_power(hal, library, 17, cache=cache)
+            grid = default_power_grid(p_min, POWER_CAP, 12)
+            return power_area_sweep(hal, library, 17, grid, cache=cache)
+
+        with count_synthesis_runs() as cold_calls:
+            started = time.perf_counter()
+            cold_sweep = sweep(ResultCache(root))
+            cold = time.perf_counter() - started
+        assert cold_calls["count"] > 0
+
+        with count_synthesis_runs() as warm_calls:
+            started = time.perf_counter()
+            warm_sweep = sweep(ResultCache(root))
+            warm = time.perf_counter() - started
+
+        assert warm_calls["count"] == 0, "warm re-run must not synthesize"
+        assert [(p.power_budget, p.area) for p in cold_sweep.points] == [
+            (p.power_budget, p.area) for p in warm_sweep.points
+        ]
+        assert cold >= 10 * warm, (
+            f"warm sweep must be >=10x faster: cold={cold:.3f}s warm={warm:.3f}s "
+            f"({cold / warm:.1f}x)"
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -21,7 +21,9 @@ The package provides:
 
 * :mod:`repro.api` — the unified ``SynthesisTask`` / ``Pipeline`` /
   ``run_batch`` entry points tying everything together, with string-keyed
-  strategy registries in :mod:`repro.registries`.
+  strategy registries in :mod:`repro.registries`,
+* :mod:`repro.explore` — the exploration subsystem: a content-addressed
+  on-disk result cache and the adaptive power/area frontier refiner.
 
 Quickstart::
 
@@ -82,8 +84,9 @@ from .api import (
     run_batch,
     run_task,
 )
+from .explore import ResultCache, adaptive_power_sweep
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CDFG",
@@ -128,5 +131,7 @@ __all__ = [
     "Sweep",
     "run_task",
     "run_batch",
+    "ResultCache",
+    "adaptive_power_sweep",
     "__version__",
 ]

@@ -60,8 +60,12 @@ class TaskResult:
         error: Failure message for infeasible tasks.
         error_type: Exception class name for infeasible tasks.
         elapsed: Wall-clock seconds the task took.
+        cached: True when this record was served from a
+            :class:`~repro.explore.cache.ResultCache` instead of being
+            synthesized (``elapsed`` then reports the *original* run).
         result: The full result object — only populated for in-process
-            (sequential) execution; worker processes return scalars only.
+            (sequential) execution; worker processes and the result cache
+            return scalars only.
     """
 
     task: SynthesisTask
@@ -74,6 +78,7 @@ class TaskResult:
     error: Optional[str] = None
     error_type: Optional[str] = None
     elapsed: float = 0.0
+    cached: bool = False
     result: Optional[SynthesisResult] = None
 
     def to_dict(self) -> Dict[str, Any]:
@@ -89,6 +94,7 @@ class TaskResult:
             "error": self.error,
             "error_type": self.error_type,
             "elapsed": self.elapsed,
+            "cached": self.cached,
         }
 
     @classmethod
@@ -105,42 +111,77 @@ def run_task(
     pipeline: Optional[Pipeline] = None,
     cdfg=None,
     library=None,
+    cache=None,
 ) -> TaskResult:
     """Run one task; return a record instead of raising on infeasibility.
 
     ``cdfg`` / ``library`` are forwarded to :meth:`Pipeline.run` so
     in-process callers holding live objects skip the task's own
     resolution (and any inline-dict round-trip).
+
+    ``cache`` is a :class:`~repro.explore.cache.ResultCache`: a hit
+    returns the stored record (``cached=True``, scalar metrics only)
+    without synthesizing; a miss synthesizes and stores the outcome —
+    feasible or not.  The cache is ignored alongside a custom
+    ``pipeline``, whose ad-hoc passes are invisible to the content
+    address and would poison shared entries.  It is likewise ignored
+    whenever a live ``cdfg`` / ``library`` override accompanies the
+    task: the pipeline would run on the override while the record filed
+    under the *task spec's* address, poisoning it for every honest
+    lookup.  Callers holding live objects cache through an inline task
+    instead (what :func:`repro.synthesis.explore.probe_point` does).
     """
+    use_cache = (
+        cache is not None and pipeline is None and cdfg is None and library is None
+    )
+    if use_cache:
+        hit = cache.get(task)
+        if hit is not None:
+            return hit
     pipeline = pipeline or Pipeline.default()
     started = time.perf_counter()
     try:
         result = pipeline.run(task, cdfg=cdfg, library=library)
     except INFEASIBLE_ERRORS as exc:
-        return TaskResult(
+        record = TaskResult(
             task=task,
             feasible=False,
             error=str(exc),
             error_type=type(exc).__name__,
             elapsed=time.perf_counter() - started,
         )
-    return TaskResult(
-        task=task,
-        feasible=True,
-        area=result.total_area,
-        fu_area=result.fu_area,
-        peak_power=result.peak_power,
-        latency=result.latency,
-        backtracks=result.backtracks,
-        elapsed=time.perf_counter() - started,
-        result=result if keep_result else None,
-    )
+    else:
+        record = TaskResult(
+            task=task,
+            feasible=True,
+            area=result.total_area,
+            fu_area=result.fu_area,
+            peak_power=result.peak_power,
+            latency=result.latency,
+            backtracks=result.backtracks,
+            elapsed=time.perf_counter() - started,
+            result=result if keep_result else None,
+        )
+    if use_cache:
+        cache.put(task, record)
+    return record
 
 
 def _run_task_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: task dict in, record dict out (both picklable)."""
-    task = SynthesisTask.from_dict(payload)
-    return run_task(task, keep_result=False).to_dict()
+    """Worker entry point: task dict in, record dict out (both picklable).
+
+    When the payload names a ``cache_dir``, the worker opens the shared
+    on-disk cache itself — each completed point lands on disk (and in the
+    journal) the moment it finishes, so a killed parallel grid loses at
+    most the points that were in flight.
+    """
+    task = SynthesisTask.from_dict(payload["task"])
+    cache = None
+    if payload.get("cache_dir"):
+        from ..explore.cache import ResultCache  # local import to avoid a cycle
+
+        cache = ResultCache(payload["cache_dir"], read=payload.get("cache_read", True))
+    return run_task(task, keep_result=False, cache=cache).to_dict()
 
 
 def run_batch(
@@ -149,6 +190,7 @@ def run_batch(
     jobs: Optional[int] = None,
     keep_results: Optional[bool] = None,
     pipeline: Optional[Pipeline] = None,
+    cache=None,
 ) -> List[TaskResult]:
     """Run many tasks, optionally in parallel; results in input order.
 
@@ -158,9 +200,16 @@ def run_batch(
             in-process (full result objects kept by default).
         keep_results: Keep full :class:`SynthesisResult` objects on the
             records.  Defaults to True sequentially; forced off for
-            ``jobs > 1`` (workers return scalars only).
+            ``jobs > 1`` (workers return scalars only).  Cache hits carry
+            scalars only either way.
         pipeline: Custom pipeline — sequential execution only, since a
             pipeline with ad-hoc passes cannot be shipped to workers.
+            Disables the cache (see :func:`run_task`).
+        cache: A :class:`~repro.explore.cache.ResultCache` shared by every
+            task.  In parallel mode the parent answers what it can before
+            spawning workers, ships only the misses, and the workers write
+            each computed point straight to the shared directory — a fully
+            warm batch never starts the process pool at all.
 
     Returns:
         One :class:`TaskResult` per task, in the same order as ``tasks``.
@@ -169,7 +218,10 @@ def run_batch(
     workers = 1 if jobs is None else int(jobs)
     if workers <= 1 or len(task_list) <= 1:
         keep = True if keep_results is None else keep_results
-        return [run_task(t, keep_result=keep, pipeline=pipeline) for t in task_list]
+        return [
+            run_task(t, keep_result=keep, pipeline=pipeline, cache=cache)
+            for t in task_list
+        ]
     if pipeline is not None:
         raise ValueError(
             "a custom pipeline cannot be used with jobs > 1; "
@@ -177,10 +229,47 @@ def run_batch(
         )
     if keep_results:
         raise ValueError("keep_results=True requires sequential execution (jobs <= 1)")
-    payloads = [task.to_dict() for task in task_list]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        records = list(pool.map(_run_task_payload, payloads))
-    return [TaskResult.from_dict(record) for record in records]
+
+    results: List[Optional[TaskResult]] = [None] * len(task_list)
+    pending = list(range(len(task_list)))
+    if cache is not None:
+        pending = []
+        for index, task in enumerate(task_list):
+            hit = cache.get(task)
+            if hit is not None:
+                results[index] = hit
+            else:
+                pending.append(index)
+    if pending:
+        if cache is not None:
+            # content-identical tasks synthesize once; the others share
+            # the record (with their own task rebound, like a cache hit)
+            by_key: Dict[str, List[int]] = {}
+            for index in pending:
+                by_key.setdefault(task_list[index].cache_key(), []).append(index)
+            groups = list(by_key.values())
+        else:
+            groups = [[index] for index in pending]
+        cache_dir = str(cache.root) if cache is not None and cache.write else None
+        payloads = [
+            {
+                "task": task_list[group[0]].to_dict(),
+                "cache_dir": cache_dir,
+                "cache_read": cache.read if cache is not None else True,
+            }
+            for group in groups
+        ]
+        with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+            records = list(pool.map(_run_task_payload, payloads))
+        # content-duplicate tasks share the one computed record (each with
+        # its own task rebound); they keep cached=False — the point was
+        # computed in this run, not served from the cache
+        for group, record in zip(groups, records):
+            for index in group:
+                result = TaskResult.from_dict(record)
+                result.task = task_list[index]
+                results[index] = result
+    return [record for record in results if record is not None]
 
 
 @dataclass

@@ -16,6 +16,7 @@ task file can use any scheduler or binder a plugin has registered.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
@@ -32,6 +33,11 @@ from ..suite.registry import build_benchmark
 
 class TaskError(ValueError):
     """A malformed task specification."""
+
+
+#: Bump when the canonical spec layout (or anything that changes what a
+#: given spec *means*) changes, so stale on-disk cache entries never match.
+CACHE_KEY_VERSION = 1
 
 
 # --------------------------------------------------------------------------- #
@@ -70,6 +76,89 @@ def library_from_dict(data: Dict[str, Any]) -> FULibrary:
         return FULibrary(modules, name=data.get("name", "library"))
     except (KeyError, TypeError, ValueError) as exc:
         raise TaskError(f"malformed inline library spec: {exc}") from exc
+
+
+# --------------------------------------------------------------------------- #
+# Canonicalization for content addressing
+# --------------------------------------------------------------------------- #
+def _canonical_graph(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalize a CDFG dict for hashing without materializing a CDFG.
+
+    Produces exactly what ``to_dict(from_dict(data))`` would, but in pure
+    dictionary form (building a graph only to re-serialize it would
+    dominate the cost of a cache lookup): operation types collapse to the
+    canonical mnemonic, optional fields get their defaults, duplicate
+    edges merge into one entry with summed multiplicity, and operations /
+    edges are sorted so insertion order never changes the hash.
+    """
+    try:
+        operations = [
+            {
+                "name": entry["name"],
+                "type": OpType.from_mnemonic(entry["type"]).value,
+                "label": entry.get("label", ""),
+                "attrs": dict(entry.get("attrs") or {}),
+            }
+            for entry in data["operations"]
+        ]
+        multiplicities: Dict[Any, int] = {}
+        for entry in data["edges"]:
+            pair = (entry["src"], entry["dst"])
+            multiplicities[pair] = multiplicities.get(pair, 0) + int(
+                entry.get("multiplicity", 1)
+            )
+        edges = [
+            {"src": src, "dst": dst, "multiplicity": multiplicity}
+            for (src, dst), multiplicity in sorted(multiplicities.items())
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TaskError(f"malformed inline CDFG spec: {exc}") from exc
+    return {
+        "name": data.get("name", ""),
+        "operations": sorted(operations, key=lambda op: op["name"]),
+        "edges": edges,
+    }
+
+
+def _canonical_options(overrides: Dict[str, Any]) -> Dict[str, Any]:
+    """Resolve option overrides against the EngineOptions defaults.
+
+    Hashing the fully resolved option set makes ``options={}`` and an
+    explicitly spelled-out ``EngineOptions()`` (or a partial override
+    that happens to equal a default) share one content address — and
+    rejects unknown option keys at hash time with the same error the
+    pipeline would raise at run time.
+    """
+    from ..synthesis.engine import EngineOptions  # local import to avoid a cycle
+
+    valid = {f.name for f in dataclasses.fields(EngineOptions)}
+    unknown = sorted(set(overrides) - valid)
+    if unknown:
+        raise TaskError(
+            f"unknown engine option(s) {unknown}; valid options: {sorted(valid)}"
+        )
+    return dataclasses.asdict(EngineOptions(**overrides))
+
+
+def _canonical_library(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalize a library dict for hashing (sorted modules, float metrics)."""
+    try:
+        modules = [
+            {
+                "name": entry["name"],
+                "ops": sorted(OpType(op).value for op in entry["ops"]),
+                "area": float(entry["area"]),
+                "latency": int(entry["latency"]),
+                "power": float(entry["power"]),
+            }
+            for entry in data["modules"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TaskError(f"malformed inline library spec: {exc}") from exc
+    return {
+        "name": data.get("name", "library"),
+        "modules": sorted(modules, key=lambda module: module["name"]),
+    }
 
 
 # --------------------------------------------------------------------------- #
@@ -265,6 +354,62 @@ class SynthesisTask:
         if self.label:
             parts.append(f"label={self.label!r}")
         return "SynthesisTask(" + ", ".join(parts) + ")"
+
+    # ------------------------------------------------------------------ #
+    # Content addressing
+    # ------------------------------------------------------------------ #
+    def canonical_spec(self) -> Dict[str, Any]:
+        """A semantically canonical form of this task for content addressing.
+
+        Two tasks that describe the same synthesis run hash identically
+        even when they are *spelled* differently: a registered benchmark
+        name and the equivalent inline CDFG dictionary resolve to the same
+        canonical graph, a registered library name and its inline module
+        table resolve to the same canonical library, and operation / edge /
+        module ordering is normalized.  The free-form ``label`` is
+        deliberately excluded — it does not affect the result.
+        """
+        if isinstance(self.graph, str):
+            graph = _canonical_graph(cdfg_to_dict(build_benchmark(self.graph)))
+        else:
+            graph = _canonical_graph(self.graph)
+        if isinstance(self.library, str):
+            library = _canonical_library(library_to_dict(LIBRARIES.get(self.library)()))
+        else:
+            library = _canonical_library(self.library)
+        return {
+            "version": CACHE_KEY_VERSION,
+            "graph": graph,
+            "library": library,
+            "latency": self.latency,
+            "power_budget": self.power_budget,
+            "scheduler": self.scheduler,
+            "binder": self.binder,
+            "selector": self.selector,
+            "options": _canonical_options(self.options),
+            "verify": self.verify,
+        }
+
+    def cache_key(self) -> str:
+        """SHA-256 of the canonical spec: the task's content address.
+
+        This is what the on-disk :class:`repro.explore.ResultCache` files
+        results under, so identical (graph, library, T, P, strategy,
+        options) points share one entry across sweeps, CLI invocations and
+        worker processes.
+
+        The key is memoized on first use — treat a task as immutable once
+        it has been hashed or executed (they are plain data; build a new
+        one instead of mutating).
+        """
+        key = self.__dict__.get("_cache_key")
+        if key is None:
+            payload = json.dumps(
+                self.canonical_spec(), sort_keys=True, separators=(",", ":")
+            )
+            key = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            self.__dict__["_cache_key"] = key
+        return key
 
     # ------------------------------------------------------------------ #
     # Serialization

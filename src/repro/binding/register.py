@@ -38,21 +38,42 @@ class ValueLifetime:
 
 @dataclass
 class RegisterAllocation:
-    """Assignment of values to registers."""
+    """Assignment of values to registers.
+
+    ``register_of`` lookups go through a lazily built reverse index
+    (producer → register), so interconnect estimation over every edge of
+    a large datapath is linear instead of scanning all registers per
+    value.  The index mirrors ``registers`` at the time of the first
+    lookup; after mutating ``registers`` directly, call
+    :meth:`invalidate_index`.
+    """
 
     #: register index -> producers whose values share that register
     registers: Dict[int, List[str]] = field(default_factory=dict)
     lifetimes: Dict[str, ValueLifetime] = field(default_factory=dict)
+    _index: Optional[Dict[str, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def count(self) -> int:
         return len(self.registers)
 
+    def _reverse_index(self) -> Dict[str, int]:
+        if self._index is None:
+            self._index = {
+                producer: index
+                for index, producers in self.registers.items()
+                for producer in producers
+            }
+        return self._index
+
+    def invalidate_index(self) -> None:
+        """Drop the memoized reverse index after mutating ``registers``."""
+        self._index = None
+
     def register_of(self, producer: str) -> Optional[int]:
-        for index, producers in self.registers.items():
-            if producer in producers:
-                return index
-        return None
+        return self._reverse_index().get(producer)
 
     def is_consistent(self) -> bool:
         """No two values sharing a register have overlapping lifetimes."""

@@ -31,6 +31,7 @@ from typing import List, Optional
 
 from .api.batch import Sweep, TaskResult, run_batch, run_task
 from .api.task import SynthesisTask, TaskError, tasks_from_json
+from .explore import ResultCache, adaptive_power_sweep
 from .ir import load as load_cdfg
 from .ir.serialize import to_dict as cdfg_to_dict
 from .library import default_library
@@ -56,6 +57,34 @@ def _graph_spec(args: argparse.Namespace):
     if args.cdfg is not None:
         return cdfg_to_dict(load_cdfg(Path(args.cdfg)))
     return args.benchmark
+
+
+def _open_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    """Build the result cache requested by ``--cache-dir`` / ``--resume``.
+
+    ``--cache-dir`` alone records every computed point (write-only), so a
+    later run *can* resume; adding ``--resume`` also consults the cache,
+    turning previously computed points into instant hits.  ``--resume``
+    without a cache directory is a usage error.
+    """
+    if getattr(args, "resume", False) and args.cache_dir is None:
+        raise SystemExit("--resume requires --cache-dir (nowhere to resume from)")
+    if args.cache_dir is None:
+        return None
+    return ResultCache(args.cache_dir, read=bool(getattr(args, "resume", False)))
+
+
+def _print_cache_summary(cache: Optional[ResultCache]) -> None:
+    if cache is None:
+        return
+    stats = cache.stats
+    # len(cache) counts the on-disk store, which parallel workers write
+    # directly — the parent's own `writes` counter would undercount.
+    print(
+        f"cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+        f"{stats.writes} new record(s) in this process; "
+        f"{len(cache)} on disk in {cache.root}"
+    )
 
 
 def _cmd_table1(_: argparse.Namespace) -> int:
@@ -119,20 +148,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cdfg = load_cdfg(Path(args.cdfg))
     else:
         cdfg = build_benchmark(args.benchmark)
+    cache = _open_cache(args)
+    if args.adaptive and (args.steps is not None or args.jobs > 1):
+        raise SystemExit(
+            "--adaptive probes budgets by bisection: it is grid-free and "
+            "sequential, so --steps/--jobs do not apply"
+        )
+    if not args.adaptive and args.resolution is not None:
+        raise SystemExit("--resolution only applies to --adaptive sweeps")
     try:
-        p_min = minimum_feasible_power(cdfg, library, args.latency)
+        if args.adaptive:
+            sweep = adaptive_power_sweep(
+                cdfg,
+                library,
+                args.latency,
+                p_max=args.cap,
+                resolution=args.resolution if args.resolution is not None else 1.0,
+                cache=cache,
+                cumulative_best=not args.raw,
+            )
+        else:
+            p_min = minimum_feasible_power(cdfg, library, args.latency, cache=cache)
+            steps = args.steps if args.steps is not None else 8
+            budgets = default_power_grid(p_min, args.cap, steps)
+            sweep = power_area_sweep(
+                cdfg,
+                library,
+                args.latency,
+                budgets,
+                cumulative_best=not args.raw,
+                jobs=args.jobs,
+                cache=cache,
+            )
     except SynthesisError as exc:
         print(f"infeasible: {exc}", file=sys.stderr)
         return EXIT_INFEASIBLE
-    budgets = default_power_grid(p_min, args.cap, args.steps)
-    sweep = power_area_sweep(
-        cdfg,
-        library,
-        args.latency,
-        budgets,
-        cumulative_best=not args.raw,
-        jobs=args.jobs,
-    )
     rows = [
         [point.power_budget, point.feasible, point.area, point.peak_power]
         for point in sweep.points
@@ -149,6 +199,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         series.add(point.power_budget, point.area)
     print()
     print(ascii_plot([series], x_label="power budget", y_label="area"))
+    if args.adaptive:
+        print(
+            f"\nadaptive refinement: {sweep.probes} probe(s), "
+            f"{sweep.synthesis_calls} synthesis run(s), "
+            f"resolution {sweep.resolution:g}"
+        )
+    _print_cache_summary(cache)
     return 0
 
 
@@ -198,9 +255,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"bad batch file: {exc}", file=sys.stderr)
         return 1
 
+    cache = _open_cache(args)
     started = time.perf_counter()
     try:
-        records = run_batch(tasks, jobs=args.jobs, keep_results=False)
+        records = run_batch(tasks, jobs=args.jobs, keep_results=False, cache=cache)
     except (TaskError, UnknownStrategyError) as exc:
         print(f"bad task: {exc}", file=sys.stderr)
         return 1
@@ -214,10 +272,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     )
     feasible = sum(1 for record in records if record.feasible)
+    resumed = sum(1 for record in records if record.cached)
     print(
         f"\n{feasible}/{len(records)} tasks feasible in {elapsed:.2f}s "
         f"(jobs={args.jobs})"
+        + (f", {resumed} resumed from cache" if resumed else "")
     )
+    _print_cache_summary(cache)
     for record in records:
         if not record.feasible:
             print(f"  task {record.task.describe()}: {record.error}")
@@ -270,13 +331,55 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--verilog", help="write a structural Verilog skeleton to this path")
     synth.set_defaults(handler=_cmd_synthesize)
 
+    def add_cache_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            help="record every computed point in this content-addressed cache "
+            "directory (JSONL journal included) so a later --resume run "
+            "skips them",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="also consult --cache-dir before synthesizing: previously "
+            "computed points (from any sweep, batch or killed run) return "
+            "instantly",
+        )
+
     sweep = sub.add_parser("sweep", help="power/area sweep (one Figure-2 curve)")
     add_graph_options(sweep)
     sweep.add_argument("--latency", "-T", type=int, required=True)
     sweep.add_argument("--cap", type=float, default=150.0)
-    sweep.add_argument("--steps", type=int, default=8)
+    sweep.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="fixed-grid mode: number of power budgets (default: 8); "
+        "incompatible with --adaptive",
+    )
     sweep.add_argument("--raw", action="store_true", help="disable the running-best convention")
-    sweep.add_argument("--jobs", "-j", type=int, default=1, help="parallel workers")
+    sweep.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="parallel workers (fixed-grid mode only)",
+    )
+    sweep.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="replace the fixed power grid with adaptive frontier refinement "
+        "(bisect only where the area changes)",
+    )
+    sweep.add_argument(
+        "--resolution",
+        type=float,
+        default=None,
+        help="adaptive mode: maximum width of a frontier step (default: 1.0); "
+        "requires --adaptive",
+    )
+    add_cache_options(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     profile = sub.add_parser("profile", help="per-cycle power profile (Figure 1)")
@@ -291,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("file", help="JSON: a list of task specs or {'tasks': [...], 'sweeps': [...]}")
     batch.add_argument("--jobs", "-j", type=int, default=1, help="parallel workers")
     batch.add_argument("--output", "-o", help="also write structured JSON results here")
+    add_cache_options(batch)
     batch.set_defaults(handler=_cmd_batch)
 
     return parser

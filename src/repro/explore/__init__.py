@@ -1,0 +1,42 @@
+"""The exploration subsystem: cached, adaptive design-space exploration.
+
+Sweeping the (time, power) constraint space at paper scale means
+re-visiting the same (graph, library, T, P) points over and over — across
+grid sweeps, bisection probes, CLI invocations and worker processes.
+This package makes that cheap and makes the sweeps themselves adaptive:
+
+* :class:`~repro.explore.cache.ResultCache` — a content-addressed,
+  on-disk cache of task results keyed by the canonical hash of the task
+  spec (:meth:`repro.api.task.SynthesisTask.cache_key`), consulted by
+  :func:`repro.api.batch.run_task` / :func:`~repro.api.batch.run_batch`,
+  with an append-only JSONL journal so killed grids restart without
+  rework,
+* :func:`~repro.explore.refine.adaptive_power_sweep` — an adaptive
+  frontier refiner that replaces fixed power grids with interval
+  bisection, probing only where the reported area changes and
+  guaranteeing no frontier step wider than the requested resolution.
+
+Quickstart::
+
+    from repro.explore import ResultCache, adaptive_power_sweep
+    from repro.library import default_library
+    from repro.suite import hal_cdfg
+
+    cache = ResultCache("~/.cache/repro")
+    sweep = adaptive_power_sweep(
+        hal_cdfg(), default_library(), latency=17, resolution=1.0, cache=cache
+    )
+    print(cache.stats)          # second call: all hits, zero synthesis
+"""
+
+from .cache import JOURNAL_NAME, CacheStats, ResultCache, load_journal
+from .refine import AdaptiveSweepResult, adaptive_power_sweep
+
+__all__ = [
+    "AdaptiveSweepResult",
+    "CacheStats",
+    "JOURNAL_NAME",
+    "ResultCache",
+    "adaptive_power_sweep",
+    "load_journal",
+]

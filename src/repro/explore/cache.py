@@ -1,0 +1,221 @@
+"""Content-addressed, on-disk caching of synthesis results.
+
+A :class:`ResultCache` stores one :class:`~repro.api.batch.TaskResult`
+per *content address* — the SHA-256 of the task's canonical spec (see
+:meth:`repro.api.task.SynthesisTask.cache_key`).  Because the address is
+derived from what the task *means* (graph structure, library modules,
+constraints, strategies, options) rather than how it is spelled, the same
+(graph, library, T, P) point hits the cache whether it was issued by a
+fixed-grid sweep, the adaptive frontier refiner, a bisection probe inside
+:func:`~repro.synthesis.explore.minimum_feasible_power`, a different CLI
+invocation, or a worker process of a parallel batch.
+
+Layout on disk::
+
+    <root>/objects/<key[:2]>/<key>.json   one record per content address
+    <root>/journal.jsonl                  append-only log of computed records
+
+Object files are written atomically (temp file + ``os.replace``) so
+concurrent workers sharing one cache directory never observe a torn
+record; the journal is the human-greppable trail of everything that was
+actually *computed* (cache hits are not re-journaled), which is what lets
+a killed grid restart without rework: re-running the same batch with the
+same cache directory replays the journaled points as instant hits.
+
+Only scalar metrics are cached — the heavyweight
+:class:`~repro.synthesis.result.SynthesisResult` object is dropped, just
+as it is for parallel workers.  Records loaded from the cache therefore
+have ``result=None`` and ``cached=True``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..api.batch import TaskResult
+from ..api.task import SynthesisTask
+
+#: File name of the append-only JSONL journal inside a cache directory.
+JOURNAL_NAME = "journal.jsonl"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance's lifetime.
+
+    Attributes:
+        hits: Lookups answered from the cache (memory or disk).
+        misses: Lookups that found nothing (the caller then synthesizes).
+        writes: Records stored.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+class ResultCache:
+    """Content-addressed cache of :class:`TaskResult` records.
+
+    Args:
+        root: Cache directory (created on first write).
+        read: Consult the cache on :meth:`get`.  ``read=False`` makes a
+            write-only cache that records results for later runs without
+            ever short-circuiting the current one (the CLI's plain
+            ``--cache-dir`` without ``--resume``).
+        write: Store computed records on :meth:`put`.
+        journal: Also append every stored record to ``journal.jsonl``.
+
+    An in-memory layer fronts the disk so repeated lookups of the same
+    point within one process (e.g. bisection probes) cost one file read.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        read: bool = True,
+        write: bool = True,
+        journal: bool = True,
+    ) -> None:
+        self.root = Path(root).expanduser()
+        self.read = read
+        self.write = write
+        self.journal = journal
+        self.stats = CacheStats()
+        self._memory: Dict[str, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Addressing
+    # ------------------------------------------------------------------ #
+    def key_for(self, task: SynthesisTask) -> str:
+        return task.cache_key()
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / JOURNAL_NAME
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+    def get(self, task: SynthesisTask) -> Optional[TaskResult]:
+        """The cached record for ``task``, or ``None``.
+
+        Returned records carry ``cached=True``, ``result=None`` (only
+        scalar metrics are stored) and the *caller's* ``task`` — the
+        content address deliberately ignores spelling differences and the
+        label, so the stored spec may be a differently-spelled twin and
+        must not leak into the caller's reports.  Corrupt or unreadable
+        object files count as misses — the point is simply recomputed.
+        """
+        if not self.read:
+            return None
+        key = self.key_for(task)
+        payload = self._memory.get(key)
+        if payload is None:
+            try:
+                payload = json.loads(self._object_path(key).read_text())
+                payload["record"]
+            except (OSError, ValueError, KeyError, TypeError):
+                self.stats.misses += 1
+                return None
+            self._memory[key] = payload
+        try:
+            record = TaskResult.from_dict(dict(payload["record"]))
+        except (TypeError, ValueError, KeyError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        record.cached = True
+        record.result = None
+        record.task = task
+        return record
+
+    def put(self, task: SynthesisTask, record: TaskResult) -> str:
+        """Store ``record`` under the task's content address; return the key.
+
+        Infeasible records are cached too — knowing a (T, P) point is
+        below the feasibility frontier is exactly as reusable as knowing
+        its area.
+        """
+        key = self.key_for(task)
+        if not self.write:
+            return key
+        payload = {"key": key, "record": record.to_dict()}
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(payload, indent=1, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        if self.journal:
+            line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            # one unbuffered write to an O_APPEND fd: concurrent workers
+            # sharing the journal never interleave mid-line
+            fd = os.open(
+                self.journal_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, (line + "\n").encode("utf-8"))
+            finally:
+                os.close(fd)
+        self._memory[key] = payload
+        self.stats.writes += 1
+        return key
+
+    def __len__(self) -> int:
+        """Number of records on disk (not just in this process's memory)."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        return sum(1 for _ in objects.glob("*/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = ("r" if self.read else "") + ("w" if self.write else "")
+        return f"ResultCache({str(self.root)!r}, mode={mode!r}, {self.stats})"
+
+
+def load_journal(path: Union[str, Path]) -> List[TaskResult]:
+    """Parse a cache journal (``journal.jsonl``) back into records.
+
+    Malformed lines (e.g. a half-written tail from a killed process) are
+    skipped, so a journal is always safe to load after a crash.
+    """
+    records: List[TaskResult] = []
+    journal = Path(path)
+    if journal.is_dir():
+        journal = journal / JOURNAL_NAME
+    if not journal.exists():
+        return records
+    with open(journal) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                records.append(TaskResult.from_dict(payload["record"]))
+            except (ValueError, KeyError, TypeError):
+                continue
+    return records

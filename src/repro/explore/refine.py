@@ -1,0 +1,229 @@
+"""Adaptive refinement of the power/area frontier.
+
+A fixed power grid (the seed's Figure-2 driver) spends most of its
+synthesis runs re-discovering flat stretches of the frontier: once the
+area stops changing, every further grid point is a repeat of the same
+design.  The refiner replaces the grid with interval bisection — start
+from the frontier's endpoints, and split only those budget intervals
+whose endpoints *disagree* (different area, or different feasibility)
+until every disagreement is narrower than the requested ``resolution``.
+
+The output is the usual :class:`~repro.synthesis.explore.SweepResult`
+shape (an :class:`AdaptiveSweepResult` *is a* ``SweepResult``), so all
+downstream reporting works unchanged, and it comes with a guarantee the
+dense grid can only approximate: **no frontier step is wider than the
+resolution**.  Every pair of adjacent probed budgets either reports the
+same area or lies within ``resolution`` of each other — by construction,
+because any wider disagreeing interval would have been bisected.
+
+Probes route through the content-addressed
+:class:`~repro.explore.cache.ResultCache` when one is given, so a refined
+frontier re-runs for free and a refinement after a dense sweep (or vice
+versa) only pays for budgets the other did not visit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.cdfg import CDFG
+from ..library.library import FULibrary
+from ..synthesis.engine import EngineOptions
+from ..synthesis.explore import (
+    SweepPoint,
+    SweepResult,
+    apply_cumulative_best,
+    minimum_feasible_power,
+    point_from_record,
+    probe_point,
+)
+
+#: Budgets are rounded like :func:`~repro.synthesis.explore.default_power_grid`
+#: grids so adaptive probes and grid points share cache entries.
+_BUDGET_DECIMALS = 3
+
+
+@dataclass
+class AdaptiveSweepResult(SweepResult):
+    """A :class:`SweepResult` plus refinement statistics.
+
+    Attributes:
+        resolution: The refinement resolution that was requested.
+        probes: Budgets evaluated by the refiner, including ones answered
+            by the cache.
+        synthesis_calls: Synthesis pipeline runs actually performed over
+            the whole call — refiner probes *and* the internal
+            minimum-feasible-power bisection when ``p_min`` was not
+            supplied.  Cache hits are excluded; with a cold start and an
+            explicit ``p_min`` this equals ``probes``.
+    """
+
+    resolution: float = 0.0
+    probes: int = 0
+    synthesis_calls: int = 0
+
+
+class _ProbeMemo:
+    """In-process memo with the cache's get/put/stats interface.
+
+    Stands in when the caller gave no readable cache, so one refinement
+    never synthesizes the same budget twice (the minimum-power
+    bisection's final probe *is* the refiner's low endpoint).  Writes are
+    forwarded to an underlying write-only cache when one was given.
+    """
+
+    def __init__(self, underlying=None) -> None:
+        from .cache import CacheStats
+
+        self.stats = CacheStats()
+        self._records: Dict[str, object] = {}
+        self._underlying = underlying
+
+    def get(self, task):
+        record = self._records.get(task.cache_key())
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return dataclasses.replace(record, cached=True, task=task)
+
+    def put(self, task, record) -> None:
+        self.stats.writes += 1
+        self._records[task.cache_key()] = record
+        if self._underlying is not None:
+            self._underlying.put(task, record)
+
+
+def _points_disagree(a: SweepPoint, b: SweepPoint, area_tolerance: float) -> bool:
+    """Whether the frontier changes somewhere between two probed budgets."""
+    if a.feasible != b.feasible:
+        return True
+    if not a.feasible:
+        return False
+    return abs(a.area - b.area) > area_tolerance
+
+
+def adaptive_power_sweep(
+    cdfg: CDFG,
+    library: FULibrary,
+    latency: int,
+    *,
+    p_min: Optional[float] = None,
+    p_max: float = 150.0,
+    resolution: float = 1.0,
+    seed_budgets: Optional[Sequence[float]] = None,
+    options: Optional[EngineOptions] = None,
+    cache=None,
+    cumulative_best: bool = False,
+    area_tolerance: float = 1e-6,
+) -> AdaptiveSweepResult:
+    """Refine one benchmark's power/area frontier to ``resolution``.
+
+    Args:
+        cdfg: Benchmark graph.
+        library: Technology library.
+        latency: Latency bound ``T``.
+        p_min: Lower end of the swept budget range.  Defaults to the
+            bisected minimum feasible power (whose probes share the same
+            cache).
+        p_max: Upper end of the swept budget range (Figure 2 plots to
+            ~150 power units).
+        resolution: Maximum width of a frontier step in the output: any
+            adjacent pair of probed budgets with differing area (or
+            feasibility) is at most this far apart.  Must be at least two
+            budget-rounding quanta (``2e-3``) — below that, midpoints
+            collapse onto interval endpoints and the guarantee could not
+            be honored.
+        seed_budgets: Optional extra budgets probed up front (on top of
+            the two endpoints).  Interior seeds let the refiner catch a
+            non-monotone pocket whose endpoints happen to agree; the
+            default endpoints-only seeding is exact for the monotone
+            frontiers the paper reports.
+        options: Engine options forwarded to every probe.
+        cache: A :class:`~repro.explore.cache.ResultCache`; probes hit it
+            before synthesizing and store what they compute.
+        cumulative_best: Rewrite the probed points with the running-best
+            area, exactly like the fixed-grid sweep's flag.
+        area_tolerance: Areas closer than this count as "the same step".
+
+    Returns:
+        An :class:`AdaptiveSweepResult` whose ``points`` are the probed
+        budgets in ascending order.
+    """
+    min_resolution = 2 * 10 ** -_BUDGET_DECIMALS
+    if resolution < min_resolution:
+        raise ValueError(
+            f"resolution must be >= {min_resolution} (budgets are rounded to "
+            f"{_BUDGET_DECIMALS} decimals, so a finer step cannot be honored), "
+            f"got {resolution}"
+        )
+    # Without a readable cache, memoize probes in-process: the bisection
+    # below probes the p_min budget the refiner immediately re-probes as
+    # its low endpoint, and no budget should ever synthesize twice in one
+    # refinement.
+    probe_cache = cache if (cache is not None and cache.read) else _ProbeMemo(cache)
+    calls = 0
+    if p_min is None:
+        before = probe_cache.stats.misses
+        p_min = minimum_feasible_power(
+            cdfg,
+            library,
+            latency,
+            precision=min(0.5, resolution),
+            upper_hint=max(200.0, p_max),
+            options=options,
+            cache=probe_cache,
+        )
+        # each bisection miss is one real synthesis run; report it —
+        # hiding the search cost would understate the sweep's true price
+        calls += probe_cache.stats.misses - before
+    lo = round(float(p_min), _BUDGET_DECIMALS)
+    hi = round(float(p_max), _BUDGET_DECIMALS)
+    if hi < lo:
+        hi = lo
+
+    evaluated: dict = {}
+
+    def probe(budget: float) -> SweepPoint:
+        nonlocal calls
+        if budget in evaluated:
+            return evaluated[budget]
+        record = probe_point(cdfg, library, latency, budget, options, cache=probe_cache)
+        if not record.cached:
+            calls += 1
+        point = point_from_record(budget, record)
+        evaluated[budget] = point
+        return point
+
+    seeds = sorted({lo, hi, *(round(float(b), _BUDGET_DECIMALS) for b in seed_budgets or ())})
+    seeds = [b for b in seeds if lo <= b <= hi]
+    for budget in seeds:
+        probe(budget)
+
+    intervals: List[tuple] = list(zip(seeds, seeds[1:]))
+    while intervals:
+        a, b = intervals.pop()
+        if b - a <= resolution:
+            continue
+        if not _points_disagree(evaluated[a], evaluated[b], area_tolerance):
+            continue
+        mid = round((a + b) / 2.0, _BUDGET_DECIMALS)
+        if mid <= a or mid >= b:
+            # the interval is finer than the budget rounding; stop here
+            continue
+        probe(mid)
+        intervals.append((a, mid))
+        intervals.append((mid, b))
+
+    sweep = AdaptiveSweepResult(
+        benchmark=cdfg.name,
+        latency_bound=latency,
+        resolution=resolution,
+        probes=len(evaluated),
+        synthesis_calls=calls,
+    )
+    points = [evaluated[budget] for budget in sorted(evaluated)]
+    sweep.points = apply_cumulative_best(points) if cumulative_best else points
+    return sweep

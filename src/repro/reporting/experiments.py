@@ -139,20 +139,39 @@ def figure2_experiment(
     library: Optional[FULibrary] = None,
     cumulative_best: bool = True,
     jobs: Optional[int] = None,
+    cache=None,
+    adaptive: bool = False,
+    resolution: float = 2.0,
 ) -> Figure2Data:
     """Reproduce Figure 2: area vs. power budget for each (benchmark, T).
 
     Args:
         cases: (benchmark, latency) pairs; defaults to the paper's six.
         power_cap: Upper end of the power sweep (the paper plots to ~150).
-        steps: Number of budgets per sweep.
+        steps: Number of budgets per sweep (fixed-grid mode).
         library: Technology library (defaults to Table 1).
         cumulative_best: Report the running best area as the budget is
             relaxed (a tighter-budget design is also valid under a looser
             budget); see :func:`repro.synthesis.explore.power_area_sweep`.
         jobs: Worker processes per sweep — forwarded to the batch
             executor behind :func:`~repro.synthesis.explore.power_area_sweep`.
+        cache: A :class:`~repro.explore.cache.ResultCache` shared by every
+            sweep and feasibility probe; a warm cache re-renders the whole
+            figure without a single synthesis run.
+        adaptive: Refine each curve with
+            :func:`~repro.explore.refine.adaptive_power_sweep` instead of
+            walking a fixed grid — probes concentrate where the frontier
+            moves, so flat stretches cost two points instead of many.
+            The refiner is sequential and grid-free: combining it with
+            ``jobs > 1`` raises (same contract as the CLI's
+            ``--adaptive``), and ``steps`` is not consulted.
+        resolution: Frontier step resolution for adaptive mode.
     """
+    if adaptive and jobs is not None and jobs > 1:
+        raise ValueError(
+            "adaptive refinement probes budgets by bisection and is "
+            "sequential; it cannot be combined with jobs > 1"
+        )
     library = library or default_library()
     cases = list(cases) if cases is not None else figure2_cases()
 
@@ -160,11 +179,30 @@ def figure2_experiment(
     rows = []
     for benchmark, latency in cases:
         cdfg = build_benchmark(benchmark)
-        p_min = minimum_feasible_power(cdfg, library, latency)
-        budgets = default_power_grid(p_min, power_cap, steps)
-        sweep = power_area_sweep(
-            cdfg, library, latency, budgets, cumulative_best=cumulative_best, jobs=jobs
-        )
+        if adaptive:
+            from ..explore.refine import adaptive_power_sweep
+
+            sweep = adaptive_power_sweep(
+                cdfg,
+                library,
+                latency,
+                p_max=power_cap,
+                resolution=resolution,
+                cache=cache,
+                cumulative_best=cumulative_best,
+            )
+        else:
+            p_min = minimum_feasible_power(cdfg, library, latency, cache=cache)
+            budgets = default_power_grid(p_min, power_cap, steps)
+            sweep = power_area_sweep(
+                cdfg,
+                library,
+                latency,
+                budgets,
+                cumulative_best=cumulative_best,
+                jobs=jobs,
+                cache=cache,
+            )
         data.sweeps[(benchmark, latency)] = sweep
 
         series = Series(f"{benchmark} (T={latency})")

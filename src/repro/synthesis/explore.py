@@ -57,11 +57,43 @@ class SweepResult:
     def budgets(self) -> List[float]:
         return [p.power_budget for p in self.feasible_points()]
 
-    def area_at(self, power_budget: float) -> Optional[float]:
+    def area_at(
+        self, power_budget: float, tolerance: float = 1e-3
+    ) -> Optional[float]:
+        """Area of the feasible point closest to ``power_budget``.
+
+        Budgets are matched within ``tolerance`` (the nearest point wins)
+        rather than exactly: grid budgets are rounded to 3 decimals by
+        :func:`default_power_grid`, so an exact float comparison would
+        silently miss a budget recomputed at full precision.
+        """
+        best: Optional[SweepPoint] = None
+        best_gap = tolerance
         for point in self.points:
-            if abs(point.power_budget - power_budget) < 1e-9 and point.feasible:
-                return point.area
-        return None
+            if not point.feasible:
+                continue
+            gap = abs(point.power_budget - power_budget)
+            if gap <= best_gap:
+                best = point
+                best_gap = gap
+        return best.area if best is not None else None
+
+    def frontier_area(self, power_budget: float) -> Optional[float]:
+        """Step-function view of the frontier: area at the *largest probed
+        budget* not exceeding ``power_budget`` (``None`` below the first
+        feasible probe).
+
+        This is how a sweep with arbitrary probe positions — e.g. the
+        adaptive refiner's — is compared against a fixed grid: a design
+        feasible at budget ``p`` is feasible at every budget above ``p``.
+        """
+        best: Optional[SweepPoint] = None
+        for point in self.points:
+            if not point.feasible or point.power_budget > power_budget + 1e-9:
+                continue
+            if best is None or point.power_budget > best.power_budget:
+                best = point
+        return best.area if best is not None else None
 
     def is_monotone_non_increasing(self, tolerance: float = 1e-6) -> bool:
         """Area never grows as the power budget is relaxed (paper's shape)."""
@@ -101,12 +133,62 @@ def synthesize_point(
     power_budget: Optional[float],
     options: Optional[EngineOptions] = None,
 ) -> Optional[SynthesisResult]:
-    """Synthesize one (T, P) point; return ``None`` when infeasible."""
+    """Synthesize one (T, P) point; return ``None`` when infeasible.
+
+    Always synthesizes — the contract is a *full*
+    :class:`SynthesisResult` (schedule, datapath), which the result cache
+    deliberately does not store.  Cache-aware probing that only needs the
+    scalar metrics goes through :func:`probe_point` instead.
+    """
     from ..api.batch import run_task
 
     task = _point_task(cdfg, library, latency, power_budget, options)
     record = run_task(task, cdfg=cdfg, library=library)
     return record.result if record.feasible else None
+
+
+def probe_point(
+    cdfg: CDFG,
+    library: FULibrary,
+    latency: int,
+    power_budget: Optional[float],
+    options: Optional[EngineOptions] = None,
+    cache=None,
+):
+    """One (T, P) point as a scalar-metrics :class:`TaskResult` record.
+
+    The cache-aware workhorse behind :func:`minimum_feasible_power`, the
+    fixed-grid sweep and the adaptive refiner: a warm
+    :class:`~repro.explore.cache.ResultCache` answers repeated probes
+    without synthesizing.
+
+    With a cache the task inlines the live graph and library, so the
+    content address reflects the *actual* structures being synthesized —
+    never a registered benchmark that merely shares the graph's name —
+    and the task alone is handed to the executor (``run_task`` refuses
+    to cache alongside live overrides, which could diverge from the
+    spec the record is filed under).  A cache miss therefore pays one
+    inline-dict round-trip, a few percent of a synthesis run; hits pay
+    nothing.
+    """
+    from ..api.batch import run_task
+
+    if cache is not None:
+        task = _point_task(cdfg, library, latency, power_budget, options, inline=True)
+        return run_task(task, keep_result=False, cache=cache)
+    task = _point_task(cdfg, library, latency, power_budget, options)
+    return run_task(task, cdfg=cdfg, library=library, keep_result=False)
+
+
+def library_power_floor(library: FULibrary) -> float:
+    """The cheapest module's power: a lower bound on any design's peak.
+
+    Every feasible schedule executes at least one operation in some
+    cycle, and that operation draws at least the lowest per-module power
+    in the library — so no budget below this floor can ever be feasible.
+    """
+    powers = [module.power for module in library.modules()]
+    return min(powers) if powers else 0.0
 
 
 def minimum_feasible_power(
@@ -116,28 +198,84 @@ def minimum_feasible_power(
     precision: float = 0.5,
     upper_hint: float = 200.0,
     options: Optional[EngineOptions] = None,
+    cache=None,
 ) -> float:
     """Smallest power budget (to ``precision``) admitting a feasible design.
 
-    Binary search between a trivial lower bound (the cheapest module's
-    power) and ``upper_hint``; raises :class:`SynthesisError` when even the
-    hint is infeasible (which indicates an impossible latency bound).
+    Binary search between the library-derived lower bound (the cheapest
+    module's power, see :func:`library_power_floor`) and ``upper_hint``;
+    raises :class:`SynthesisError` when even the hint is infeasible (which
+    indicates an impossible latency bound).  Probes route through
+    ``cache`` when one is given, so repeated frontier searches — across
+    sweeps and CLI invocations — cost nothing the second time.
+
+    Probed budgets (and hence the returned bound) are rounded to the
+    same 3 decimals as :func:`default_power_grid` budgets and the
+    adaptive refiner's probes, so the bisection's cache entries are
+    shared with the sweep that follows it — in particular the returned
+    ``p_min`` itself, which every sweep re-probes as its first grid
+    point.
     """
-    low = 0.0
-    high = upper_hint
-    if synthesize_point(cdfg, library, latency, high, options) is None:
+    low = round(library_power_floor(library), 3)
+    high = round(max(upper_hint, low), 3)
+    if not probe_point(cdfg, library, latency, high, options, cache=cache).feasible:
         raise SynthesisError(
             f"no feasible design for {cdfg.name!r} at T={latency} even with P={high}"
         )
     while high - low > precision:
-        mid = (low + high) / 2.0
-        if mid <= 0:
-            break
-        if synthesize_point(cdfg, library, latency, mid, options) is None:
-            low = mid
-        else:
+        mid = round((low + high) / 2.0, 3)
+        if mid <= low or mid >= high:
+            break  # the interval is finer than the budget rounding
+        if probe_point(cdfg, library, latency, mid, options, cache=cache).feasible:
             high = mid
+        else:
+            low = mid
     return high
+
+
+def point_from_record(budget: float, record) -> SweepPoint:
+    """Convert one batch :class:`TaskResult` record into a sweep point."""
+    if not record.feasible:
+        return SweepPoint(power_budget=budget, feasible=False)
+    return SweepPoint(
+        power_budget=budget,
+        feasible=True,
+        area=record.area,
+        fu_area=record.fu_area,
+        peak_power=record.peak_power,
+        latency=record.latency,
+    )
+
+
+def apply_cumulative_best(points: Sequence[SweepPoint]) -> List[SweepPoint]:
+    """Rewrite ``points`` (ascending budgets) with the running-best area.
+
+    A design whose peak power respects a tighter budget is also valid
+    under every looser budget, so each feasible point may report the best
+    (smallest) area seen at any budget up to and including its own.
+    Infeasible points pass through unchanged.
+    """
+    best: Optional[SweepPoint] = None
+    rewritten: List[SweepPoint] = []
+    for point in points:
+        if not point.feasible:
+            rewritten.append(point)
+            continue
+        if best is None or point.area < best.area:
+            best = point
+            rewritten.append(point)
+        else:
+            rewritten.append(
+                SweepPoint(
+                    power_budget=point.power_budget,
+                    feasible=True,
+                    area=best.area,
+                    fu_area=best.fu_area,
+                    peak_power=best.peak_power,
+                    latency=best.latency,
+                )
+            )
+    return rewritten
 
 
 def power_area_sweep(
@@ -148,6 +286,7 @@ def power_area_sweep(
     options: Optional[EngineOptions] = None,
     cumulative_best: bool = False,
     jobs: Optional[int] = None,
+    cache=None,
 ) -> SweepResult:
     """Synthesize the benchmark for every budget in ``power_budgets``.
 
@@ -163,17 +302,19 @@ def power_area_sweep(
         power_budgets: Budgets to synthesize under, in ascending order.
         options: Engine options forwarded to every run.
         cumulative_best: When True, each point reports the best (smallest)
-            area seen at *any budget up to and including* this one.  A
-            design whose peak power respects a tighter budget is also
-            valid under every looser budget, so taking the running best is
-            legitimate design-space-exploration practice; it removes the
-            greedy heuristic's occasional non-monotone noise from the
-            reported curve.  The raw per-budget results are what you get
-            with the default ``False``.
+            area seen at *any budget up to and including* this one (see
+            :func:`apply_cumulative_best`); it removes the greedy
+            heuristic's occasional non-monotone noise from the reported
+            curve.  The raw per-budget results are what you get with the
+            default ``False``.
         jobs: Worker processes for the batch executor (``None``/1 =
             sequential).
+        cache: A :class:`~repro.explore.cache.ResultCache`; budgets
+            already synthesized — by any previous sweep, probe or CLI
+            invocation — come back as instant hits, and every computed
+            point is stored for the next run.
     """
-    from ..api.batch import run_batch, run_task
+    from ..api.batch import run_batch
 
     budgets = sorted(power_budgets)
     parallel = jobs is not None and jobs > 1 and len(budgets) > 1
@@ -182,44 +323,16 @@ def power_area_sweep(
             _point_task(cdfg, library, latency, budget, options, inline=True)
             for budget in budgets
         ]
-        records = run_batch(tasks, jobs=jobs, keep_results=False)
+        records = run_batch(tasks, jobs=jobs, keep_results=False, cache=cache)
     else:
         records = [
-            run_task(
-                _point_task(cdfg, library, latency, budget, options),
-                cdfg=cdfg,
-                library=library,
-            )
+            probe_point(cdfg, library, latency, budget, options, cache=cache)
             for budget in budgets
         ]
 
     sweep = SweepResult(benchmark=cdfg.name, latency_bound=latency)
-    best_point: Optional[SweepPoint] = None
-    for budget, record in zip(budgets, records):
-        if not record.feasible:
-            sweep.points.append(SweepPoint(power_budget=budget, feasible=False))
-            continue
-        point = SweepPoint(
-            power_budget=budget,
-            feasible=True,
-            area=record.area,
-            fu_area=record.fu_area,
-            peak_power=record.peak_power,
-            latency=record.latency,
-        )
-        if cumulative_best:
-            if best_point is None or point.area < best_point.area:
-                best_point = point
-            else:
-                point = SweepPoint(
-                    power_budget=budget,
-                    feasible=True,
-                    area=best_point.area,
-                    fu_area=best_point.fu_area,
-                    peak_power=best_point.peak_power,
-                    latency=best_point.latency,
-                )
-        sweep.points.append(point)
+    points = [point_from_record(budget, record) for budget, record in zip(budgets, records)]
+    sweep.points = apply_cumulative_best(points) if cumulative_best else points
     return sweep
 
 
@@ -232,10 +345,17 @@ def default_power_grid(
 
     Figure 2's x-axis runs from roughly the minimum feasible power of each
     benchmark up to 150 power units, so that is the default cap.
+
+    The grid is deduplicated after rounding to 3 decimals: a degenerate
+    range (``maximum <= minimum``) collapses to the single budget
+    ``[minimum]`` instead of ``steps`` copies of it, and a stride finer
+    than the rounding can never emit the same budget twice — duplicate
+    budgets would be synthesized (and paid for) once per copy.
     """
     if steps < 2:
         raise ValueError("a power grid needs at least two steps")
     if maximum < minimum:
         maximum = minimum
     stride = (maximum - minimum) / (steps - 1)
-    return [round(minimum + i * stride, 3) for i in range(steps)]
+    grid = [round(minimum + i * stride, 3) for i in range(steps)]
+    return [budget for i, budget in enumerate(grid) if i == 0 or budget != grid[i - 1]]

@@ -165,3 +165,72 @@ class TestBatchFileParsing:
     def test_empty_batch_rejected(self):
         with pytest.raises(TaskError):
             tasks_from_json("[]")
+
+
+class TestCacheKey:
+    def base(self, **kwargs):
+        return SynthesisTask(graph="hal", latency=17, power_budget=12.0, **kwargs)
+
+    def test_key_is_a_sha256_hex_digest_and_stable(self):
+        key = self.base().cache_key()
+        assert len(key) == 64 and int(key, 16) >= 0
+        assert self.base().cache_key() == key  # fresh instance, same spec
+
+    def test_named_and_inline_spellings_share_one_address(self, hal, library):
+        named = self.base()
+        inline_graph = SynthesisTask.of(hal, latency=17, power_budget=12.0)
+        inline_both = SynthesisTask.of(
+            hal, library=library, latency=17, power_budget=12.0
+        )
+        assert named.cache_key() == inline_graph.cache_key() == inline_both.cache_key()
+
+    def test_operation_and_edge_order_do_not_matter(self, hal):
+        shuffled = cdfg_to_dict(hal)
+        shuffled["operations"] = list(reversed(shuffled["operations"]))
+        shuffled["edges"] = list(reversed(shuffled["edges"]))
+        task = SynthesisTask(graph=shuffled, latency=17, power_budget=12.0)
+        assert task.cache_key() == self.base().cache_key()
+
+    def test_label_is_excluded_from_the_address(self):
+        assert self.base(label="a").cache_key() == self.base(label="b").cache_key()
+
+    def test_every_semantic_field_changes_the_address(self, library):
+        baseline = self.base().cache_key()
+        variants = [
+            SynthesisTask(graph="cosine", latency=17, power_budget=12.0),
+            SynthesisTask(graph="hal", latency=18, power_budget=12.0),
+            SynthesisTask(graph="hal", latency=17, power_budget=12.5),
+            self.base(scheduler="pasap"),
+            self.base(binder="naive"),
+            self.base(selector="min_area"),
+            self.base(options={"delay_area_weight": 2.0}),
+            self.base(verify=False),
+            SynthesisTask(graph="hal", latency=17, power_budget=12.0, library="single"),
+        ]
+        keys = [task.cache_key() for task in variants]
+        assert baseline not in keys
+        assert len(set(keys)) == len(keys)
+
+    def test_structural_graph_change_changes_the_address(self, hal):
+        mutated = cdfg_to_dict(hal)
+        mutated["edges"] = mutated["edges"][:-1]
+        task = SynthesisTask(graph=mutated, latency=17, power_budget=12.0)
+        assert task.cache_key() != self.base().cache_key()
+
+    def test_default_options_spellings_share_one_address(self):
+        baseline = self.base().cache_key()
+        explicit = SynthesisTask.of(
+            "hal", latency=17, power_budget=12.0, options=EngineOptions()
+        )
+        assert explicit.cache_key() == baseline
+
+    def test_unknown_option_key_rejected_at_hash_time(self):
+        task = self.base(options={"bogus_option": 1})
+        with pytest.raises(TaskError):
+            task.cache_key()
+
+    def test_malformed_inline_graph_raises_task_error(self):
+        task = SynthesisTask(graph={"name": "x", "operations": [{}], "edges": []},
+                             latency=17, power_budget=12.0)
+        with pytest.raises(TaskError):
+            task.cache_key()

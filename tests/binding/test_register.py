@@ -96,3 +96,33 @@ class TestLeftEdge:
         allocation = allocate_registers(schedule)
         assigned = [p for producers in allocation.registers.values() for p in producers]
         assert sorted(assigned) == sorted(allocation.lifetimes)
+
+
+class TestRegisterOfIndex:
+    def test_index_consistent_with_registers(self, hal, cosine, elliptic, library):
+        """The memoized reverse index agrees with a scan of ``registers``."""
+        for graph in (hal, cosine, elliptic):
+            allocation = allocate_registers(schedule_for(graph, library))
+            for index, producers in allocation.registers.items():
+                for producer in producers:
+                    assert allocation.register_of(producer) == index
+            assert allocation.register_of("no-such-producer") is None
+
+    def test_invalidate_index_after_mutation(self):
+        lifetimes = {
+            "a": ValueLifetime("a", Interval(0, 2)),
+            "b": ValueLifetime("b", Interval(2, 4)),
+        }
+        allocation = left_edge_allocation(lifetimes)
+        assert allocation.register_of("a") == 0  # memoize
+        allocation.registers[7] = ["late"]
+        allocation.invalidate_index()
+        assert allocation.register_of("late") == 7
+        assert allocation.register_of("a") == 0
+
+    def test_index_is_not_part_of_equality(self):
+        lifetimes = {"a": ValueLifetime("a", Interval(0, 2))}
+        left = left_edge_allocation(lifetimes)
+        right = left_edge_allocation(lifetimes)
+        left.register_of("a")  # memoize only one side
+        assert left == right

@@ -2,12 +2,16 @@
 
 import pytest
 
+from repro.api.batch import TaskResult
+from repro.api.task import SynthesisTask
 from repro.synthesis.explore import (
     SweepPoint,
     SweepResult,
     default_power_grid,
+    library_power_floor,
     minimum_feasible_power,
     power_area_sweep,
+    probe_point,
     synthesize_point,
 )
 
@@ -40,6 +44,48 @@ class TestMinimumFeasiblePower:
         with pytest.raises(SynthesisError):
             minimum_feasible_power(hal, library, latency=5)
 
+    def test_bisection_starts_at_library_floor(self, hal, library, monkeypatch):
+        """No probe ever goes below the cheapest module's power (the old
+        code bisected from 0.0 and wasted probes on impossible budgets)."""
+        floor = library_power_floor(library)
+        assert floor > 0
+        probed = []
+        real_probe = probe_point
+
+        def spy(cdfg, lib, latency, budget, options=None, cache=None):
+            probed.append(budget)
+            return real_probe(cdfg, lib, latency, budget, options, cache=cache)
+
+        monkeypatch.setattr("repro.synthesis.explore.probe_point", spy)
+        p_min = minimum_feasible_power(hal, library, latency=17, precision=0.5)
+        assert probed and all(budget >= floor for budget in probed)
+        assert p_min >= floor
+
+    def test_probes_route_through_cache(self, hal, library, tmp_path):
+        from repro.explore import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        first = minimum_feasible_power(hal, library, latency=17, cache=cache)
+        assert cache.stats.misses > 0 and cache.stats.hits == 0
+        warm = ResultCache(tmp_path / "cache")
+        second = minimum_feasible_power(hal, library, latency=17, cache=warm)
+        assert second == first
+        assert warm.stats.misses == 0 and warm.stats.hits > 0
+
+    def test_probed_budgets_align_with_grid_rounding(self, hal, library, tmp_path):
+        """Bisection probes at grid precision (3 decimals), so the returned
+        bound — every sweep's first grid point — is already cached."""
+        from repro.explore import ResultCache
+
+        p_min = minimum_feasible_power(hal, library, latency=17)
+        assert p_min == round(p_min, 3)
+
+        cache = ResultCache(tmp_path / "cache")
+        p_min = minimum_feasible_power(hal, library, latency=17, cache=cache)
+        before = cache.stats.hits
+        assert probe_point(hal, library, 17, p_min, cache=cache).cached
+        assert cache.stats.hits == before + 1
+
 
 class TestPowerGrid:
     def test_grid_endpoints_and_length(self):
@@ -49,9 +95,17 @@ class TestPowerGrid:
         assert grid[-1] == pytest.approx(150.0)
         assert grid == sorted(grid)
 
-    def test_degenerate_range(self):
-        grid = default_power_grid(20.0, 10.0, steps=3)
-        assert all(value == pytest.approx(20.0) for value in grid)
+    def test_degenerate_range_collapses_to_one_budget(self):
+        """maximum < minimum used to emit `steps` copies of the same budget,
+        each of which would be synthesized separately."""
+        assert default_power_grid(20.0, 10.0, steps=3) == [20.0]
+        assert default_power_grid(100.0, 50.0, steps=4) == [100.0]
+        assert default_power_grid(7.5, 7.5, steps=12) == [7.5]
+
+    def test_sub_rounding_stride_never_duplicates(self):
+        grid = default_power_grid(1.0, 1.001, steps=12)
+        assert len(grid) == len(set(grid))
+        assert grid == sorted(grid)
 
     def test_too_few_steps_rejected(self):
         with pytest.raises(ValueError):
@@ -100,3 +154,94 @@ class TestSweepResultLogic:
         assert sweep.is_monotone_non_increasing()
         sweep.points.append(SweepPoint(4.0, True, area=95.0))
         assert not sweep.is_monotone_non_increasing()
+
+    def test_area_at_tolerates_grid_rounding(self):
+        """Regression: budgets rounded to 3 decimals by default_power_grid
+        must still match a caller's full-precision budget."""
+        exact = 10.0 + 2.0 / 3.0
+        sweep = SweepResult("x", 10)
+        sweep.points = [SweepPoint(round(exact, 3), True, area=100.0)]
+        assert sweep.area_at(exact) == 100.0
+        assert sweep.area_at(round(exact, 3)) == 100.0
+        assert sweep.area_at(exact + 0.5) is None
+
+    def test_area_at_prefers_the_nearest_point(self):
+        sweep = SweepResult("x", 10)
+        sweep.points = [
+            SweepPoint(9.999, True, area=100.0),
+            SweepPoint(10.001, True, area=90.0),
+        ]
+        assert sweep.area_at(10.0005, tolerance=1e-2) == 90.0
+
+    def test_area_at_skips_infeasible_points(self):
+        sweep = SweepResult("x", 10)
+        sweep.points = [SweepPoint(10.0, False)]
+        assert sweep.area_at(10.0) is None
+
+    def test_frontier_area_is_a_step_function(self):
+        sweep = SweepResult("x", 10)
+        sweep.points = [
+            SweepPoint(8.0, False),
+            SweepPoint(10.0, True, area=100.0),
+            SweepPoint(20.0, True, area=80.0),
+        ]
+        assert sweep.frontier_area(9.0) is None
+        assert sweep.frontier_area(10.0) == 100.0
+        assert sweep.frontier_area(15.0) == 100.0
+        assert sweep.frontier_area(20.0) == 80.0
+        assert sweep.frontier_area(999.0) == 80.0
+
+
+class TestCumulativeBestWithInfeasiblePoints:
+    def _fake_records(self, monkeypatch, table):
+        """Route power_area_sweep's probes through a scripted (budget ->
+        (feasible, area)) table instead of the real engine."""
+
+        def fake_probe(cdfg, library, latency, budget, options=None, cache=None):
+            feasible, area = table[budget]
+            task = SynthesisTask(graph="hal", latency=latency, power_budget=budget)
+            if not feasible:
+                return TaskResult(task=task, feasible=False, error="scripted")
+            return TaskResult(
+                task=task,
+                feasible=True,
+                area=area,
+                fu_area=area,
+                peak_power=budget,
+                latency=latency,
+            )
+
+        monkeypatch.setattr("repro.synthesis.explore.probe_point", fake_probe)
+
+    def test_infeasible_points_interleave_without_perturbing_the_best(
+        self, hal, library, monkeypatch
+    ):
+        table = {
+            1.0: (True, 100.0),
+            2.0: (False, None),
+            3.0: (True, 120.0),  # worse than the running best
+            4.0: (False, None),
+            5.0: (True, 90.0),
+        }
+        self._fake_records(monkeypatch, table)
+        sweep = power_area_sweep(
+            hal, library, 17, sorted(table), cumulative_best=True
+        )
+        assert [p.feasible for p in sweep.points] == [True, False, True, False, True]
+        assert [p.area for p in sweep.points] == [100.0, None, 100.0, None, 90.0]
+        assert sweep.is_monotone_non_increasing()
+
+    def test_raw_sweep_keeps_the_noisy_areas(self, hal, library, monkeypatch):
+        table = {1.0: (True, 100.0), 2.0: (False, None), 3.0: (True, 120.0)}
+        self._fake_records(monkeypatch, table)
+        sweep = power_area_sweep(hal, library, 17, sorted(table))
+        assert [p.area for p in sweep.points] == [100.0, None, 120.0]
+
+    def test_leading_infeasible_points_then_best_tracking(
+        self, hal, library, monkeypatch
+    ):
+        table = {1.0: (False, None), 2.0: (False, None), 3.0: (True, 50.0)}
+        self._fake_records(monkeypatch, table)
+        sweep = power_area_sweep(hal, library, 17, sorted(table), cumulative_best=True)
+        assert [p.area for p in sweep.points] == [None, None, 50.0]
+        assert len(sweep.feasible_points()) == 1

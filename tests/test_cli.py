@@ -180,3 +180,53 @@ class TestSweepAndProfile:
         assert code == 0
         out = capsys.readouterr().out
         assert "undesired" in out and "desired" in out
+
+
+class TestCacheFlags:
+    def test_resume_without_cache_dir_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "-b", "hal", "-T", "17", "--steps", "3", "--cap", "60",
+                  "--resume"])
+
+    def test_sweep_records_then_resumes(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["sweep", "-b", "hal", "-T", "17", "--steps", "3", "--cap", "60",
+                "--cache-dir", cache_dir]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0 hit(s)" in first  # --cache-dir alone records, never reads
+        assert (tmp_path / "cache" / "journal.jsonl").exists()
+
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "0 miss(es)" in second and "0 new record(s)" in second
+        assert "Power/area sweep" in second
+
+    def test_adaptive_rejects_grid_only_flags(self):
+        base = ["sweep", "-b", "hal", "-T", "17", "--adaptive"]
+        with pytest.raises(SystemExit):
+            main(base + ["--steps", "3"])
+        with pytest.raises(SystemExit):
+            main(base + ["--jobs", "4"])
+
+    def test_adaptive_sweep_reports_probes(self, tmp_path, capsys):
+        code = main(["sweep", "-b", "hal", "-T", "17", "--cap", "40",
+                     "--adaptive", "--resolution", "4.0",
+                     "--cache-dir", str(tmp_path / "c"), "--resume"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptive refinement:" in out
+        assert "resolution 4" in out
+
+    def test_batch_resume_skips_completed_tasks(self, tmp_path, capsys):
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps(
+            [{"graph": "hal", "latency": 17, "power_budget": p} for p in (9.0, 12.0)]
+        ))
+        cache_dir = str(tmp_path / "cache")
+        assert main(["batch", str(path), "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["batch", str(path), "--cache-dir", cache_dir, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2 resumed from cache" in out
+        assert "2 hit(s), 0 miss(es)" in out
