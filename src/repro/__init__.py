@@ -23,7 +23,10 @@ The package provides:
   ``run_batch`` entry points tying everything together, with string-keyed
   strategy registries in :mod:`repro.registries`,
 * :mod:`repro.explore` — the exploration subsystem: a content-addressed
-  on-disk result cache and the adaptive power/area frontier refiner.
+  on-disk result cache and the adaptive power/area frontier refiner,
+* :mod:`repro.verify` — the verification subsystem: from-scratch
+  certificate checking of any result, differential cross-checking of
+  every registered strategy pair and the seeded ``repro fuzz`` harness.
 
 Quickstart::
 
@@ -85,8 +88,17 @@ from .api import (
     run_task,
 )
 from .explore import ResultCache, adaptive_power_sweep
+from .verify import (
+    CertificateError,
+    CertificateReport,
+    FuzzConfig,
+    Violation,
+    check_certificate,
+    cross_check,
+    run_fuzz,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CDFG",
@@ -133,5 +145,12 @@ __all__ = [
     "run_batch",
     "ResultCache",
     "adaptive_power_sweep",
+    "CertificateError",
+    "CertificateReport",
+    "Violation",
+    "check_certificate",
+    "cross_check",
+    "run_fuzz",
+    "FuzzConfig",
     "__version__",
 ]

@@ -112,6 +112,7 @@ def run_task(
     cdfg=None,
     library=None,
     cache=None,
+    verify: bool = False,
 ) -> TaskResult:
     """Run one task; return a record instead of raising on infeasibility.
 
@@ -130,6 +131,18 @@ def run_task(
     under the *task spec's* address, poisoning it for every honest
     lookup.  Callers holding live objects cache through an inline task
     instead (what :func:`repro.synthesis.explore.probe_point` does).
+
+    ``verify=True`` additionally runs the certificate checker
+    (:func:`repro.verify.check_certificate`) on a feasible result and
+    **raises** :class:`~repro.verify.CertificateError` on violations —
+    the uncertified result is neither recorded nor cached.  The task's
+    own ``verify`` field runs the *same* checker inside the pipeline but
+    converts failures into infeasible records; this flag therefore only
+    adds behaviour for tasks with ``verify=False`` (or custom pipelines
+    without the finalize gate), where it is the caller-side assertion
+    that feasibility claims must be certified, loudly.  Cache hits carry
+    scalar metrics only and cannot be re-certified; they are returned
+    as-is.
     """
     use_cache = (
         cache is not None and pipeline is None and cdfg is None and library is None
@@ -151,6 +164,10 @@ def run_task(
             elapsed=time.perf_counter() - started,
         )
     else:
+        if verify:
+            from ..verify.certificate import check_certificate  # avoid a cycle
+
+            check_certificate(result).raise_if_violations()
         record = TaskResult(
             task=task,
             feasible=True,

@@ -11,7 +11,10 @@ flows without writing any Python:
 * ``profile`` — print the per-cycle power profile of the unconstrained vs.
   the power-constrained design (Figure 1 for any benchmark),
 * ``batch`` — run a JSON file of :class:`~repro.api.task.SynthesisTask`
-  specs through the parallel batch executor and print a result table.
+  specs through the parallel batch executor and print a result table,
+* ``fuzz`` — differential fuzzing: seeded tasks from every scenario
+  family run through every scheduler × binder pair, every feasible
+  result certified from scratch (see :mod:`repro.verify`).
 
 Every command builds a ``SynthesisTask`` and routes it through the shared
 :class:`~repro.api.pipeline.Pipeline`, so the CLI, the library API and
@@ -40,6 +43,7 @@ from .registries import BINDERS, SCHEDULERS, UnknownStrategyError
 from .reporting.experiments import figure1_experiment, table1_report
 from .reporting.series import Series, ascii_plot
 from .reporting.table import render_table
+from .suite.generators import family_names
 from .suite.registry import benchmark_names, build_benchmark, get_benchmark
 from .synthesis.explore import (
     default_power_grid,
@@ -47,9 +51,13 @@ from .synthesis.explore import (
     power_area_sweep,
 )
 from .synthesis.result import SynthesisError
+from .verify import FuzzConfig, check_certificate, run_fuzz
 
 #: Exit code used for infeasible constraint combinations.
 EXIT_INFEASIBLE = 2
+
+#: Exit code used when certificate / differential violations are found.
+EXIT_VIOLATIONS = 3
 
 
 def _graph_spec(args: argparse.Namespace):
@@ -130,6 +138,11 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         return EXIT_INFEASIBLE
     result = record.result
     print(result.describe())
+    if args.verify:
+        report = check_certificate(result)
+        print(report.describe())
+        if not report.ok:
+            return EXIT_VIOLATIONS
     if args.schedule:
         print()
         print(result.schedule.describe())
@@ -292,6 +305,31 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if feasible else EXIT_INFEASIBLE
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    config = FuzzConfig(
+        families=tuple(args.families or ()),
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        schedulers=tuple(args.schedulers or ()),
+        binders=tuple(args.binders or ()),
+        max_slack=args.max_slack,
+    )
+    cache = _open_cache(args)
+    started = time.perf_counter()
+    report = run_fuzz(config, cache=cache)
+    elapsed = time.perf_counter() - started
+
+    print(report.describe())
+    print(f"\n{len(report.cases)} case(s) in {elapsed:.2f}s")
+    _print_cache_summary(cache)
+    if args.output is not None:
+        payload = report.to_dict()
+        payload["elapsed"] = elapsed
+        Path(args.output).write_text(json.dumps(payload, indent=2))
+        print(f"wrote structured fuzz report to {args.output}")
+    return 0 if report.ok else EXIT_VIOLATIONS
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -328,6 +366,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     synth.add_argument("--schedule", action="store_true", help="print the schedule")
     synth.add_argument("--datapath", action="store_true", help="print the datapath")
+    synth.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-run the independent certificate checker on the result and "
+        "print the full report (the pipeline already verifies by default, so "
+        "violations normally surface as 'infeasible' / exit 2; this prints "
+        "the positive certificate, and exits 3 should a violation ever slip "
+        "past the pipeline gate)",
+    )
     synth.add_argument("--verilog", help="write a structural Verilog skeleton to this path")
     synth.set_defaults(handler=_cmd_synthesize)
 
@@ -396,6 +443,46 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--output", "-o", help="also write structured JSON results here")
     add_cache_options(batch)
     batch.set_defaults(handler=_cmd_batch)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: scenario families × every strategy pair, "
+        "with from-scratch certification of each feasible result",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=10, help="seeds per family (default: 10)"
+    )
+    fuzz.add_argument("--base-seed", type=int, default=0, help="first seed")
+    fuzz.add_argument(
+        "--families",
+        nargs="+",
+        choices=family_names(),
+        default=None,
+        help="generator families to fuzz (default: all)",
+    )
+    fuzz.add_argument(
+        "--schedulers",
+        nargs="+",
+        choices=SCHEDULERS.names(),
+        default=None,
+        help="scheduler strategies to cross-check (default: all)",
+    )
+    fuzz.add_argument(
+        "--binders",
+        nargs="+",
+        choices=BINDERS.names(),
+        default=None,
+        help="binder strategies to cross-check (default: all)",
+    )
+    fuzz.add_argument(
+        "--max-slack",
+        type=int,
+        default=6,
+        help="largest latency slack above the critical path (default: 6)",
+    )
+    fuzz.add_argument("--output", "-o", help="also write a structured JSON report here")
+    add_cache_options(fuzz)
+    fuzz.set_defaults(handler=_cmd_fuzz)
 
     return parser
 

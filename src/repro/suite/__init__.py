@@ -5,7 +5,18 @@ from .cosine import COSINE_LATENCIES, cosine_cdfg
 from .elliptic import ELLIPTIC_LATENCIES, elliptic_cdfg
 from .fir import fir_cdfg
 from .ar import ar_cdfg
-from .generators import GeneratorConfig, random_cdfg, random_cdfg_batch
+from .generators import (
+    FAMILIES,
+    GeneratorConfig,
+    butterfly_cdfg,
+    chain_cdfg,
+    family_cdfg,
+    family_names,
+    mesh_cdfg,
+    random_cdfg,
+    random_cdfg_batch,
+    tree_cdfg,
+)
 from .registry import (
     BenchmarkSpec,
     benchmark_names,
@@ -24,9 +35,16 @@ __all__ = [
     "elliptic_cdfg",
     "fir_cdfg",
     "ar_cdfg",
+    "FAMILIES",
     "GeneratorConfig",
+    "butterfly_cdfg",
+    "chain_cdfg",
+    "family_cdfg",
+    "family_names",
+    "mesh_cdfg",
     "random_cdfg",
     "random_cdfg_batch",
+    "tree_cdfg",
     "BenchmarkSpec",
     "benchmark_names",
     "build_benchmark",

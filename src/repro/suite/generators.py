@@ -1,4 +1,4 @@
-"""Parameterized random CDFG generation.
+"""Parameterized random CDFG generation and the scenario families.
 
 Random graphs complement the fixed benchmarks in two ways:
 
@@ -7,10 +7,29 @@ Random graphs complement the fixed benchmarks in two ways:
 * the scalability benchmark sweeps graph size to measure how the
   synthesis run time grows.
 
-The generator produces layered DAGs that look like real data-flow graphs:
-operations are organized in levels, every non-input operation consumes
-one or two values from strictly earlier levels, and the operation-type
-mix (multiplication-heavy vs. addition-heavy) is controllable.
+The layered :func:`random_cdfg` generator produces DAGs that look like
+real data-flow graphs: operations are organized in levels, every
+non-input operation consumes one or two values from strictly earlier
+levels, and the operation-type mix (multiplication-heavy vs.
+addition-heavy) is controllable.
+
+Beyond it, four structured **scenario families** stress shapes the
+layered generator rarely produces — the extremes the verification
+subsystem fuzzes across:
+
+* :func:`chain_cdfg` — a serial dependence chain (zero parallelism, the
+  narrowest possible power profile; stresses latency bounds),
+* :func:`tree_cdfg` — a balanced reduction tree (parallelism halves
+  every level; stresses register lifetimes at the wide base),
+* :func:`butterfly_cdfg` — FFT-style butterfly stages (constant-width
+  all-to-all shuffles; stresses interconnect and FU sharing),
+* :func:`mesh_cdfg` — a diamond/pipeline mesh (constant-width systolic
+  rows; stresses steady-state power).
+
+Each family is registered in :data:`FAMILIES` as a seeded builder (shape
+and op-type mix drawn deterministically from the seed) for the
+differential fuzzer, and one fixed representative of each is registered
+as a batch-runnable benchmark in :mod:`repro.suite.registry`.
 """
 
 from __future__ import annotations
@@ -22,6 +41,7 @@ from typing import List, Optional, Sequence
 from ..ir.builder import CDFGBuilder
 from ..ir.cdfg import CDFG
 from ..ir.operation import OpType
+from ..registries import StrategyRegistry
 
 
 @dataclass(frozen=True)
@@ -129,3 +149,258 @@ def random_cdfg_batch(count: int, base_seed: int = 0, **overrides) -> Sequence[C
         config = GeneratorConfig(seed=base_seed + offset, **overrides)
         graphs.append(random_cdfg(config))
     return graphs
+
+
+# --------------------------------------------------------------------------- #
+# Scenario families
+# --------------------------------------------------------------------------- #
+def _draw_optype(rng: random.Random, mul_fraction: float, sub_fraction: float) -> OpType:
+    """One arithmetic op type with the configured mul/sub/add mix."""
+    draw = rng.random()
+    if draw < mul_fraction:
+        return OpType.MUL
+    if draw < mul_fraction + sub_fraction:
+        return OpType.SUB
+    return OpType.ADD
+
+
+def _check_fractions(mul_fraction: float, sub_fraction: float) -> None:
+    if not 0.0 <= mul_fraction <= 1.0:
+        raise ValueError("mul_fraction must be within [0, 1]")
+    if not 0.0 <= sub_fraction <= 1.0:
+        raise ValueError("sub_fraction must be within [0, 1]")
+    if mul_fraction + sub_fraction > 1.0:
+        raise ValueError("mul_fraction + sub_fraction must not exceed 1")
+
+
+def chain_cdfg(
+    length: int = 10,
+    *,
+    mul_fraction: float = 0.4,
+    sub_fraction: float = 0.2,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> CDFG:
+    """A serial dependence chain of ``length`` operations.
+
+    Operation ``i`` consumes operation ``i-1`` (the chain) plus a value
+    drawn from anything produced earlier, so the critical path equals the
+    whole graph: the narrowest possible power profile and the hardest
+    shape for a latency bound.  Deterministic for a fixed seed.
+    """
+    if length < 1:
+        raise ValueError("a chain needs at least one operation")
+    _check_fractions(mul_fraction, sub_fraction)
+    rng = random.Random(f"chain:{seed}")
+    b = CDFGBuilder(name or f"chain{length}_s{seed}")
+    first = b.input("in0")
+    second = b.input("in1")
+    values = [first, second]
+    previous = second
+    for index in range(length):
+        optype = _draw_optype(rng, mul_fraction, sub_fraction)
+        previous = b.op(optype, f"c{index}", (previous, rng.choice(values)))
+        values.append(previous)
+    b.output("out0", previous)
+    return b.build()
+
+
+def tree_cdfg(
+    leaves: int = 8,
+    *,
+    mul_fraction: float = 0.3,
+    sub_fraction: float = 0.2,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> CDFG:
+    """A balanced reduction tree over ``leaves`` input values.
+
+    Adjacent values are combined pairwise level by level (an odd value
+    carries over) until one root remains — ``leaves - 1`` operations
+    whose parallelism halves every level, the classical reduction shape.
+    """
+    if leaves < 2:
+        raise ValueError("a reduction tree needs at least two leaves")
+    _check_fractions(mul_fraction, sub_fraction)
+    rng = random.Random(f"tree:{seed}")
+    b = CDFGBuilder(name or f"tree{leaves}_s{seed}")
+    values = [b.input(f"in{i}") for i in range(leaves)]
+    level = 0
+    counter = 0
+    while len(values) > 1:
+        reduced: List[str] = []
+        for left, right in zip(values[0::2], values[1::2]):
+            optype = _draw_optype(rng, mul_fraction, sub_fraction)
+            reduced.append(b.op(optype, f"t{level}_{counter}", (left, right)))
+            counter += 1
+        if len(values) % 2:
+            reduced.append(values[-1])
+        values = reduced
+        level += 1
+    b.output("out0", values[0])
+    return b.build()
+
+
+def butterfly_cdfg(
+    lanes: int = 4,
+    stages: Optional[int] = None,
+    *,
+    mul_fraction: float = 0.3,
+    sub_fraction: float = 0.3,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> CDFG:
+    """FFT-style butterfly stages over ``lanes`` parallel lanes.
+
+    ``lanes`` must be a power of two.  In stage ``s`` every lane combines
+    its own value with its partner's at XOR-distance ``2**s`` — the
+    constant-width all-to-all shuffle of an FFT dataflow, the worst case
+    for interconnect (every stage brings new producers to every port).
+    ``stages`` defaults to the full ``log2(lanes)`` passes.
+    """
+    if lanes < 2 or lanes & (lanes - 1):
+        raise ValueError("butterfly lanes must be a power of two >= 2")
+    full = lanes.bit_length() - 1
+    stages = full if stages is None else stages
+    if stages < 1:
+        raise ValueError("a butterfly needs at least one stage")
+    _check_fractions(mul_fraction, sub_fraction)
+    rng = random.Random(f"butterfly:{seed}")
+    b = CDFGBuilder(name or f"butterfly{lanes}x{stages}_s{seed}")
+    values = [b.input(f"in{i}") for i in range(lanes)]
+    for stage in range(stages):
+        distance = 1 << (stage % full)
+        values = [
+            b.op(
+                _draw_optype(rng, mul_fraction, sub_fraction),
+                f"b{stage}_{lane}",
+                (values[lane], values[lane ^ distance]),
+            )
+            for lane in range(lanes)
+        ]
+    for lane, value in enumerate(values):
+        b.output(f"out{lane}", value)
+    return b.build()
+
+
+def mesh_cdfg(
+    width: int = 3,
+    depth: int = 4,
+    *,
+    mul_fraction: float = 0.25,
+    sub_fraction: float = 0.25,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> CDFG:
+    """A diamond/pipeline mesh: ``depth`` systolic rows of ``width`` lanes.
+
+    Row ``i`` lane ``j`` consumes lanes ``j`` and ``j+1`` (wrapping) of
+    row ``i-1`` — overlapping diamonds that keep a constant ``width``
+    operations live per level, the steady-state pipeline shape whose
+    power profile is a plateau rather than a spike.
+    """
+    if width < 2:
+        raise ValueError("a mesh needs at least two lanes")
+    if depth < 1:
+        raise ValueError("a mesh needs at least one row")
+    _check_fractions(mul_fraction, sub_fraction)
+    rng = random.Random(f"mesh:{seed}")
+    b = CDFGBuilder(name or f"mesh{width}x{depth}_s{seed}")
+    values = [b.input(f"in{j}") for j in range(width)]
+    for row in range(depth):
+        values = [
+            b.op(
+                _draw_optype(rng, mul_fraction, sub_fraction),
+                f"m{row}_{lane}",
+                (values[lane], values[(lane + 1) % width]),
+            )
+            for lane in range(width)
+        ]
+    for lane, value in enumerate(values):
+        b.output(f"out{lane}", value)
+    return b.build()
+
+
+#: Seeded family builders for the differential fuzzer: name → fn(seed)
+#: drawing the shape *and* the op-type mix deterministically from the
+#: seed.  Shapes stay small enough that the exact scheduler engages on a
+#: useful share of the graphs (its cap is 12 schedulable operations,
+#: inputs and outputs included).
+FAMILIES: StrategyRegistry = StrategyRegistry("generator family")
+
+
+@FAMILIES.register("chain")
+def _family_chain(seed: int) -> CDFG:
+    rng = random.Random(f"family-chain:{seed}")
+    return chain_cdfg(
+        length=rng.randint(3, 7),
+        mul_fraction=rng.uniform(0.0, 0.6),
+        sub_fraction=rng.uniform(0.0, 0.3),
+        seed=seed,
+    )
+
+
+@FAMILIES.register("tree")
+def _family_tree(seed: int) -> CDFG:
+    rng = random.Random(f"family-tree:{seed}")
+    return tree_cdfg(
+        leaves=rng.randint(3, 6),
+        mul_fraction=rng.uniform(0.0, 0.6),
+        sub_fraction=rng.uniform(0.0, 0.3),
+        seed=seed,
+    )
+
+
+@FAMILIES.register("butterfly")
+def _family_butterfly(seed: int) -> CDFG:
+    rng = random.Random(f"family-butterfly:{seed}")
+    lanes = rng.choice((2, 2, 4))
+    return butterfly_cdfg(
+        lanes=lanes,
+        stages=rng.randint(1, 2),
+        mul_fraction=rng.uniform(0.0, 0.6),
+        sub_fraction=rng.uniform(0.0, 0.3),
+        seed=seed,
+    )
+
+
+@FAMILIES.register("mesh")
+def _family_mesh(seed: int) -> CDFG:
+    rng = random.Random(f"family-mesh:{seed}")
+    return mesh_cdfg(
+        width=2,
+        depth=rng.randint(2, 4),
+        mul_fraction=rng.uniform(0.0, 0.6),
+        sub_fraction=rng.uniform(0.0, 0.3),
+        seed=seed,
+    )
+
+
+@FAMILIES.register("layered")
+def _family_layered(seed: int) -> CDFG:
+    """The general layered generator, kept exact-scheduler-sized."""
+    rng = random.Random(f"family-layered:{seed}")
+    config = GeneratorConfig(
+        operations=rng.randint(4, 8),
+        inputs=rng.randint(1, 3),
+        levels=rng.randint(2, 4),
+        mul_fraction=rng.uniform(0.0, 0.6),
+        sub_fraction=rng.uniform(0.0, 0.3),
+        outputs=rng.randint(0, 2),
+        seed=seed,
+    )
+    return random_cdfg(config)
+
+
+def family_names() -> List[str]:
+    """Names of the registered scenario families."""
+    return FAMILIES.names()
+
+
+def family_cdfg(family: str, seed: int) -> CDFG:
+    """Build the seeded variant ``seed`` of a registered family.
+
+    Raises:
+        repro.registries.UnknownStrategyError: for unknown family names.
+    """
+    return FAMILIES.get(family)(seed)

@@ -16,12 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from functools import partial
+
 from ..ir.cdfg import CDFG
 from ..registries import StrategyRegistry
 from .ar import ar_cdfg
 from .cosine import COSINE_LATENCIES, cosine_cdfg
 from .elliptic import ELLIPTIC_LATENCIES, elliptic_cdfg
 from .fir import fir_cdfg
+from .generators import butterfly_cdfg, chain_cdfg, mesh_cdfg, tree_cdfg
 from .hal import HAL_LATENCIES, hal_cdfg
 
 
@@ -84,6 +87,27 @@ register_benchmark("cosine", cosine_cdfg, latencies=COSINE_LATENCIES, in_paper=T
 register_benchmark("elliptic", elliptic_cdfg, latencies=ELLIPTIC_LATENCIES, in_paper=True)
 register_benchmark("fir", fir_cdfg, latencies=(8, 12))
 register_benchmark("ar", ar_cdfg, latencies=(14, 20))
+
+# Fixed representatives of the scenario families in
+# :mod:`repro.suite.generators` (the fuzzer additionally draws seeded
+# variants of each family).  Names are frozen in the task spec; the
+# builders pin shape and seed so the graphs never drift.  Latency bounds
+# clear each graph's min-power critical path with the same kind of slack
+# the paper's benchmarks get.
+register_benchmark(
+    "chain", partial(chain_cdfg, 10, seed=1, name="chain"), latencies=(26, 30)
+)
+register_benchmark(
+    "tree", partial(tree_cdfg, 8, seed=2, name="tree"), latencies=(8, 12)
+)
+register_benchmark(
+    "butterfly",
+    partial(butterfly_cdfg, 4, 2, seed=3, name="butterfly"),
+    latencies=(10, 14),
+)
+register_benchmark(
+    "mesh", partial(mesh_cdfg, 3, 4, seed=4, name="mesh"), latencies=(14, 18)
+)
 
 
 def benchmark_names(paper_only: bool = False) -> List[str]:

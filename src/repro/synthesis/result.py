@@ -67,14 +67,31 @@ class SynthesisResult:
     def verify(self) -> None:
         """Re-check every contract of the result; raise on violation.
 
-        Checks precedence, the latency bound, the power budget and the
-        absence of FU sharing conflicts — the invariants the paper's
-        algorithm guarantees by construction.
+        Delegates to the independent certificate checker
+        (:func:`repro.verify.check_certificate`), which re-derives
+        precedence, the latency bound, the per-cycle power profile, FU
+        sharing, binding/module consistency, register lifetimes,
+        interconnect and the area accounting from scratch.
+
+        Raises:
+            repro.verify.CertificateError: (a :class:`SynthesisError` and
+                a :class:`~repro.scheduling.schedule.ScheduleError`)
+                listing every violation found.
         """
-        self.schedule.verify(time=self.constraints.time, power=self.constraints.power)
-        conflicts = self.datapath.check_no_conflicts()
-        if conflicts:
-            raise SynthesisError("FU sharing conflicts: " + "; ".join(conflicts))
+        from ..verify.certificate import check_certificate  # avoid an import cycle
+
+        check_certificate(self).raise_if_violations()
+
+    def certify(self):
+        """The non-raising form of :meth:`verify`.
+
+        Returns:
+            The full :class:`repro.verify.CertificateReport` (``.ok``,
+            ``.violations``) instead of raising.
+        """
+        from ..verify.certificate import check_certificate  # avoid an import cycle
+
+        return check_certificate(self)
 
     def describe(self) -> str:
         lines = [

@@ -1,0 +1,52 @@
+"""Independent end-to-end verification of synthesis results.
+
+This package is the trust anchor of the repository: it re-validates any
+:class:`~repro.synthesis.result.SynthesisResult` **from scratch**,
+without reusing the bookkeeping of the algorithm that produced it, and it
+cross-examines every registered scheduler/binder strategy on the same
+task (differential testing in the spirit of the paper's cross-benchmark
+evaluation).
+
+* :func:`check_certificate` — re-derive every contract of a result
+  (precedence, latency, power profile, FU sharing, binding/module
+  consistency, register lifetimes, interconnect and area accounting) and
+  return a structured :class:`CertificateReport` of
+  :class:`Violation` records rather than a bare bool.
+* :func:`cross_check` — run one task through every scheduler × binder
+  pair from the registries, certify every feasible result and flag
+  soundness disagreements (a heuristic claiming feasible where the exact
+  scheduler proved infeasibility).
+* :func:`run_fuzz` / :class:`FuzzConfig` — seeded differential fuzzing
+  across the generator families in :mod:`repro.suite.generators`; what
+  the ``repro fuzz`` CLI subcommand drives.
+"""
+
+from .certificate import (
+    CertificateError,
+    CertificateReport,
+    Violation,
+    check_certificate,
+)
+from .differential import (
+    CrossCheckReport,
+    StrategyOutcome,
+    cross_check,
+    strategy_pairs,
+)
+from .fuzz import FuzzCase, FuzzConfig, FuzzReport, fuzz_case_tasks, run_fuzz
+
+__all__ = [
+    "FuzzCase",
+    "CertificateError",
+    "CertificateReport",
+    "Violation",
+    "check_certificate",
+    "CrossCheckReport",
+    "StrategyOutcome",
+    "cross_check",
+    "strategy_pairs",
+    "FuzzConfig",
+    "FuzzReport",
+    "fuzz_case_tasks",
+    "run_fuzz",
+]

@@ -1,0 +1,296 @@
+"""Seeded differential fuzzing across the scenario families.
+
+The fuzzer draws, for every (family, seed) pair, one deterministic task:
+a seeded graph from :data:`repro.suite.generators.FAMILIES`, a latency
+bound placed a few cycles above the graph's min-power critical path and a
+power budget sampled around the analytic feasibility floor — sometimes
+*below* it, so typed infeasibility paths are exercised too, and sometimes
+absent entirely.  Each task then goes through
+:func:`~repro.verify.differential.cross_check`: every scheduler × binder
+pair from the registries runs it, every feasible result is certified
+from scratch and the exact scheduler's verdict cross-examines the
+heuristics.
+
+Everything derives from the seed alone, so a failing case is reproduced
+by its ``(family, seed)`` coordinates; the :class:`FuzzReport`
+serializes them together with the full task spec.  An optional
+:class:`~repro.explore.cache.ResultCache` (the CLI's ``--cache-dir`` /
+``--resume``) skips (task, strategy) points certified by an earlier run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..api.task import SynthesisTask
+from ..ir.analysis import critical_path_length
+from ..library.library import default_library
+from ..library.selection import (
+    MinPowerSelection,
+    selection_delays,
+    selection_powers,
+)
+from ..registries import SCHEDULERS
+from ..scheduling.constraints import minimum_feasible_power
+from ..suite.generators import FAMILIES, family_cdfg
+from .differential import COMPLETE_SCHEDULERS, CrossCheckReport, cross_check
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """What to fuzz and how hard.
+
+    Attributes:
+        families: Generator family names (empty = every registered one).
+        seeds: Number of seeds per family.
+        base_seed: First seed (cases cover ``base_seed .. base_seed+seeds-1``).
+        schedulers: Scheduler names to include (empty = all registered).
+        binders: Binder names to include (empty = all registered).
+        max_slack: Largest latency slack above the critical path drawn.
+        unbounded_fraction: Share of cases run without a power budget.
+        tight_fraction: Share of cases probing *below* the analytic
+            feasibility floor (exercising the typed-infeasibility paths).
+    """
+
+    families: Tuple[str, ...] = ()
+    seeds: int = 10
+    base_seed: int = 0
+    schedulers: Tuple[str, ...] = ()
+    binders: Tuple[str, ...] = ()
+    max_slack: int = 6
+    unbounded_fraction: float = 0.2
+    tight_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.seeds < 1:
+            raise ValueError("need at least one seed per family")
+        if self.max_slack < 0:
+            raise ValueError("max_slack must be non-negative")
+        if not 0.0 <= self.unbounded_fraction + self.tight_fraction <= 1.0:
+            raise ValueError("case-mix fractions must sum to within [0, 1]")
+
+    def family_names(self) -> List[str]:
+        return list(self.families) if self.families else FAMILIES.names()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "families": self.family_names(),
+            "seeds": self.seeds,
+            "base_seed": self.base_seed,
+            "schedulers": list(self.schedulers),
+            "binders": list(self.binders),
+            "max_slack": self.max_slack,
+            "unbounded_fraction": self.unbounded_fraction,
+            "tight_fraction": self.tight_fraction,
+        }
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One deterministic fuzz case.
+
+    Attributes:
+        family: Generator family the graph came from.
+        seed: The seed that reproduces graph, latency and budget.
+        task: The task (graph inlined, so it is cacheable and shippable);
+            strategies are substituted later by
+            :func:`~repro.verify.differential.cross_check`.
+        power_floor: The analytic feasibility floor for the task's
+            min-power selection (max of energy/T and the largest single
+            per-cycle power).  A budget below it is provably infeasible.
+    """
+
+    family: str
+    seed: int
+    task: SynthesisTask
+    power_floor: float
+
+    @property
+    def below_floor(self) -> bool:
+        """True when the budget is analytically infeasible."""
+        budget = self.task.power_budget
+        return budget is not None and budget < self.power_floor - 1e-9
+
+
+def fuzz_case_tasks(config: FuzzConfig) -> Iterator[FuzzCase]:
+    """Yield the deterministic :class:`FuzzCase` list of a config."""
+    library = default_library()
+    for family in config.family_names():
+        FAMILIES.get(family)  # fail fast on unknown names
+        for seed in range(config.base_seed, config.base_seed + config.seeds):
+            cdfg = family_cdfg(family, seed)
+            selection = MinPowerSelection().select(cdfg, library)
+            delays = selection_delays(selection, cdfg)
+            powers = selection_powers(selection, cdfg)
+            rng = random.Random(f"fuzz:{family}:{seed}")
+            latency = critical_path_length(cdfg, delays) + rng.randint(
+                0, config.max_slack
+            )
+            floor = minimum_feasible_power(powers, delays, latency)
+            draw = rng.random()
+            if draw < config.unbounded_fraction:
+                budget: Optional[float] = None
+            elif draw < config.unbounded_fraction + config.tight_fraction:
+                budget = round(floor * rng.uniform(0.5, 0.95), 3)
+            else:
+                budget = round(floor * rng.uniform(1.0, 3.0), 3)
+            task = SynthesisTask.of(
+                cdfg,
+                latency=latency,
+                power_budget=budget,
+                label=f"{family}/s{seed}",
+            )
+            yield FuzzCase(family=family, seed=seed, task=task, power_floor=floor)
+
+
+@dataclass
+class FuzzReport:
+    """Aggregated outcome of one fuzzing run (JSON-serializable)."""
+
+    config: FuzzConfig
+    cases: List[Tuple[str, int, CrossCheckReport]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for _, _, report in self.cases)
+
+    @property
+    def runs(self) -> int:
+        return sum(len(report.outcomes) for _, _, report in self.cases)
+
+    @property
+    def feasible_runs(self) -> int:
+        return sum(
+            1
+            for _, _, report in self.cases
+            for outcome in report.outcomes
+            if outcome.feasible
+        )
+
+    @property
+    def cached_runs(self) -> int:
+        return sum(
+            1
+            for _, _, report in self.cases
+            for outcome in report.outcomes
+            if outcome.cached
+        )
+
+    @property
+    def disagreements(self) -> int:
+        return sum(1 for _, _, report in self.cases if report.disagreement)
+
+    def violations(self) -> List[Dict[str, Any]]:
+        """Every violation found, tagged with its (family, seed) case."""
+        found: List[Dict[str, Any]] = []
+        for family, seed, report in self.cases:
+            for violation in report.violations:
+                entry = violation.to_dict()
+                entry["family"] = family
+                entry["seed"] = seed
+                entry["task"] = report.task.to_dict()
+                found.append(entry)
+        return found
+
+    def family_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-family counters (cases, runs, feasible, violations)."""
+        summary: Dict[str, Dict[str, int]] = {}
+        for family, _, report in self.cases:
+            row = summary.setdefault(
+                family, {"cases": 0, "runs": 0, "feasible": 0, "violations": 0}
+            )
+            row["cases"] += 1
+            row["runs"] += len(report.outcomes)
+            row["feasible"] += sum(1 for o in report.outcomes if o.feasible)
+            row["violations"] += len(report.violations)
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # Presentation / serialization
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        lines = [
+            f"fuzz: {len(self.cases)} case(s), {self.runs} strategy run(s), "
+            f"{self.feasible_runs} feasible, {self.disagreements} feasibility "
+            f"split(s), {self.cached_runs} resumed from cache"
+        ]
+        for family, row in sorted(self.family_summary().items()):
+            lines.append(
+                f"  {family}: {row['cases']} case(s), {row['runs']} run(s), "
+                f"{row['feasible']} feasible, {row['violations']} violation(s)"
+            )
+        violations = self.violations()
+        if violations:
+            lines.append(f"{len(violations)} violation(s):")
+            for entry in violations:
+                lines.append(
+                    f"  {entry['family']}/s{entry['seed']} "
+                    f"[{entry['kind']}] {entry['subject']}: {entry['message']}"
+                )
+        else:
+            lines.append("no violations")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "config": self.config.to_dict(),
+            "ok": self.ok,
+            "cases": len(self.cases),
+            "runs": self.runs,
+            "feasible": self.feasible_runs,
+            "cached": self.cached_runs,
+            "disagreements": self.disagreements,
+            "families": self.family_summary(),
+            "violations": self.violations(),
+        }
+
+
+def run_fuzz(
+    config: Optional[FuzzConfig] = None,
+    *,
+    cache=None,
+    progress=None,
+) -> FuzzReport:
+    """Differentially fuzz every configured (family, seed) case.
+
+    Args:
+        config: What to fuzz; defaults to ``FuzzConfig()`` (all families,
+            all strategies, 10 seeds).
+        cache: Optional :class:`~repro.explore.cache.ResultCache` shared
+            with previous runs; certified/infeasible points resume as
+            scalar hits (see :func:`~repro.verify.differential.cross_check`).
+        progress: Optional callable ``(family, seed, report)`` invoked
+            after each case (the CLI's live line).
+
+    Returns:
+        A :class:`FuzzReport`; ``report.ok`` is True when no case
+        produced a certificate or soundness violation.
+    """
+    config = config or FuzzConfig()
+    report = FuzzReport(config=config)
+    schedulers = list(config.schedulers) or None
+    binders = list(config.binders) or None
+    for case in fuzz_case_tasks(config):
+        case_schedulers = schedulers
+        if case.below_floor:
+            # The budget is below the analytic feasibility floor, so
+            # infeasibility is already proven; making the exhaustive
+            # exact scheduler re-prove it by search is the one
+            # combination whose cost explodes (seconds per case) while
+            # adding no differential signal.  The heuristics still run
+            # and must all report typed infeasibility.
+            case_schedulers = [
+                name
+                for name in (schedulers or SCHEDULERS.names())
+                if name not in COMPLETE_SCHEDULERS
+            ]
+        outcome = cross_check(case.task, case_schedulers, binders, cache=cache)
+        report.cases.append((case.family, case.seed, outcome))
+        if progress is not None:
+            progress(case.family, case.seed, outcome)
+    return report

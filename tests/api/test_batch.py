@@ -40,13 +40,48 @@ class TestRunTask:
             SynthesisTask(graph="hal", latency=20, power_budget=5.0, scheduler="asap")
         )
         assert not record.feasible
-        assert record.error_type == "ScheduleError"
+        # The deep certificate checker flags the power violation; its
+        # error is both a SynthesisError and a ScheduleError.
+        assert record.error_type == "CertificateError"
+        assert "power" in record.error
 
     def test_record_round_trips_through_dict(self):
         record = run_task(SynthesisTask(graph="hal", latency=17, power_budget=12.0))
         restored = TaskResult.from_dict(json.loads(json.dumps(record.to_dict())))
         assert _summary(restored) == _summary(record)
         assert restored.task == record.task
+
+    def test_verify_kwarg_certifies_a_clean_result(self):
+        record = run_task(
+            SynthesisTask(graph="hal", latency=17, power_budget=12.0), verify=True
+        )
+        assert record.feasible
+
+    def test_verify_kwarg_raises_on_an_uncertified_result(self):
+        from repro.verify import CertificateError
+
+        # With the task's own verify gate off, the power-oblivious asap
+        # schedule comes back "feasible" despite busting the budget; the
+        # caller-side assertion must refuse it loudly.
+        task = SynthesisTask(
+            graph="hal", latency=20, power_budget=5.0, scheduler="asap", verify=False
+        )
+        assert run_task(task).feasible  # the lie, without the assertion
+        with pytest.raises(CertificateError) as excinfo:
+            run_task(task, verify=True)
+        assert excinfo.value.report.by_kind("power")
+
+    def test_verify_kwarg_never_caches_the_uncertified_result(self, tmp_path):
+        from repro.explore import ResultCache
+        from repro.verify import CertificateError
+
+        cache = ResultCache(tmp_path / "cache", read=True)
+        task = SynthesisTask(
+            graph="hal", latency=20, power_budget=5.0, scheduler="asap", verify=False
+        )
+        with pytest.raises(CertificateError):
+            run_task(task, cache=cache, verify=True)
+        assert len(cache) == 0
 
 
 class TestRunBatch:

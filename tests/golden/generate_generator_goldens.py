@@ -1,0 +1,68 @@
+"""Regenerate the golden generator fingerprints.
+
+Run from the repository root against a *known-good* tree::
+
+    PYTHONPATH=src python tests/golden/generate_generator_goldens.py
+
+The emitted ``golden_generators.json`` pins a SHA-256 fingerprint of the
+**canonical graph form** (sorted operations/edges, normalized op types —
+the same form the result cache hashes) for
+
+* every registered scenario-family benchmark (chain/tree/butterfly/mesh),
+* the first few seeded fuzz variants of every family.
+
+The golden test (:mod:`tests.golden.test_golden_generators`) then
+asserts that generator refactors never silently change a produced graph:
+a changed fingerprint invalidates every cached result and every seeded
+fuzz reproduction, so it must be a deliberate, regenerated change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.api.task import _canonical_graph
+from repro.ir.serialize import to_dict
+from repro.suite.generators import family_cdfg, family_names
+from repro.suite.registry import build_benchmark
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+OUTPUT = os.path.join(HERE, "golden_generators.json")
+
+#: The registered family benchmarks to fingerprint.
+BENCHMARKS = ("chain", "tree", "butterfly", "mesh")
+
+#: Seeds fingerprinted per family.
+SEEDS = range(3)
+
+
+def fingerprint(graph) -> dict:
+    canonical = _canonical_graph(to_dict(graph))
+    payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return {
+        "sha256": hashlib.sha256(payload.encode("utf-8")).hexdigest(),
+        "operations": len(canonical["operations"]),
+        "edges": len(canonical["edges"]),
+    }
+
+
+def main() -> None:
+    goldens = {"benchmarks": {}, "families": {}}
+    for name in BENCHMARKS:
+        goldens["benchmarks"][name] = fingerprint(build_benchmark(name))
+        print(f"benchmark {name}: {goldens['benchmarks'][name]['sha256'][:12]}")
+    for family in family_names():
+        entries = {}
+        for seed in SEEDS:
+            entries[str(seed)] = fingerprint(family_cdfg(family, seed))
+        goldens["families"][family] = entries
+        print(f"family {family}: {len(entries)} seed(s)")
+    with open(OUTPUT, "w") as handle:
+        json.dump(goldens, handle, indent=1, sort_keys=True)
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

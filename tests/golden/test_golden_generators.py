@@ -1,0 +1,49 @@
+"""Golden fingerprints for the scenario-family generators.
+
+A fingerprint change means a generator now produces a *different graph*
+for the same parameters and seed — which silently invalidates cached
+results and seeded fuzz reproductions.  Regenerate deliberately with::
+
+    PYTHONPATH=src python tests/golden/generate_generator_goldens.py
+"""
+
+import json
+import os
+
+import pytest
+
+from tests.golden.generate_generator_goldens import (
+    BENCHMARKS,
+    OUTPUT,
+    SEEDS,
+    fingerprint,
+)
+from repro.suite.generators import family_cdfg, family_names
+from repro.suite.registry import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    assert os.path.exists(OUTPUT), (
+        "golden_generators.json is missing; run "
+        "PYTHONPATH=src python tests/golden/generate_generator_goldens.py"
+    )
+    with open(OUTPUT) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_family_benchmark_fingerprints(goldens, name):
+    assert fingerprint(build_benchmark(name)) == goldens["benchmarks"][name]
+
+
+def test_every_family_has_golden_seeds(goldens):
+    assert set(goldens["families"]) == set(family_names())
+
+
+@pytest.mark.parametrize("family", ["chain", "tree", "butterfly", "mesh", "layered"])
+def test_family_seed_fingerprints(goldens, family):
+    for seed in SEEDS:
+        assert fingerprint(family_cdfg(family, seed)) == (
+            goldens["families"][family][str(seed)]
+        ), f"{family} seed {seed} drifted"

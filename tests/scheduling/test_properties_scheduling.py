@@ -7,13 +7,19 @@ generated layered data-flow graphs:
 * pasap degenerates to ASAP when the budget is unbounded,
 * stretching preserves total energy (power is moved, never created/lost),
 * palap start times never precede pasap start times when both exist,
-* the classical ASAP/ALAP sandwich brackets every legal schedule.
+* the classical ASAP/ALAP sandwich brackets every legal schedule,
+* every scheduler × binder pair from the registries — including
+  ``two_step``, ``exact`` and the combined ``engine`` — either yields a
+  result the independent certificate checker certifies or fails with a
+  typed infeasibility error.
 """
 
 from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
+from repro.api.batch import run_task
+from repro.api.task import SynthesisTask
 from repro.ir.analysis import critical_path_length
 from repro.library.library import default_library
 from repro.library.selection import MinPowerSelection, selection_delays, selection_powers
@@ -22,6 +28,7 @@ from repro.scheduling.constraints import PowerConstraint
 from repro.scheduling.palap import palap_schedule
 from repro.scheduling.pasap import PowerInfeasibleError, pasap_schedule
 from repro.suite.generators import GeneratorConfig, random_cdfg
+from repro.verify import check_certificate, strategy_pairs
 
 LIBRARY = default_library()
 
@@ -124,3 +131,86 @@ def test_asap_makespan_equals_critical_path(data):
     cdfg, delays, powers = data
     schedule = asap_schedule(cdfg, delays, powers)
     assert schedule.makespan == critical_path_length(cdfg, delays)
+
+
+# --------------------------------------------------------------------------- #
+# Cross-strategy certification (covers two_step, exact and engine, which
+# the per-scheduler properties above do not touch)
+# --------------------------------------------------------------------------- #
+#: Every (scheduler, binder) pair the registries offer.
+ALL_PAIRS = strategy_pairs()
+
+
+@st.composite
+def tiny_cdfg(draw):
+    """A graph small enough for the exhaustive exact scheduler.
+
+    The exact search is capped at 12 schedulable operations (inputs and
+    outputs included), so sizes are kept under it.
+    """
+    config = GeneratorConfig(
+        operations=draw(st.integers(min_value=3, max_value=7)),
+        inputs=draw(st.integers(min_value=1, max_value=3)),
+        levels=draw(st.integers(min_value=1, max_value=4)),
+        mul_fraction=draw(st.floats(min_value=0.0, max_value=0.6)),
+        sub_fraction=draw(st.floats(min_value=0.0, max_value=0.3)),
+        outputs=draw(st.integers(min_value=0, max_value=2)),
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+    )
+    return random_cdfg(config)
+
+
+@given(
+    cdfg=tiny_cdfg(),
+    pair=st.sampled_from(ALL_PAIRS),
+    slack=st.integers(min_value=0, max_value=4),
+    budget=st.one_of(st.none(), st.floats(min_value=2.6, max_value=40.0)),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_strategy_pair_certifies_or_fails_typed(cdfg, pair, slack, budget):
+    """SCHEDULERS × BINDERS: certified result or typed infeasibility.
+
+    ``run_task`` converts every known infeasibility family into a typed
+    record; anything else (an unexpected exception, an uncertified
+    "feasible" result) is a bug in the strategy or the pipeline.
+    """
+    scheduler, binder = pair
+    selection = MinPowerSelection().select(cdfg, LIBRARY)
+    delays = selection_delays(selection, cdfg)
+    latency = critical_path_length(cdfg, delays) + slack
+    task = SynthesisTask.of(
+        cdfg,
+        latency=latency,
+        power_budget=round(budget, 3) if budget is not None else None,
+        scheduler=scheduler,
+        binder=binder,
+    )
+    record = run_task(task)
+    if record.feasible:
+        report = check_certificate(record.result)
+        assert report.ok, f"{scheduler}+{binder}: {report.describe()}"
+    else:
+        assert record.error_type is not None
+        assert record.error
+
+
+@given(
+    cdfg=tiny_cdfg(),
+    binder=st.sampled_from(["greedy", "naive"]),
+    slack=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_two_step_and_exact_agree_on_unbounded_feasibility(cdfg, binder, slack):
+    """Without a power budget, two_step and exact must both be feasible at
+    any latency at or above the critical path (and certify)."""
+    selection = MinPowerSelection().select(cdfg, LIBRARY)
+    delays = selection_delays(selection, cdfg)
+    latency = critical_path_length(cdfg, delays) + slack
+    for scheduler in ("two_step", "exact"):
+        record = run_task(
+            SynthesisTask.of(
+                cdfg, latency=latency, scheduler=scheduler, binder=binder
+            )
+        )
+        assert record.feasible, f"{scheduler}: {record.error}"
+        assert check_certificate(record.result).ok

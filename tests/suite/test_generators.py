@@ -1,10 +1,25 @@
-"""Unit tests for the random CDFG generator."""
+"""Unit tests for the random CDFG generator and the scenario families."""
 
 import pytest
 
 from repro.ir.operation import OpType
 from repro.ir.validate import is_valid
-from repro.suite.generators import GeneratorConfig, random_cdfg, random_cdfg_batch
+from repro.suite.generators import (
+    FAMILIES,
+    GeneratorConfig,
+    butterfly_cdfg,
+    chain_cdfg,
+    family_cdfg,
+    family_names,
+    mesh_cdfg,
+    random_cdfg,
+    random_cdfg_batch,
+    tree_cdfg,
+)
+
+
+def _arithmetic(graph):
+    return [n for n in graph.operation_names() if graph.operation(n).is_arithmetic]
 
 
 class TestConfig:
@@ -59,3 +74,146 @@ class TestGeneration:
         assert len(graphs) == 4
         assert len({g.name for g in graphs}) == 4
         assert all(is_valid(g) for g in graphs)
+
+
+class TestChainFamily:
+    def test_shape(self):
+        graph = chain_cdfg(7, seed=3)
+        assert is_valid(graph)
+        assert len(_arithmetic(graph)) == 7
+        # Serial dependence: each chain op consumes its predecessor.
+        for index in range(1, 7):
+            assert f"c{index - 1}" in graph.predecessors(f"c{index}")
+        # The whole chain is the critical path: unit delays give length+io.
+        from repro.ir.analysis import critical_path_length
+
+        delays = {n: 1 for n in graph.operation_names()}
+        assert critical_path_length(graph, delays) == 7 + 2  # + input + output
+
+    def test_deterministic_and_seed_sensitive(self):
+        a, b = chain_cdfg(8, seed=5), chain_cdfg(8, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert [a.operation(n).optype for n in a.operation_names()] == [
+            b.operation(n).optype for n in b.operation_names()
+        ]
+        c = chain_cdfg(8, seed=6)
+        assert sorted(a.edges()) != sorted(c.edges()) or [
+            a.operation(n).optype for n in a.operation_names()
+        ] != [c.operation(n).optype for n in c.operation_names()]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chain_cdfg(0)
+        with pytest.raises(ValueError):
+            chain_cdfg(5, mul_fraction=0.8, sub_fraction=0.5)
+
+
+class TestTreeFamily:
+    def test_shape(self):
+        graph = tree_cdfg(8, seed=1)
+        assert is_valid(graph)
+        assert len(_arithmetic(graph)) == 7  # leaves - 1 combines
+        assert len(graph.operations_of_type(OpType.INPUT)) == 8
+        # Exactly one arithmetic sink feeds the single output.
+        outputs = graph.operations_of_type(OpType.OUTPUT)
+        assert len(outputs) == 1
+        # Level structure: each level's ops consume strictly earlier ones.
+        for name in _arithmetic(graph):
+            assert len(graph.predecessors(name)) == 2
+
+    def test_odd_leaf_carry_over(self):
+        graph = tree_cdfg(5, seed=0)
+        assert len(_arithmetic(graph)) == 4
+
+    def test_deterministic(self):
+        assert sorted(tree_cdfg(6, seed=9).edges()) == sorted(
+            tree_cdfg(6, seed=9).edges()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tree_cdfg(1)
+
+
+class TestButterflyFamily:
+    def test_shape(self):
+        graph = butterfly_cdfg(4, 2, seed=2)
+        assert is_valid(graph)
+        assert len(_arithmetic(graph)) == 4 * 2  # lanes × stages
+        assert len(graph.operations_of_type(OpType.INPUT)) == 4
+        assert len(graph.operations_of_type(OpType.OUTPUT)) == 4
+        # Stage 1 ops consume two distinct stage-0 ops (XOR partners).
+        for lane in range(4):
+            preds = graph.predecessors(f"b1_{lane}")
+            assert set(preds) == {f"b0_{lane}", f"b0_{lane ^ 2}"}
+
+    def test_stages_default_to_log2_lanes(self):
+        graph = butterfly_cdfg(8, seed=0)
+        assert len(_arithmetic(graph)) == 8 * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            butterfly_cdfg(3)  # not a power of two
+        with pytest.raises(ValueError):
+            butterfly_cdfg(4, 0)
+
+    def test_deterministic(self):
+        assert sorted(butterfly_cdfg(4, 2, seed=7).edges()) == sorted(
+            butterfly_cdfg(4, 2, seed=7).edges()
+        )
+
+
+class TestMeshFamily:
+    def test_shape(self):
+        graph = mesh_cdfg(3, 4, seed=4)
+        assert is_valid(graph)
+        assert len(_arithmetic(graph)) == 3 * 4
+        assert len(graph.operations_of_type(OpType.INPUT)) == 3
+        assert len(graph.operations_of_type(OpType.OUTPUT)) == 3
+        # Diamond structure: row 2 lane 0 consumes row 1 lanes 0 and 1.
+        assert set(graph.predecessors("m2_0")) == {"m1_0", "m1_1"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mesh_cdfg(1, 3)
+        with pytest.raises(ValueError):
+            mesh_cdfg(3, 0)
+
+    def test_deterministic(self):
+        assert sorted(mesh_cdfg(2, 3, seed=11).edges()) == sorted(
+            mesh_cdfg(2, 3, seed=11).edges()
+        )
+
+
+class TestFamilyRegistry:
+    def test_all_families_registered(self):
+        assert set(family_names()) >= {"chain", "tree", "butterfly", "mesh", "layered"}
+
+    def test_family_cdfg_is_deterministic_per_seed(self):
+        for family in family_names():
+            a, b = family_cdfg(family, 13), family_cdfg(family, 13)
+            assert a.operation_names() == b.operation_names()
+            assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_family_graphs_are_valid_and_small(self):
+        # Shapes stay near the exact scheduler's 12-operation cap so the
+        # fuzzer exercises it on a useful share of cases.
+        for family in family_names():
+            for seed in range(5):
+                graph = family_cdfg(family, seed)
+                assert is_valid(graph)
+                assert len(graph.schedulable_operations()) <= 16
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            family_cdfg("bogus", 0)
+
+    def test_family_benchmarks_are_registered(self):
+        from repro.suite.registry import get_benchmark
+
+        for name in ("chain", "tree", "butterfly", "mesh"):
+            spec = get_benchmark(name)
+            graph = spec.build()
+            assert graph.name == name
+            assert spec.latencies
+            assert is_valid(graph)

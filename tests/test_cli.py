@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import EXIT_INFEASIBLE, build_parser, main
+from repro.cli import EXIT_INFEASIBLE, EXIT_VIOLATIONS, build_parser, main
 from repro.ir import save
 from repro.suite import hal_cdfg
 
@@ -180,6 +180,71 @@ class TestSweepAndProfile:
         assert code == 0
         out = capsys.readouterr().out
         assert "undesired" in out and "desired" in out
+
+
+class TestVerifyFlag:
+    def test_verify_prints_certificate_and_succeeds(self, capsys):
+        code = main(["synthesize", "-b", "hal", "-T", "17", "-P", "12", "--verify"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "certificate for 'hal': ok" in out
+
+    def test_verify_works_for_classical_strategies(self, capsys):
+        code = main(["synthesize", "-b", "tree", "-T", "12", "-P", "30",
+                     "--scheduler", "palap", "--verify"])
+        assert code == 0
+        assert "certificate for 'tree': ok" in capsys.readouterr().out
+
+
+class TestFuzz:
+    def test_fuzz_smoke_is_clean(self, capsys):
+        code = main(["fuzz", "--seeds", "2", "--families", "chain", "tree"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no violations" in out
+        assert "chain: 2 case(s)" in out
+        assert "tree: 2 case(s)" in out
+
+    def test_fuzz_json_report_schema(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        code = main(["fuzz", "--seeds", "2", "--families", "mesh",
+                     "--schedulers", "pasap", "engine", "-o", str(target)])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        for key in ("config", "ok", "cases", "runs", "feasible", "cached",
+                    "disagreements", "families", "violations", "elapsed"):
+            assert key in payload
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+        assert payload["cases"] == 2
+        assert payload["config"]["families"] == ["mesh"]
+        assert set(payload["families"]) == {"mesh"}
+
+    def test_fuzz_rejects_unknown_family(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--families", "bogus"])
+
+    def test_fuzz_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--schedulers", "bogus"])
+
+    def test_fuzz_resumes_from_cache(self, tmp_path, capsys):
+        import re
+
+        def resumed_count(out):
+            return int(re.search(r"(\d+) resumed from cache", out).group(1))
+
+        cache_dir = str(tmp_path / "cache")
+        args = ["fuzz", "--seeds", "2", "--families", "chain",
+                "--schedulers", "pasap", "asap", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        assert resumed_count(capsys.readouterr().out) == 0
+
+        assert main(args + ["--resume"]) == 0
+        assert resumed_count(capsys.readouterr().out) > 0
+
+    def test_exit_violations_code_is_distinct(self):
+        assert EXIT_VIOLATIONS not in (0, 1, EXIT_INFEASIBLE)
 
 
 class TestCacheFlags:

@@ -1,0 +1,255 @@
+"""Mutation tests for the from-scratch certificate checker.
+
+Every test corrupts one aspect of a known-good synthesis result and
+asserts that :func:`repro.verify.check_certificate` flags exactly that
+violation class — the checker must detect each kind of lie a buggy
+scheduler or binder could tell.
+"""
+
+import json
+
+import pytest
+
+from repro.binding.interconnect import InterconnectReport
+from repro.datapath.area import AreaBreakdown
+from repro.scheduling.constraints import SynthesisConstraints
+from repro.scheduling.schedule import ScheduleError
+from repro.synthesis.engine import synthesize
+from repro.synthesis.result import SynthesisError
+from repro.api.batch import run_task
+from repro.api.task import SynthesisTask
+from repro.verify import CertificateError, check_certificate
+
+
+@pytest.fixture
+def result(hal, library):
+    """A fresh engine result per test (mutations must not leak)."""
+    return synthesize(hal, library, 17, 12.0)
+
+
+class TestCertifiedResults:
+    def test_engine_result_is_certified(self, result):
+        report = check_certificate(result)
+        assert report.ok
+        assert report.violations == []
+        assert "precedence" in report.checks and "power" in report.checks
+
+    @pytest.mark.parametrize(
+        "scheduler,binder",
+        [("asap", "greedy"), ("asap", "naive"), ("pasap", "greedy"), ("alap", "greedy")],
+    )
+    def test_two_phase_results_are_certified(self, scheduler, binder):
+        record = run_task(
+            SynthesisTask(
+                graph="hal",
+                latency=30,
+                power_budget=40.0,
+                scheduler=scheduler,
+                binder=binder,
+            )
+        )
+        assert record.feasible
+        assert check_certificate(record.result).ok
+
+    def test_report_serializes_and_describes(self, result):
+        report = check_certificate(result)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True and payload["violations"] == []
+        assert "ok" in report.describe()
+
+    def test_raise_if_violations_is_silent_when_ok(self, result):
+        check_certificate(result).raise_if_violations()
+
+
+class TestConstraintMutations:
+    def test_detects_latency_violation(self, result):
+        tightened = SynthesisConstraints.of(result.latency - 1, 12.0)
+        report = check_certificate(result, constraints=tightened)
+        assert not report.ok
+        assert "latency" in report.kinds()
+
+    def test_detects_power_violation(self, result):
+        halved = SynthesisConstraints.of(17, result.peak_power / 2)
+        report = check_certificate(result, constraints=halved)
+        assert not report.ok
+        assert "power" in report.kinds()
+        cycle_violation = report.by_kind("power")[0]
+        assert cycle_violation.details["draw"] > cycle_violation.details["budget"]
+
+
+class TestScheduleMutations:
+    def test_detects_precedence_violation(self, result):
+        cdfg = result.schedule.cdfg
+        # Pull some consumer to cycle 0 while its producer is arithmetic.
+        victim = next(
+            name
+            for name in cdfg.schedulable_operations()
+            if any(
+                not cdfg.operation(p).is_virtual and result.schedule.start(p) >= 0
+                and result.schedule.delays[p] > 0
+                for p in cdfg.predecessors(name)
+            )
+            and result.schedule.start(name) > 0
+        )
+        result.schedule.start_times[victim] = 0
+        report = check_certificate(result)
+        assert not report.ok
+        assert "precedence" in report.kinds()
+
+    def test_detects_missing_operation(self, result):
+        victim = next(iter(result.datapath.binding))
+        del result.schedule.start_times[victim]
+        report = check_certificate(result)
+        assert "completeness" in report.kinds()
+
+    def test_detects_negative_start(self, result):
+        victim = next(iter(result.datapath.binding))
+        result.schedule.start_times[victim] = -2
+        assert "completeness" in check_certificate(result).kinds()
+
+
+class TestBindingMutations:
+    def test_detects_unbound_operation(self, result):
+        victim = next(iter(result.datapath.binding))
+        del result.datapath.binding[victim]
+        report = check_certificate(result)
+        assert "binding" in report.kinds()
+
+    def test_detects_unsupported_module(self, result, hal):
+        # Rebind a multiplication onto a non-multiplier instance.
+        from repro.ir.operation import OpType
+
+        mul_op = next(
+            op
+            for op in result.datapath.binding
+            if hal.operation(op).optype is OpType.MUL
+        )
+        other = next(
+            inst
+            for inst in result.datapath.instances.values()
+            if not inst.module.supports(OpType.MUL)
+        )
+        old = result.datapath.instances[result.datapath.binding[mul_op]]
+        old.bound_ops.remove(mul_op)
+        other.bound_ops.append(mul_op)
+        result.datapath.binding[mul_op] = other.name
+        report = check_certificate(result)
+        assert "binding" in report.kinds()
+
+    def test_detects_binding_to_unknown_instance(self, result):
+        victim = next(iter(result.datapath.binding))
+        result.datapath.binding[victim] = "ghost#0"
+        assert "binding" in check_certificate(result).kinds()
+
+    def test_detects_instance_claiming_unlisted_operation(self, result):
+        victim, instance_name = next(iter(result.datapath.binding.items()))
+        # The map forgets the operation but the instance still claims it.
+        del result.datapath.binding[victim]
+        assert victim in result.datapath.instances[instance_name].bound_ops
+        report = check_certificate(result)
+        assert "binding" in report.kinds()
+
+
+class TestModuleAndResourceMutations:
+    def test_detects_delay_mismatch(self, result):
+        victim = next(iter(result.datapath.binding))
+        result.schedule.delays[victim] += 1
+        assert "module-mismatch" in check_certificate(result).kinds()
+
+    def test_detects_power_mismatch(self, result):
+        victim = next(iter(result.datapath.binding))
+        result.schedule.powers[victim] += 1.0
+        assert "module-mismatch" in check_certificate(result).kinds()
+
+    def test_detects_instance_sharing_conflict(self, result):
+        shared = next(
+            inst
+            for inst in result.datapath.instances.values()
+            if len(inst.bound_ops) >= 2
+        )
+        first, second = shared.bound_ops[:2]
+        result.schedule.start_times[second] = result.schedule.start_times[first]
+        report = check_certificate(result)
+        assert "resource-conflict" in report.kinds()
+        assert shared.name in {v.subject for v in report.by_kind("resource-conflict")}
+
+
+class TestRegisterMutations:
+    def test_detects_missing_register_allocation(self, result):
+        result.datapath.registers = None
+        assert "register-missing" in check_certificate(result).kinds()
+
+    def test_detects_value_stored_nowhere(self, result):
+        allocation = result.datapath.registers
+        index, producers = next(
+            (i, p) for i, p in allocation.registers.items() if p
+        )
+        producers.pop()
+        allocation.invalidate_index()
+        assert "register-missing" in check_certificate(result).kinds()
+
+    def test_detects_overlapping_lifetimes_in_one_register(self, result):
+        allocation = result.datapath.registers
+        # Two values in *different* registers overlap somewhere (otherwise
+        # one register would have sufficed); force them together.
+        from repro.verify.certificate import _derived_lifetimes
+
+        lifetimes = _derived_lifetimes(result)
+        merged = None
+        for i, producers_i in allocation.registers.items():
+            for j, producers_j in allocation.registers.items():
+                if i >= j:
+                    continue
+                for a in producers_i:
+                    for b in producers_j:
+                        if a in lifetimes and b in lifetimes:
+                            (s1, e1), (s2, e2) = lifetimes[a], lifetimes[b]
+                            if s1 < e2 and s2 < e1:
+                                merged = (i, j, b)
+                if merged:
+                    break
+            if merged:
+                break
+        assert merged is not None, "expected overlapping values across registers"
+        i, j, mover = merged
+        allocation.registers[j].remove(mover)
+        allocation.registers[i].append(mover)
+        allocation.invalidate_index()
+        assert "register-overlap" in check_certificate(result).kinds()
+
+
+class TestAccountingMutations:
+    def test_detects_tampered_interconnect(self, result):
+        stored = result.datapath.interconnect
+        result.datapath.interconnect = InterconnectReport(
+            fu_mux_inputs=stored.fu_mux_inputs + 1,
+            register_mux_inputs=stored.register_mux_inputs,
+        )
+        assert "interconnect" in check_certificate(result).kinds()
+
+    def test_detects_missing_interconnect(self, result):
+        result.datapath.interconnect = None
+        assert "interconnect" in check_certificate(result).kinds()
+
+    def test_detects_tampered_area(self, result):
+        result.area = AreaBreakdown(
+            result.area.functional_units - 50.0,
+            result.area.registers,
+            result.area.interconnect,
+        )
+        assert "area" in check_certificate(result).kinds()
+
+
+class TestRaising:
+    def test_certificate_error_is_both_families(self, result):
+        result.constraints = SynthesisConstraints.of(result.latency - 1, 12.0)
+        with pytest.raises(CertificateError) as excinfo:
+            result.verify()
+        assert isinstance(excinfo.value, SynthesisError)
+        assert isinstance(excinfo.value, ScheduleError)
+        assert excinfo.value.report.by_kind("latency")
+
+    def test_certify_returns_report_without_raising(self, result):
+        result.constraints = SynthesisConstraints.of(result.latency - 1, 12.0)
+        report = result.certify()
+        assert not report.ok

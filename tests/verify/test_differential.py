@@ -1,0 +1,307 @@
+"""Tests for the differential cross-checking harness."""
+
+import json
+
+import pytest
+
+from repro.api.task import SynthesisTask
+from repro.explore import ResultCache
+from repro.registries import BINDERS, SCHEDULERS
+from repro.verify import CrossCheckReport, StrategyOutcome, cross_check, strategy_pairs
+from repro.verify.differential import _check_exact_soundness
+
+
+class TestStrategyPairs:
+    def test_covers_every_scheduler(self):
+        pairs = strategy_pairs()
+        schedulers = {scheduler for scheduler, _ in pairs}
+        assert schedulers == set(SCHEDULERS.names())
+
+    def test_engine_contributes_a_single_pair(self):
+        pairs = strategy_pairs()
+        assert sum(1 for scheduler, _ in pairs if scheduler == "engine") == 1
+
+    def test_classical_schedulers_cross_every_binder(self):
+        pairs = strategy_pairs()
+        asap_binders = {binder for scheduler, binder in pairs if scheduler == "asap"}
+        assert asap_binders == set(BINDERS.names())
+
+    def test_without_latency_only_boundless_schedulers_remain(self):
+        pairs = strategy_pairs(needs_latency=False)
+        assert {scheduler for scheduler, _ in pairs} == {"asap", "pasap"}
+
+    def test_explicit_subsets_are_honoured(self):
+        pairs = strategy_pairs(["pasap", "engine"], ["greedy"])
+        assert pairs == [("pasap", "greedy"), ("engine", "greedy")]
+
+    def test_empty_list_means_none_not_all(self):
+        # None = "all registered"; an explicit empty list = no pairs.
+        assert strategy_pairs([], ["greedy"]) == []
+        assert strategy_pairs(["asap"], []) == []
+        # Self-binding schedulers still get their (inert) placeholder pair.
+        engine_pairs = strategy_pairs(["engine"], [])
+        assert len(engine_pairs) == 1 and engine_pairs[0][0] == "engine"
+
+
+class TestCrossCheck:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return cross_check(SynthesisTask(graph="hal", latency=20, power_budget=15.0))
+
+    def test_every_pair_ran(self, report):
+        assert len(report.outcomes) == len(strategy_pairs())
+
+    def test_no_violations_on_the_stock_strategies(self, report):
+        assert report.ok, report.describe()
+
+    def test_feasible_outcomes_are_certified(self, report):
+        feasible = report.feasible_outcomes()
+        assert feasible, "expected at least one feasible pair"
+        assert all(outcome.certified for outcome in feasible)
+
+    def test_infeasible_outcomes_carry_typed_errors(self, report):
+        for outcome in report.outcomes:
+            if not outcome.feasible:
+                assert outcome.error_type is not None
+
+    def test_feasibility_map_and_describe(self, report):
+        assert set(report.feasibility) == {
+            f"{s}+{b}" for s, b in strategy_pairs()
+        }
+        assert "cross-check" in report.describe()
+
+    def test_report_serializes(self, report):
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert len(payload["outcomes"]) == len(report.outcomes)
+
+    def test_power_split_is_informational(self):
+        # A budget the power-aware strategies meet but the oblivious ones
+        # violate: the report records a split without any violation.
+        report = cross_check(
+            SynthesisTask(graph="hal", latency=28, power_budget=8.2),
+            ["asap", "pasap"],
+            ["greedy"],
+        )
+        assert report.ok
+        assert report.disagreement
+
+
+class TestCrossCheckCache:
+    def test_second_run_resumes_from_cache(self, tmp_path):
+        task = SynthesisTask(graph="hal", latency=20, power_budget=15.0)
+        cache = ResultCache(tmp_path / "cache", read=True)
+        first = cross_check(task, ["pasap", "engine"], ["greedy"], cache=cache)
+        assert first.ok and not any(o.cached for o in first.outcomes)
+        second = cross_check(task, ["pasap", "engine"], ["greedy"], cache=cache)
+        assert second.ok
+        assert all(o.cached for o in second.outcomes)
+        # Scalar cache hits cannot be re-certified.
+        assert all(o.certified is None for o in second.outcomes if o.feasible)
+
+    def test_warm_and_cold_reports_agree_on_feasibility(self, tmp_path):
+        # Includes oblivious schedulers whose constraint misses are
+        # reclassified: the scalar-hit path must reclassify identically.
+        task = SynthesisTask(graph="hal", latency=20, power_budget=9.0)
+        cache = ResultCache(tmp_path / "cache", read=True)
+        cold = cross_check(task, ["asap", "pasap", "engine"], ["greedy"], cache=cache)
+        warm = cross_check(task, ["asap", "pasap", "engine"], ["greedy"], cache=cache)
+        assert cold.ok and warm.ok
+        assert warm.feasibility == cold.feasibility
+        assert all(o.cached for o in warm.outcomes)
+
+
+class TestBuggyStrategyDetection:
+    """The harness must see raw results — a buggy strategy's invalid
+    'feasible' output has to surface as a violation, not be converted to
+    a typed infeasibility by the pipeline's own verify gate."""
+
+    def test_structurally_buggy_binder_is_flagged(self):
+        def everything_shared_binder(ctx):
+            # One instance per module, overlap ignored: resource conflicts.
+            from repro.datapath.rtl import Datapath
+
+            datapath = Datapath(cdfg=ctx.cdfg, schedule=ctx.schedule)
+            instances = {}
+            for op_name in ctx.cdfg.schedulable_operations():
+                module = ctx.selection[op_name]
+                if module.name not in instances:
+                    instances[module.name] = datapath.add_instance(module)
+                datapath.bind(op_name, instances[module.name].name)
+            ctx.datapath = datapath
+
+        BINDERS.register("buggy_shared", everything_shared_binder)
+        try:
+            report = cross_check(
+                SynthesisTask(graph="hal", latency=30, power_budget=40.0),
+                ["asap"],
+                ["buggy_shared"],
+            )
+            assert not report.ok
+            kinds = {v.details.get("kind") for v in report.violations}
+            assert "resource-conflict" in kinds
+            buggy = next(o for o in report.outcomes if o.binder == "buggy_shared")
+            assert buggy.feasible and buggy.certified is False
+        finally:
+            BINDERS.unregister("buggy_shared")
+
+    def test_buggy_result_is_never_cached(self, tmp_path):
+        from repro.explore import ResultCache
+
+        def broken_binder(ctx):
+            from repro.datapath.rtl import Datapath
+
+            datapath = Datapath(cdfg=ctx.cdfg, schedule=ctx.schedule)
+            instances = {}
+            for op_name in ctx.cdfg.schedulable_operations():
+                module = ctx.selection[op_name]
+                if module.name not in instances:
+                    instances[module.name] = datapath.add_instance(module)
+                datapath.bind(op_name, instances[module.name].name)
+            ctx.datapath = datapath
+
+        BINDERS.register("buggy_cached", broken_binder)
+        try:
+            cache = ResultCache(tmp_path / "cache", read=True)
+            report = cross_check(
+                SynthesisTask(graph="hal", latency=30, power_budget=40.0),
+                ["asap"],
+                ["buggy_cached"],
+                cache=cache,
+            )
+            assert not report.ok
+            assert len(cache) == 0
+        finally:
+            BINDERS.unregister("buggy_cached")
+
+    def test_self_certification_failure_is_flagged(self):
+        from repro.verify.certificate import (
+            CertificateError,
+            CertificateReport,
+            Violation as CertViolation,
+        )
+
+        def lying_self_checker(ctx):
+            bad = CertificateReport(graph=ctx.cdfg.name)
+            bad.violations.append(
+                CertViolation("binding", "op", "self-check failed")
+            )
+            raise CertificateError(bad)
+
+        SCHEDULERS.register("buggy_selfcheck", lying_self_checker)
+        try:
+            report = cross_check(
+                SynthesisTask(graph="hal", latency=17, power_budget=12.0),
+                ["buggy_selfcheck"],
+                ["greedy"],
+            )
+            assert not report.ok
+            assert any(
+                "failed its own certification" in v.message
+                for v in report.violations
+            )
+        finally:
+            SCHEDULERS.unregister("buggy_selfcheck")
+
+    def test_constraint_miss_by_oblivious_scheduler_is_reclassified(self):
+        # asap never promised to honour P: its over-budget result becomes
+        # infeasibility data, not a violation.
+        report = cross_check(
+            SynthesisTask(graph="hal", latency=30, power_budget=8.2),
+            ["asap"],
+            ["greedy"],
+        )
+        assert report.ok
+        outcome = report.outcomes[0]
+        assert not outcome.feasible
+        assert outcome.error_type == "CertificateError"
+        assert "power" in outcome.error
+
+
+class TestSoundnessSurvivesResume:
+    def test_soundness_violation_is_not_masked_by_the_cache(self, tmp_path):
+        # A lying exact scheduler claims infeasibility while pasap holds a
+        # certified witness: the violation must fire on the cold run AND on
+        # a warm (--resume) rerun — the witness record must stay uncached,
+        # because a scalar hit cannot be re-certified and would silently
+        # disqualify itself as a witness.
+        from repro.scheduling.exact import ExactSchedulerError
+
+        original = SCHEDULERS.get("exact")
+
+        def lying_exact(ctx):
+            raise ExactSchedulerError(
+                f"no schedule for {ctx.cdfg.name!r} meets "
+                f"T={ctx.require_latency('exact')} under the power budget"
+            )
+
+        SCHEDULERS.register("exact", lying_exact, replace=True)
+        try:
+            cache = ResultCache(tmp_path / "cache", read=True)
+            task = SynthesisTask(graph="hal", latency=30, power_budget=40.0)
+            cold = cross_check(task, ["exact", "pasap"], ["greedy"], cache=cache)
+            assert any(
+                v.kind == "differential-soundness" for v in cold.violations
+            )
+            warm = cross_check(task, ["exact", "pasap"], ["greedy"], cache=cache)
+            assert any(
+                v.kind == "differential-soundness" for v in warm.violations
+            ), "resume masked the soundness violation"
+        finally:
+            SCHEDULERS.register("exact", original, replace=True)
+
+
+class TestExactSoundness:
+    @staticmethod
+    def _report(exact_error, witness_scheduler="pasap", certified=True):
+        report = CrossCheckReport(
+            task=SynthesisTask(graph="hal", latency=17, power_budget=12.0)
+        )
+        report.outcomes.append(
+            StrategyOutcome(
+                scheduler="exact",
+                binder="greedy",
+                feasible=False,
+                error=exact_error,
+                error_type="ExactSchedulerError",
+            )
+        )
+        report.outcomes.append(
+            StrategyOutcome(
+                scheduler=witness_scheduler,
+                binder="greedy",
+                feasible=True,
+                certified=certified,
+                area=100.0,
+            )
+        )
+        return report
+
+    def test_certified_witness_against_exact_infeasibility_is_flagged(self):
+        report = self._report("no schedule for 'hal' meets T=17 under the power budget")
+        _check_exact_soundness(report)
+        assert not report.ok
+        assert report.violations[0].kind == "differential-soundness"
+
+    def test_size_rejection_is_not_authoritative(self):
+        report = self._report("exact scheduling limited to 12 operations, got 20")
+        _check_exact_soundness(report)
+        assert report.ok
+
+    def test_engine_witness_is_exempt(self):
+        # The engine upgrades modules, so it is no witness for the
+        # selection the exact search explored.
+        report = self._report(
+            "no schedule for 'hal' meets T=17 under the power budget",
+            witness_scheduler="engine",
+        )
+        _check_exact_soundness(report)
+        assert report.ok
+
+    def test_uncertified_witness_does_not_count(self):
+        report = self._report(
+            "no schedule for 'hal' meets T=17 under the power budget",
+            certified=False,
+        )
+        _check_exact_soundness(report)
+        assert report.ok
