@@ -26,7 +26,11 @@ The package provides:
   on-disk result cache and the adaptive power/area frontier refiner,
 * :mod:`repro.verify` — the verification subsystem: from-scratch
   certificate checking of any result, differential cross-checking of
-  every registered strategy pair and the seeded ``repro fuzz`` harness.
+  every registered strategy pair and the seeded ``repro fuzz`` harness,
+* :mod:`repro.serve` — the serving layer: a dependency-free HTTP
+  synthesis service (persistent job queue, worker pool, shared result
+  cache, certified results only) plus the blocking ``Client`` that
+  ``repro submit`` uses.
 
 Quickstart::
 
@@ -79,6 +83,8 @@ from .registries import (
     UnknownStrategyError,
 )
 from .api import (
+    BatchResults,
+    BatchSummary,
     Pipeline,
     PipelineContext,
     Sweep,
@@ -97,8 +103,9 @@ from .verify import (
     cross_check,
     run_fuzz,
 )
+from .serve import SynthesisService, start_server
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CDFG",
@@ -140,6 +147,8 @@ __all__ = [
     "Pipeline",
     "PipelineContext",
     "TaskResult",
+    "BatchResults",
+    "BatchSummary",
     "Sweep",
     "run_task",
     "run_batch",
@@ -152,5 +161,7 @@ __all__ = [
     "cross_check",
     "run_fuzz",
     "FuzzConfig",
+    "SynthesisService",
+    "start_server",
     "__version__",
 ]

@@ -34,7 +34,7 @@ from ..registries import (
 )
 from .task import SynthesisTask, TaskError, library_from_dict, library_to_dict
 from .pipeline import Pipeline, PipelineContext, PipelineError
-from .batch import Sweep, TaskResult, run_batch, run_task
+from .batch import BatchResults, BatchSummary, Sweep, TaskResult, run_batch, run_task
 
 # Importing the strategies module registers every built-in scheduler,
 # binder, selector and library with the registries above.
@@ -50,6 +50,8 @@ __all__ = [
     "PipelineError",
     "Sweep",
     "TaskResult",
+    "BatchResults",
+    "BatchSummary",
     "run_batch",
     "run_task",
     "StrategyRegistry",

@@ -104,6 +104,93 @@ class TaskResult:
         return cls(task=task, **data)
 
 
+@dataclass
+class BatchSummary:
+    """Aggregate counters for one batch of task records.
+
+    Built by :meth:`from_records` from the same per-record flags the CLI
+    table shows, so every consumer — ``repro batch``, the serving layer's
+    ``/stats`` endpoint, a notebook — reports identical numbers for
+    identical records.
+
+    Attributes:
+        total: Records in the batch.
+        feasible: Records whose constraints were satisfiable.
+        infeasible: Records that failed their constraints (``total -
+            feasible``).
+        cache_hits: Records served from a
+            :class:`~repro.explore.cache.ResultCache` (``cached=True``)
+            instead of being synthesized.
+        computed: Records synthesized in this run (``total - cache_hits``).
+        certificate_errors: Infeasible records whose failure was a
+            structural :class:`~repro.verify.CertificateError` — a result
+            the pipeline produced but the independent checker rejected.
+            These are bugs, not constraint data; ``repro batch`` exits
+            with the violations code when any are present.
+        elapsed: Wall-clock seconds of the whole batch call (``0.0`` when
+            the summary was built from records alone).
+    """
+
+    total: int = 0
+    feasible: int = 0
+    infeasible: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+    certificate_errors: int = 0
+    elapsed: float = 0.0
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence["TaskResult"], *, elapsed: float = 0.0
+    ) -> "BatchSummary":
+        """Count one list of records into a summary."""
+        feasible = sum(1 for record in records if record.feasible)
+        hits = sum(1 for record in records if record.cached)
+        return cls(
+            total=len(records),
+            feasible=feasible,
+            infeasible=len(records) - feasible,
+            cache_hits=hits,
+            computed=len(records) - hits,
+            certificate_errors=sum(
+                1 for record in records if record.error_type == "CertificateError"
+            ),
+            elapsed=elapsed,
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of records served from the cache (0.0 for an empty batch)."""
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (what ``/stats`` and ``repro batch -o`` embed)."""
+        return {
+            "total": self.total,
+            "feasible": self.feasible,
+            "infeasible": self.infeasible,
+            "cache_hits": self.cache_hits,
+            "computed": self.computed,
+            "certificate_errors": self.certificate_errors,
+            "hit_rate": self.hit_rate,
+            "elapsed": self.elapsed,
+        }
+
+
+class BatchResults(List[TaskResult]):
+    """The list of records :func:`run_batch` returns, plus its summary.
+
+    A plain ``list`` of :class:`TaskResult` in every existing sense
+    (indexing, iteration, ``len``), with a :attr:`summary` carrying the
+    batch-level counters so callers stop re-deriving hit/feasibility
+    counts with ad-hoc comprehensions.
+    """
+
+    def __init__(self, records: Iterable[TaskResult] = (), *, elapsed: float = 0.0):
+        super().__init__(records)
+        self.summary = BatchSummary.from_records(self, elapsed=elapsed)
+
+
 def run_task(
     task: SynthesisTask,
     *,
@@ -208,7 +295,7 @@ def run_batch(
     keep_results: Optional[bool] = None,
     pipeline: Optional[Pipeline] = None,
     cache=None,
-) -> List[TaskResult]:
+) -> BatchResults:
     """Run many tasks, optionally in parallel; results in input order.
 
     Args:
@@ -229,16 +316,21 @@ def run_batch(
             warm batch never starts the process pool at all.
 
     Returns:
-        One :class:`TaskResult` per task, in the same order as ``tasks``.
+        A :class:`BatchResults` list — one :class:`TaskResult` per task,
+        in the same order as ``tasks``, with the batch-level
+        :class:`BatchSummary` (feasibility, cache hit/miss and
+        certificate-error counts) on ``.summary``.
     """
+    started = time.perf_counter()
     task_list = list(tasks)
     workers = 1 if jobs is None else int(jobs)
     if workers <= 1 or len(task_list) <= 1:
         keep = True if keep_results is None else keep_results
-        return [
+        records = [
             run_task(t, keep_result=keep, pipeline=pipeline, cache=cache)
             for t in task_list
         ]
+        return BatchResults(records, elapsed=time.perf_counter() - started)
     if pipeline is not None:
         raise ValueError(
             "a custom pipeline cannot be used with jobs > 1; "
@@ -286,7 +378,10 @@ def run_batch(
                 result = TaskResult.from_dict(record)
                 result.task = task_list[index]
                 results[index] = result
-    return [record for record in results if record is not None]
+    return BatchResults(
+        (record for record in results if record is not None),
+        elapsed=time.perf_counter() - started,
+    )
 
 
 @dataclass

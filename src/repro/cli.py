@@ -14,7 +14,11 @@ flows without writing any Python:
   specs through the parallel batch executor and print a result table,
 * ``fuzz`` — differential fuzzing: seeded tasks from every scenario
   family run through every scheduler × binder pair, every feasible
-  result certified from scratch (see :mod:`repro.verify`).
+  result certified from scratch (see :mod:`repro.verify`),
+* ``serve`` — run the long-lived HTTP synthesis service (persistent job
+  queue + worker pool + shared result cache; see :mod:`repro.serve`),
+* ``submit`` — send a batch file to a running server and (optionally)
+  wait for the certified results.
 
 Every command builds a ``SynthesisTask`` and routes it through the shared
 :class:`~repro.api.pipeline.Pipeline`, so the CLI, the library API and
@@ -269,13 +273,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 1
 
     cache = _open_cache(args)
-    started = time.perf_counter()
     try:
         records = run_batch(tasks, jobs=args.jobs, keep_results=False, cache=cache)
     except (TaskError, UnknownStrategyError) as exc:
         print(f"bad task: {exc}", file=sys.stderr)
         return 1
-    elapsed = time.perf_counter() - started
+    summary = records.summary
 
     print(
         render_table(
@@ -284,12 +287,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             title=f"Batch results ({args.file})",
         )
     )
-    feasible = sum(1 for record in records if record.feasible)
-    resumed = sum(1 for record in records if record.cached)
     print(
-        f"\n{feasible}/{len(records)} tasks feasible in {elapsed:.2f}s "
-        f"(jobs={args.jobs})"
-        + (f", {resumed} resumed from cache" if resumed else "")
+        f"\n{summary.feasible}/{summary.total} tasks feasible in "
+        f"{summary.elapsed:.2f}s (jobs={args.jobs}); "
+        f"{summary.cache_hits} cache hit(s), {summary.computed} computed"
     )
     _print_cache_summary(cache)
     for record in records:
@@ -297,12 +298,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print(f"  task {record.task.describe()}: {record.error}")
     if args.output is not None:
         Path(args.output).write_text(
-            json.dumps([record.to_dict() for record in records], indent=2)
+            json.dumps(
+                {
+                    "summary": summary.to_dict(),
+                    "records": [record.to_dict() for record in records],
+                },
+                indent=2,
+            )
         )
         print(f"wrote structured results to {args.output}")
+    # A structural CertificateError is a bug (a produced result the
+    # independent checker rejected), never sweep data — gate on it first.
+    if summary.certificate_errors:
+        print(
+            f"{summary.certificate_errors} task(s) failed certificate "
+            "verification (structural violations, not infeasibility)",
+            file=sys.stderr,
+        )
+        return EXIT_VIOLATIONS
     # Partial infeasibility is normal sweep data; a batch where *nothing*
     # was feasible honours the scriptable infeasible exit code.
-    return 0 if feasible else EXIT_INFEASIBLE
+    return 0 if summary.feasible else EXIT_INFEASIBLE
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -328,6 +344,92 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         Path(args.output).write_text(json.dumps(payload, indent=2))
         print(f"wrote structured fuzz report to {args.output}")
     return 0 if report.ok else EXIT_VIOLATIONS
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.http import SynthesisServer
+    from .serve.service import SynthesisService
+
+    cache = None
+    if args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir)
+    service = SynthesisService(
+        args.state_dir, cache=cache, workers=args.workers
+    ).start()
+    server = SynthesisServer((args.host, args.port), service, verbose=args.verbose)
+    print(f"repro serve: listening on {server.url}")
+    print(
+        f"  workers={args.workers}  state_dir={args.state_dir or '<memory>'}  "
+        f"cache={service.cache.root}"
+    )
+    pending = service.queue.depth
+    if pending:
+        print(f"  resumed {pending} pending job(s) from the queue log")
+    print("  POST /tasks · GET /jobs/<id> · GET /results/<key> · /healthz · /stats")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down (finishing in-flight jobs; pending jobs stay queued)")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown(drain=False)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve.client import Client, ClientError
+
+    try:
+        text = Path(args.file).read_text()
+    except OSError as exc:
+        print(f"bad batch file: {exc}", file=sys.stderr)
+        return 1
+    try:
+        tasks = tasks_from_json(text)
+    except (TaskError, ValueError, TypeError) as exc:
+        print(f"bad batch file: {exc}", file=sys.stderr)
+        return 1
+
+    client = Client(args.url, timeout=args.timeout)
+    try:
+        accepted = client.submit(tasks)
+        print(f"submitted {len(accepted)} job(s) to {args.url}")
+        for entry in accepted:
+            print(f"  {entry['id']}  key={entry['key'][:16]}…")
+        if not args.wait:
+            return 0
+        records = client.records_from_states(
+            client.wait(accepted, timeout=args.timeout)
+        )
+    except ClientError as exc:
+        print(f"server error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        render_table(
+            ["#", "task", "scheduler", "T", "P", "feasible", "area", "peak", "cycles", "sec"],
+            _batch_rows(records),
+            title=f"Served results ({args.url})",
+        )
+    )
+    from .api.batch import BatchSummary
+
+    summary = BatchSummary.from_records(records)
+    print(
+        f"\n{summary.feasible}/{summary.total} tasks feasible; "
+        f"{summary.cache_hits} cache hit(s), {summary.computed} computed"
+    )
+    for record in records:
+        if not record.feasible:
+            print(f"  task {record.task.describe()}: {record.error}")
+    if summary.certificate_errors:
+        print(
+            f"{summary.certificate_errors} task(s) failed certificate "
+            "verification (structural violations, not infeasibility)",
+            file=sys.stderr,
+        )
+        return EXIT_VIOLATIONS
+    return 0 if summary.feasible else EXIT_INFEASIBLE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -483,6 +585,61 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--output", "-o", help="also write a structured JSON report here")
     add_cache_options(fuzz)
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP synthesis service (persistent queue + worker pool "
+        "+ shared result cache)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers", "-j", type=int, default=2, help="synthesis worker threads"
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="directory for the persistent job-queue log (and the default "
+        "cache location); omitting it keeps the queue in memory",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="shared result-cache directory (default: <state-dir>/cache, or "
+        "a private temp dir without --state-dir)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="send a JSON batch file to a running repro serve instance",
+    )
+    submit.add_argument(
+        "file", help="JSON: a list of task specs or {'tasks': [...], 'sweeps': [...]}"
+    )
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8642",
+        help="server base URL (default: http://127.0.0.1:8642)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until every job finishes and print the result table "
+        "(otherwise just print the accepted job ids)",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="overall wait/request timeout in seconds (default: 300)",
+    )
+    submit.set_defaults(handler=_cmd_submit)
 
     return parser
 

@@ -184,6 +184,26 @@ class ResultCache:
         self.stats.writes += 1
         return key
 
+    def record_for_key(self, key: str) -> Optional[Dict[str, Any]]:
+        """The raw stored record dict for a content address, or ``None``.
+
+        Unlike :meth:`get` this looks up by the *key itself* (no task in
+        hand to rebind), honours neither the ``read`` flag nor the stats
+        counters, and returns the plain payload dict — it exists for the
+        serving layer's ``GET /results/<key>`` endpoint, which addresses
+        results the way the cache files them.
+        """
+        payload = self._memory.get(key)
+        if payload is None:
+            try:
+                payload = json.loads(self._object_path(key).read_text())
+            except (OSError, ValueError):
+                return None
+        record = payload.get("record") if isinstance(payload, dict) else None
+        if not isinstance(record, dict):
+            return None
+        return dict(record)
+
     def __len__(self) -> int:
         """Number of records on disk (not just in this process's memory)."""
         objects = self.root / "objects"

@@ -1,0 +1,54 @@
+"""The serving layer: a concurrent synthesis service over HTTP.
+
+``repro.serve`` turns the batch/cache/verify stack into a long-lived
+process that accepts work over the wire — the piece that makes the
+repository a *service* rather than a toolbox:
+
+* :class:`~repro.serve.queue.JobQueue` — a persistent, crash-tolerant
+  FIFO of accepted jobs (append-only JSONL event log; replay requeues
+  work a dead process left in flight),
+* :class:`~repro.serve.service.SynthesisService` — a worker pool
+  executing jobs through :func:`~repro.api.batch.run_task` against one
+  shared :class:`~repro.explore.cache.ResultCache`, with per-content-
+  address single-flight so identical requests synthesize exactly once,
+* :class:`~repro.serve.http.SynthesisServer` / :func:`start_server` —
+  the stdlib ``ThreadingHTTPServer`` JSON surface (``POST /tasks``,
+  ``GET /jobs/<id>``, ``GET /results/<key>``, ``GET /healthz``,
+  ``GET /stats``),
+* :class:`~repro.serve.client.Client` — a small blocking client, used
+  by ``repro submit``, the examples and the end-to-end tests.
+
+Quickstart (in-process, ephemeral port)::
+
+    from repro.serve import Client, start_server
+
+    with start_server(workers=4) as handle:
+        client = Client(handle.url)
+        records = client.submit_and_wait([
+            {"graph": "hal", "latency": 17, "power_budget": p}
+            for p in (10.0, 12.0, 16.0)
+        ])
+        for record in records:
+            print(record.feasible, record.area, record.peak_power)
+
+From the command line: ``repro serve --port 8642`` and
+``repro submit batch.json --url http://127.0.0.1:8642 --wait``.
+"""
+
+from .client import Client, ClientError
+from .http import ServerHandle, SynthesisServer, start_server
+from .queue import Job, JobQueue, QueueError
+from .service import ServiceError, SynthesisService
+
+__all__ = [
+    "Client",
+    "ClientError",
+    "Job",
+    "JobQueue",
+    "QueueError",
+    "ServerHandle",
+    "ServiceError",
+    "SynthesisServer",
+    "SynthesisService",
+    "start_server",
+]

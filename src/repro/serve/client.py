@@ -1,0 +1,192 @@
+"""A small blocking client for the synthesis service (stdlib ``urllib``).
+
+:class:`Client` speaks the JSON protocol of :mod:`repro.serve.http`:
+submit task specs, poll jobs, fetch certified result records.  It is
+what ``repro submit`` and the end-to-end tests use — deliberately
+synchronous and dependency-free, mirroring how a script or CI job would
+drive a shared synthesis server.
+
+Quickstart::
+
+    from repro.serve import Client, start_server
+
+    with start_server(workers=2) as handle:
+        client = Client(handle.url)
+        records = client.submit_and_wait(
+            {"graph": "hal", "latency": 17, "power_budget": 12.0}
+        )
+        print(records[0].feasible, records[0].area)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..api.batch import TaskResult
+from ..api.task import SynthesisTask
+
+
+class ClientError(RuntimeError):
+    """An HTTP-level failure talking to the service.
+
+    Attributes:
+        status: HTTP status code (``None`` for transport errors).
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class Client:
+    """Blocking JSON/HTTP client for one synthesis server.
+
+    Args:
+        base_url: Server address, e.g. ``"http://127.0.0.1:8642"`` (what
+            :func:`repro.serve.start_server` returns on ``handle.url``).
+        timeout: Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, path: str, *, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except ValueError:
+                detail = ""
+            raise ClientError(
+                f"{path}: HTTP {exc.code}" + (f" — {detail}" if detail else ""),
+                status=exc.code,
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ClientError(f"{path}: {exc.reason}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Protocol
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        tasks: Union[SynthesisTask, Dict[str, Any], Sequence[Union[SynthesisTask, Dict[str, Any]]]],
+    ) -> List[Dict[str, Any]]:
+        """POST tasks; returns the accepted ``{id, key, state}`` entries.
+
+        Accepts a single :class:`~repro.api.task.SynthesisTask` or spec
+        dict, or a sequence of either.
+        """
+        if isinstance(tasks, (SynthesisTask, dict)):
+            tasks = [tasks]
+        specs = [
+            task.to_dict() if isinstance(task, SynthesisTask) else dict(task)
+            for task in tasks
+        ]
+        return self._request("/tasks", body={"tasks": specs})["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """GET one job's status record."""
+        return self._request(f"/jobs/{job_id}")
+
+    def result(self, key: str) -> TaskResult:
+        """GET the certified record stored under a content address."""
+        payload = self._request(f"/results/{key}")
+        return TaskResult.from_dict(payload["record"])
+
+    def healthz(self) -> Dict[str, Any]:
+        """GET the liveness payload."""
+        return self._request("/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """GET the queue/cache/strategy counters."""
+        return self._request("/stats")
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def wait(
+        self,
+        jobs: Iterable[Dict[str, Any]],
+        *,
+        timeout: float = 120.0,
+        poll: float = 0.05,
+    ) -> List[Dict[str, Any]]:
+        """Poll until every submitted job finishes; returns final job dicts.
+
+        ``jobs`` is what :meth:`submit` returned.  Raises
+        :class:`ClientError` on timeout, naming the job that was still
+        unfinished.
+        """
+        deadline = time.monotonic() + timeout
+        final: List[Dict[str, Any]] = []
+        for entry in jobs:
+            job_id = entry["id"]
+            while True:
+                state = self.job(job_id)
+                if state["state"] in ("done", "failed"):
+                    final.append(state)
+                    break
+                if time.monotonic() > deadline:
+                    raise ClientError(
+                        f"timed out waiting for job {job_id} "
+                        f"(state {state['state']!r})"
+                    )
+                time.sleep(poll)
+        return final
+
+    @staticmethod
+    def records_from_states(
+        states: Iterable[Dict[str, Any]],
+    ) -> List[TaskResult]:
+        """Reconstruct one :class:`TaskResult` per final job-state dict.
+
+        ``done`` jobs yield their stored record; ``failed`` jobs (e.g. a
+        certificate rejection) become infeasible records carrying the
+        error, mirroring how :func:`~repro.api.batch.run_batch` reports
+        failures as data.  Shared by :meth:`submit_and_wait` and the
+        ``repro submit --wait`` CLI so the two can never diverge.
+        """
+        records: List[TaskResult] = []
+        for state in states:
+            if state["state"] == "done" and state.get("record"):
+                records.append(TaskResult.from_dict(state["record"]))
+            else:
+                records.append(
+                    TaskResult(
+                        task=SynthesisTask.from_dict(state["task"]),
+                        feasible=False,
+                        error=state.get("error"),
+                        error_type=state.get("error_type"),
+                    )
+                )
+        return records
+
+    def submit_and_wait(
+        self,
+        tasks: Union[SynthesisTask, Dict[str, Any], Sequence[Union[SynthesisTask, Dict[str, Any]]]],
+        *,
+        timeout: float = 120.0,
+    ) -> List[TaskResult]:
+        """Submit, wait, and reconstruct one :class:`TaskResult` per task."""
+        accepted = self.submit(tasks)
+        return self.records_from_states(self.wait(accepted, timeout=timeout))

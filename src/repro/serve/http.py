@@ -1,0 +1,250 @@
+"""The HTTP surface of the synthesis service (stdlib-only).
+
+A thin, dependency-free JSON-over-HTTP layer on top of
+:class:`~repro.serve.service.SynthesisService`, built on
+``http.server.ThreadingHTTPServer`` — one OS thread per connection for
+I/O, while the actual synthesis concurrency stays in the service's own
+worker pool.
+
+Endpoints:
+
+* ``POST /tasks`` — submit work.  The body is a single task spec object,
+  a JSON list of specs, or a full batch file (``{"tasks": [...],
+  "sweeps": [...]}``, the same format ``repro batch`` reads).  Returns
+  ``202`` with one ``{id, key, state}`` entry per accepted job.
+* ``GET /jobs/<id>`` — a job's full status/progress record.
+* ``GET /results/<key>`` — the certified result record stored under a
+  content address (the ``key`` echoed at submission); ``404`` until the
+  synthesis finishes.
+* ``GET /jobs`` — every job, in submission order (small-fleet admin).
+* ``GET /healthz`` — liveness: worker status, queue depth, uptime.
+* ``GET /stats`` — queue/cache/strategy counters plus the same
+  :class:`~repro.api.batch.BatchSummary` numbers ``repro batch`` prints.
+
+Start one with :func:`start_server` (in-process, ephemeral port — what
+the tests and :mod:`examples.serve_quickstart` do) or via the ``repro
+serve`` CLI command.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..api.task import TaskError, SynthesisTask, tasks_from_json
+from ..registries import UnknownStrategyError
+from .service import SynthesisService
+
+#: Largest accepted request body (a batch file of inline CDFGs is big;
+#: an unbounded read is a denial-of-service hazard).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+def parse_submission(text: str) -> List[SynthesisTask]:
+    """Parse a ``POST /tasks`` body into tasks.
+
+    Accepts the single-spec object form (``{"graph": "hal", ...}``) as
+    sugar on top of everything :func:`~repro.api.task.tasks_from_json`
+    reads (a list of specs, or ``{"tasks": [...], "sweeps": [...]}``).
+    """
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise TaskError(f"request body is not valid JSON: {exc}") from exc
+    if isinstance(payload, dict) and "graph" in payload:
+        return [SynthesisTask.from_dict(payload)]
+    return tasks_from_json(text)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one connection; the service is on ``self.server.service``."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def service(self) -> SynthesisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, indent=1, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        # rejected requests may carry an unread body; on a keep-alive
+        # (HTTP/1.1) connection those bytes would be parsed as the *next*
+        # request — classic request smuggling through a multiplexing
+        # proxy.  Closing the connection on every error discards them.
+        self.close_connection = True
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Optional[str]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._error(400, "request body required")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+            return None
+        return self.rfile.read(length).decode("utf-8")
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path.rstrip("/") != "/tasks":
+            self._error(404, f"unknown endpoint {self.path!r}")
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            tasks = parse_submission(body)
+        except (TaskError, UnknownStrategyError) as exc:
+            self._error(400, f"bad task submission: {exc}")
+            return
+        try:
+            jobs = self.service.submit_many(tasks)
+        except Exception as exc:  # closed queue during shutdown
+            self._error(503, str(exc))
+            return
+        self._send_json(
+            202,
+            {
+                "jobs": [
+                    {"id": job.id, "key": job.key, "state": job.state}
+                    for job in jobs
+                ]
+            },
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, self.service.healthz())
+        elif path == "/stats":
+            self._send_json(200, self.service.stats())
+        elif path == "/jobs":
+            self._send_json(
+                200, {"jobs": [job.to_dict() for job in self.service.queue.jobs()]}
+            )
+        elif path.startswith("/jobs/"):
+            job = self.service.job(path[len("/jobs/"):])
+            if job is None:
+                self._error(404, f"unknown job {path[len('/jobs/'):]!r}")
+            else:
+                self._send_json(200, job.to_dict())
+        elif path.startswith("/results/"):
+            key = path[len("/results/"):]
+            payload = self.service.result(key)
+            if payload is None:
+                self._error(404, f"no result stored under key {key!r}")
+            else:
+                self._send_json(200, payload)
+        else:
+            self._error(404, f"unknown endpoint {self.path!r}")
+
+
+class SynthesisServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` bound to one :class:`SynthesisService`.
+
+    Connection threads are daemonic so a hung client never blocks
+    process exit; synthesis work itself runs in the service's worker
+    pool, not in connection threads.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: SynthesisService,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket (the ephemeral port resolved)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class ServerHandle:
+    """A started server + its thread; what :func:`start_server` returns.
+
+    Use as a context manager::
+
+        with start_server(workers=2) as handle:
+            client = Client(handle.url)
+            ...
+
+    ``close()`` shuts the HTTP listener down first (no new work can
+    arrive), then the service (``drain=True`` waits for accepted jobs).
+    """
+
+    def __init__(self, server: SynthesisServer, thread: threading.Thread) -> None:
+        self.server = server
+        self.thread = thread
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    @property
+    def service(self) -> SynthesisService:
+        return self.server.service
+
+    def close(self, *, drain: bool = True) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.shutdown(drain=drain)
+        self.thread.join(5.0)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def start_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    service: Optional[SynthesisService] = None,
+    state_dir=None,
+    workers: int = 2,
+    verbose: bool = False,
+) -> ServerHandle:
+    """Boot a synthesis server in-process and return its handle.
+
+    ``port=0`` binds an ephemeral port — read the resolved address from
+    ``handle.url``.  Builds (and starts) a default
+    :class:`SynthesisService` unless one is passed in.
+    """
+    if service is None:
+        service = SynthesisService(state_dir, workers=workers)
+    service.start()
+    server = SynthesisServer((host, port), service, verbose=verbose)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    thread.start()
+    return ServerHandle(server, thread)

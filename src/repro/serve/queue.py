@@ -1,0 +1,396 @@
+"""Persistent, crash-tolerant job queue for the synthesis service.
+
+A :class:`JobQueue` is the serving layer's unit of durability: every
+submitted :class:`~repro.api.task.SynthesisTask` becomes a :class:`Job`
+with a stable id, and every state transition (submit → start → finish,
+or a requeue) is appended to ``jobs.jsonl`` in the queue's state
+directory with the same single-``O_APPEND``-write discipline as the
+result cache journal — concurrent writers never interleave mid-line and
+a torn tail from a killed process is skipped on replay.
+
+Reopening a state directory replays the event log: finished jobs come
+back with their records, pending jobs re-enter the queue in submission
+order, and jobs that were *running* when the process died are requeued
+(their work, if it completed far enough to reach the result cache, is
+answered from the cache in ~0.2 ms on the re-run).  That replay is what
+lets ``repro serve`` restart under load without losing or duplicating
+accepted work.
+
+The queue is strictly FIFO, and it also provides the single-flight
+primitive the service builds dedup on: :meth:`JobQueue.take` registers a
+per-content-address claim under the same lock that serializes dequeues,
+and :meth:`JobQueue.wait_for_key_turn` blocks a job until every
+earlier-taken job with the same key has finished.  Because claim order
+is take order is submission order, "the second client's identical batch
+is answered entirely from cache" is a guarantee, not a race.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..api.task import SynthesisTask, TaskError
+
+#: Event-log file name inside a queue state directory.
+LOG_NAME = "jobs.jsonl"
+
+#: The job lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+STATES = (PENDING, RUNNING, DONE, FAILED)
+
+
+class QueueError(RuntimeError):
+    """A job-queue usage error (unknown id, illegal transition, …)."""
+
+
+@dataclass
+class Job:
+    """One unit of accepted work: a task plus its serving lifecycle.
+
+    Attributes:
+        id: Stable, unique job id (``job-<seq>-<nonce>``) handed back to
+            the submitting client and used in ``GET /jobs/<id>``.
+        task: The task spec to synthesize.
+        key: The task's content address
+            (:meth:`~repro.api.task.SynthesisTask.cache_key`), which is
+            also the ``GET /results/<key>`` address of the outcome.
+        state: ``pending`` → ``running`` → ``done`` | ``failed``.
+        submitted_at / started_at / finished_at: Epoch timestamps of the
+            transitions (``None`` until they happen).
+        record: The finished :class:`~repro.api.batch.TaskResult` in
+            plain-dict form (scalar metrics only), for ``done`` jobs.
+        error / error_type: Failure details for ``failed`` jobs (e.g. a
+            structural ``CertificateError`` the verify gate rejected).
+        requeues: How many times the job re-entered the queue after a
+            crash or drain found it in flight.
+    """
+
+    id: str
+    task: SynthesisTask
+    key: str
+    state: str = PENDING
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    record: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    requeues: int = 0
+
+    @property
+    def finished(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.state in (DONE, FAILED)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form — what ``GET /jobs/<id>`` serves."""
+        return {
+            "id": self.id,
+            "task": self.task.to_dict(),
+            "key": self.key,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "record": self.record,
+            "error": self.error,
+            "error_type": self.error_type,
+            "requeues": self.requeues,
+        }
+
+
+class JobQueue:
+    """A FIFO queue of :class:`Job` records with an append-only event log.
+
+    Args:
+        state_dir: Directory holding ``jobs.jsonl``.  ``None`` keeps the
+            queue purely in memory (tests, throwaway servers) — identical
+            semantics, no durability.
+
+    All methods are thread-safe; :meth:`take` blocks on a condition
+    variable so idle workers cost nothing.
+    """
+
+    def __init__(self, state_dir: Optional[Union[str, Path]] = None) -> None:
+        self.state_dir = Path(state_dir).expanduser() if state_dir is not None else None
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._finished = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._pending: List[str] = []
+        self._taken_keys: Dict[str, List[str]] = {}
+        self._seq = 0
+        self._closed = False
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+            self._replay()
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    @property
+    def log_path(self) -> Optional[Path]:
+        return self.state_dir / LOG_NAME if self.state_dir is not None else None
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        if self.state_dir is None:
+            return
+        line = json.dumps(event, sort_keys=True, separators=(",", ":"))
+        # one unbuffered write to an O_APPEND fd, exactly like the result
+        # cache journal: concurrent workers never interleave mid-line
+        fd = os.open(self.log_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, (line + "\n").encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def _replay(self) -> None:
+        """Rebuild in-memory state from the event log (crash-tolerant).
+
+        Jobs left ``running`` by a dead process are requeued; malformed
+        lines (a torn tail) are skipped.
+        """
+        if not self.log_path.exists():
+            return
+        order: List[str] = []
+        with open(self.log_path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                    kind = event["event"]
+                    job_id = event["id"]
+                except (ValueError, KeyError, TypeError):
+                    continue
+                try:
+                    if kind == "submit":
+                        job = Job(
+                            id=job_id,
+                            task=SynthesisTask.from_dict(event["task"]),
+                            key=event["key"],
+                            submitted_at=event.get("ts", 0.0),
+                        )
+                        self._jobs[job_id] = job
+                        order.append(job_id)
+                    elif job_id in self._jobs:
+                        job = self._jobs[job_id]
+                        if kind == "start":
+                            job.state = RUNNING
+                            job.started_at = event.get("ts")
+                        elif kind == "finish":
+                            job.state = event.get("state", DONE)
+                            job.finished_at = event.get("ts")
+                            job.record = event.get("record")
+                            job.error = event.get("error")
+                            job.error_type = event.get("error_type")
+                        elif kind == "requeue":
+                            job.state = PENDING
+                            job.started_at = None
+                            job.requeues += 1
+                except (TaskError, ValueError, KeyError, TypeError):
+                    continue
+        for job_id in order:
+            job = self._jobs[job_id]
+            if job.state == RUNNING:
+                # the previous process died mid-job: requeue it
+                job.state = PENDING
+                job.started_at = None
+                job.requeues += 1
+                self._append({"event": "requeue", "id": job_id, "ts": time.time()})
+            if job.state == PENDING:
+                self._pending.append(job_id)
+        self._seq = len(order)
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+    def submit(self, task: SynthesisTask) -> Job:
+        """Accept a task: assign an id, persist the submit event, enqueue."""
+        key = task.cache_key()
+        with self._not_empty:
+            if self._closed:
+                raise QueueError("queue is closed to new submissions")
+            self._seq += 1
+            job = Job(
+                id=f"job-{self._seq:06d}-{uuid.uuid4().hex[:8]}",
+                task=task,
+                key=key,
+                submitted_at=time.time(),
+            )
+            self._jobs[job.id] = job
+            self._pending.append(job.id)
+            self._append(
+                {
+                    "event": "submit",
+                    "id": job.id,
+                    "ts": job.submitted_at,
+                    "task": task.to_dict(),
+                    "key": key,
+                }
+            )
+            self._not_empty.notify()
+        return job
+
+    def close(self) -> None:
+        """Refuse further submissions and wake blocked :meth:`take` calls."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` refused further submissions."""
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------ #
+    # Worker side
+    # ------------------------------------------------------------------ #
+    def take(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Dequeue the oldest pending job and mark it running.
+
+        Blocks up to ``timeout`` seconds (forever when ``None``) and
+        returns ``None`` on timeout or when the queue was closed while
+        empty — the worker-loop exit signal.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_empty:
+            while not self._pending:
+                if self._closed:
+                    return None
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._not_empty.wait(remaining)
+            job = self._jobs[self._pending.pop(0)]
+            job.state = RUNNING
+            job.started_at = time.time()
+            # registering the key claim under the same lock that serializes
+            # take() is what makes single-flight deterministic: a duplicate
+            # dequeued later always sees this job ahead of it in the claim
+            # list, never a half-registered leader
+            self._taken_keys.setdefault(job.key, []).append(job.id)
+            self._append({"event": "start", "id": job.id, "ts": job.started_at})
+            return job
+
+    def finish(
+        self,
+        job: Job,
+        *,
+        record: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+        error_type: Optional[str] = None,
+    ) -> None:
+        """Move a running job to ``done`` (with its record) or ``failed``."""
+        with self._finished:
+            if job.state != RUNNING:
+                raise QueueError(f"cannot finish job {job.id} in state {job.state!r}")
+            # publish the payload before the state flip: HTTP threads read
+            # Job fields without this lock, and a client observing
+            # state == "done" must never see record still unset
+            job.finished_at = time.time()
+            job.record = record
+            job.error = error
+            job.error_type = error_type
+            job.state = FAILED if error is not None else DONE
+            self._release_key(job)
+            self._append(
+                {
+                    "event": "finish",
+                    "id": job.id,
+                    "ts": job.finished_at,
+                    "state": job.state,
+                    "record": record,
+                    "error": error,
+                    "error_type": error_type,
+                }
+            )
+            self._finished.notify_all()
+
+    def _release_key(self, job: Job) -> None:
+        """Drop a job's key claim (caller holds the lock)."""
+        claims = self._taken_keys.get(job.key)
+        if claims and job.id in claims:
+            claims.remove(job.id)
+            if not claims:
+                del self._taken_keys[job.key]
+
+    def wait_for_key_turn(self, job: Job, timeout: Optional[float] = None) -> bool:
+        """Block until no earlier-taken job with the same key is running.
+
+        Key claims are registered in :meth:`take` order under the queue
+        lock, so this is the deterministic single-flight primitive: of N
+        content-identical jobs, the first taken computes while every
+        later one waits here, then exits ``run_task`` through the
+        cache-hit path.  Returns False on timeout (the caller may
+        proceed anyway; the result cache keeps it merely redundant, not
+        wrong).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._finished:
+            while True:
+                claims = self._taken_keys.get(job.key, [])
+                if not claims or claims[0] == job.id:
+                    return True
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._finished.wait(remaining if remaining is not None else 0.5)
+
+    def requeue(self, job: Job) -> None:
+        """Put a running job back at the head of the queue (drain/crash)."""
+        with self._not_empty:
+            if job.state != RUNNING:
+                raise QueueError(f"cannot requeue job {job.id} in state {job.state!r}")
+            job.state = PENDING
+            job.started_at = None
+            job.requeues += 1
+            self._release_key(job)
+            self._pending.insert(0, job.id)
+            self._append({"event": "requeue", "id": job.id, "ts": time.time()})
+            self._not_empty.notify()
+            self._finished.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job with this id, or ``None``."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """Every known job, in submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.id)
+
+    @property
+    def depth(self) -> int:
+        """Jobs waiting to be taken (the ``/stats`` queue-depth number)."""
+        with self._lock:
+            return len(self._pending)
+
+    def counts(self) -> Dict[str, int]:
+        """Job counts by state (``pending``/``running``/``done``/``failed``)."""
+        with self._lock:
+            counts = {state: 0 for state in STATES}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

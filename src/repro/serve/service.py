@@ -1,0 +1,364 @@
+"""The synthesis service: a worker pool over the queue + cache stack.
+
+:class:`SynthesisService` is the long-lived engine behind ``repro
+serve``: it accepts :class:`~repro.api.task.SynthesisTask` submissions
+into a persistent :class:`~repro.serve.queue.JobQueue`, and a pool of
+worker threads executes them through the exact same
+:func:`~repro.api.batch.run_task` path the CLI and the batch API use,
+against one shared :class:`~repro.explore.cache.ResultCache`.
+
+Two properties fall out of building on that stack rather than beside it:
+
+* **Single-synthesis semantics.**  Content-identical jobs execute
+  strictly in dequeue order (the queue's per-content-address claim,
+  :meth:`~repro.serve.queue.JobQueue.wait_for_key_turn`), and
+  ``run_task`` consults the shared cache before synthesizing.
+  Identical requests — from one client or many, concurrent or not —
+  therefore synthesize exactly once; every other copy waits for the
+  first and returns as a warm cache hit (~0.2 ms), never as duplicate
+  work.
+
+* **Certified results only.**  Workers run with ``verify=True``, the
+  same caller-side assertion as ``run_task(verify=True)``: a feasible
+  result that fails the independent certificate checker marks the job
+  ``failed`` (``error_type="CertificateError"``) and never enters the
+  cache, so ``GET /results/<key>`` can only ever serve records that
+  passed the gate.
+
+Shutdown is graceful by construction: ``shutdown(drain=True)`` stops
+accepting work and waits for the queue to empty; ``drain=False`` stops
+after the jobs currently in flight (synthesis is not interruptible
+mid-run) and leaves the rest pending in the persistent queue, where the
+next boot's replay picks them up.  A process that dies mid-job instead
+of shutting down is covered by the queue's requeue-on-replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..api.batch import BatchSummary, TaskResult, run_task
+from ..api.task import SynthesisTask
+from ..explore.cache import ResultCache
+from .queue import Job, JobQueue, QueueError
+
+
+class ServiceError(RuntimeError):
+    """A service-level usage error (submitting to a stopped service, …)."""
+
+
+#: Zero state of one per-strategy counter row in ``/stats``.
+_STRATEGY_ZERO = {
+    "jobs": 0,
+    "cache_hits": 0,
+    "computed": 0,
+    "failed": 0,
+    "computed_seconds": 0.0,
+}
+
+
+class SynthesisService:
+    """A concurrent synthesis executor: queue in, certified records out.
+
+    Args:
+        state_dir: Directory for the persistent queue log and (unless
+            ``cache`` is given) the shared result cache.  ``None`` keeps
+            everything in memory / a private temp cache — fine for tests
+            and examples, no crash tolerance.
+        cache: A :class:`~repro.explore.cache.ResultCache` to share; by
+            default one is opened at ``<state_dir>/cache``.
+        workers: Worker threads executing jobs concurrently.
+        verify: Re-certify every feasible result before it is recorded
+            (the ``run_task(verify=True)`` gate).  On by default — a
+            serving process is exactly the place where an uncertified
+            result must not leak.
+
+    The service is inert until :meth:`start` is called; use it as a
+    context manager to pair start/shutdown.
+    """
+
+    def __init__(
+        self,
+        state_dir: Optional[Union[str, Path]] = None,
+        *,
+        cache: Optional[ResultCache] = None,
+        workers: int = 2,
+        verify: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"a service needs at least one worker, got {workers}")
+        self.queue = JobQueue(state_dir)
+        self._owns_temp_cache = False
+        if cache is None:
+            if state_dir is not None:
+                cache = ResultCache(Path(state_dir).expanduser() / "cache")
+            else:
+                import tempfile
+
+                cache = ResultCache(tempfile.mkdtemp(prefix="repro-serve-"))
+                self._owns_temp_cache = True
+        self.cache = cache
+        self.workers = int(workers)
+        self.verify = verify
+        self.started_at: Optional[float] = None
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._guard = threading.Lock()
+        self._strategy_stats: Dict[str, Dict[str, float]] = {}
+        self._summary = BatchSummary()
+        self._certified_keys: set = set()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "SynthesisService":
+        """Spawn the worker pool (idempotent)."""
+        if self._threads:
+            return self
+        self.started_at = time.time()
+        self._stop.clear()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def __enter__(self) -> "SynthesisService":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown(drain=False)
+
+    def shutdown(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the service gracefully.
+
+        ``drain=True`` refuses new submissions and processes everything
+        already accepted before returning; ``drain=False`` additionally
+        stops dequeuing — jobs in flight complete (synthesis cannot be
+        interrupted mid-run), the rest stay pending in the persistent
+        queue for the next boot's replay to requeue.
+        """
+        self.queue.close()
+        if not drain:
+            self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        # a timed-out join leaves workers alive: keep their references so
+        # running/healthz stay honest and a later start() cannot stack a
+        # second pool on the same queue
+        self._threads = [t for t in self._threads if t.is_alive()]
+        if not self._threads:
+            self._stop.set()
+            if self._owns_temp_cache:
+                # a private temp cache dies with the service; shared /
+                # state-dir caches are durable by design and left alone
+                import shutil
+
+                shutil.rmtree(self.cache.root, ignore_errors=True)
+
+    @property
+    def running(self) -> bool:
+        """True while worker threads are alive."""
+        return any(thread.is_alive() for thread in self._threads)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, task: SynthesisTask) -> Job:
+        """Accept one task; returns its :class:`~repro.serve.queue.Job`."""
+        try:
+            return self.queue.submit(task)
+        except QueueError as exc:
+            raise ServiceError(str(exc)) from exc
+
+    def submit_many(self, tasks: Iterable[SynthesisTask]) -> List[Job]:
+        """Accept a batch of tasks in order; returns their jobs."""
+        return [self.submit(task) for task in tasks]
+
+    def job(self, job_id: str) -> Optional[Job]:
+        """Look up a job by id."""
+        return self.queue.get(job_id)
+
+    def result(self, key: str) -> Optional[Dict[str, Any]]:
+        """The finished record stored under a content address, or ``None``.
+
+        Serves only records whose certification is provable: infeasible
+        records (constraint data, nothing to certify), records whose task
+        spec carries ``verify=True`` (the pipeline's own certificate gate
+        ran before the result was recorded — and ``verify`` is part of
+        the content address, so the spelling cannot lie), and records
+        this service computed itself (workers run the
+        ``run_task(verify=True)`` gate even for ``verify=False`` tasks).
+        A feasible ``verify=False`` record written into a shared cache
+        directory by some *other* producer is withheld — its
+        certification cannot be established, and this endpoint promises
+        certified results only.
+        """
+        record = self.cache.record_for_key(key)
+        if record is None:
+            return None
+        if record.get("feasible"):
+            task_spec = record.get("task") or {}
+            with self._guard:
+                certified = key in self._certified_keys
+            if not certified and task_spec.get("verify", True) is not True:
+                return None
+        return {"key": key, "record": record}
+
+    def wait(self, jobs: Iterable[Job], timeout: float = 60.0) -> List[Job]:
+        """Block until every job finishes (or raise on timeout)."""
+        deadline = time.monotonic() + timeout
+        jobs = list(jobs)
+        for job in jobs:
+            while not job.finished:
+                if time.monotonic() > deadline:
+                    raise ServiceError(
+                        f"timed out waiting for job {job.id} (state {job.state!r})"
+                    )
+                time.sleep(0.005)
+        return jobs
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.take(timeout=0.1)
+            if job is None:
+                if self.queue.closed and self.queue.depth == 0:
+                    return
+                continue
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        # Single-flight: content-identical jobs execute strictly in the
+        # order they were taken — the first computes, every follower
+        # unblocks here and exits run_task through the cache-hit path.
+        self.queue.wait_for_key_turn(job)
+        try:
+            record = run_task(
+                job.task,
+                keep_result=False,
+                cache=self.cache,
+                verify=self.verify,
+            )
+        except Exception as exc:  # CertificateError and genuine bugs alike
+            error_type = type(exc).__name__
+            with self._guard:
+                self._summary.total += 1
+                self._summary.infeasible += 1
+                self._summary.computed += 1
+                if error_type == "CertificateError":
+                    self._summary.certificate_errors += 1
+                # failed jobs stay visible in per_strategy too, so its
+                # "jobs" counts always sum to summary.total
+                stats = self._strategy_stats.setdefault(
+                    job.task.scheduler, dict(_STRATEGY_ZERO)
+                )
+                stats["jobs"] += 1
+                stats["failed"] += 1
+            self.queue.finish(job, error=str(exc), error_type=error_type)
+            return
+        self._note_record(job, record)
+        self.queue.finish(job, record=record.to_dict())
+
+    def _note_record(self, job: Job, record: TaskResult) -> None:
+        """Fold one finished record into the running counters (O(1)).
+
+        The summary fields follow the exact
+        :meth:`~repro.api.batch.BatchSummary.from_records` semantics the
+        CLI uses — accumulated at finish time rather than recounted per
+        ``/stats`` request, so a long-lived server's monitoring polls
+        stay O(1) in the number of jobs ever served.
+        """
+        with self._guard:
+            self._summary.total += 1
+            if record.feasible:
+                self._summary.feasible += 1
+                if not record.cached:
+                    # only a record this service *computed* provably passed
+                    # the worker's verify gate; a cache hit is returned
+                    # as-is and must not launder a foreign uncertified
+                    # record into servability
+                    self._certified_keys.add(job.key)
+            else:
+                self._summary.infeasible += 1
+                if record.error_type == "CertificateError":
+                    self._summary.certificate_errors += 1
+            if record.cached:
+                self._summary.cache_hits += 1
+            else:
+                self._summary.computed += 1
+            stats = self._strategy_stats.setdefault(
+                job.task.scheduler, dict(_STRATEGY_ZERO)
+            )
+            stats["jobs"] += 1
+            if record.cached:
+                stats["cache_hits"] += 1
+            else:
+                stats["computed"] += 1
+                stats["computed_seconds"] += record.elapsed
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def summary(self) -> BatchSummary:
+        """A :class:`~repro.api.batch.BatchSummary` over jobs this
+        service instance finished.
+
+        Field semantics match :meth:`BatchSummary.from_records` — the
+        counting ``repro batch`` prints — but the counters accumulate as
+        jobs finish, so reading them costs O(1) regardless of how many
+        jobs the server has ever served.  Jobs finished by a *previous*
+        process (replayed from the queue log) are not re-counted: the
+        summary describes this process's serving work, like ``uptime``.
+        """
+        with self._guard:
+            return dataclasses.replace(self._summary)
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` payload: queue, cache, batch and strategy counters."""
+        counts = self.queue.counts()
+        cache_stats = self.cache.stats
+        per_strategy = {}
+        with self._guard:
+            for name, stats in sorted(self._strategy_stats.items()):
+                entry = dict(stats)
+                entry["mean_computed_seconds"] = (
+                    stats["computed_seconds"] / stats["computed"]
+                    if stats["computed"]
+                    else 0.0
+                )
+                per_strategy[name] = entry
+        return {
+            "uptime": time.time() - self.started_at if self.started_at else 0.0,
+            "workers": self.workers,
+            "queue": {"depth": self.queue.depth, "jobs": counts},
+            "cache": {
+                "hits": cache_stats.hits,
+                "misses": cache_stats.misses,
+                "writes": cache_stats.writes,
+                "hit_rate": (
+                    cache_stats.hits / cache_stats.lookups
+                    if cache_stats.lookups
+                    else 0.0
+                ),
+            },
+            "summary": self.summary().to_dict(),
+            "per_strategy": per_strategy,
+        }
+
+    def healthz(self) -> Dict[str, Any]:
+        """The ``/healthz`` payload: liveness plus queue depth."""
+        return {
+            "status": "ok" if self.running else "stopped",
+            "workers": self.workers,
+            "queue_depth": self.queue.depth,
+            "uptime": time.time() - self.started_at if self.started_at else 0.0,
+        }

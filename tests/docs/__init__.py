@@ -1,0 +1,1 @@
+"""Tests for the documentation layer (docs/)."""

@@ -1,0 +1,171 @@
+"""Unit tests for the SynthesisService worker pool."""
+
+import pytest
+
+from repro.api.task import SynthesisTask
+from repro.explore import ResultCache
+from repro.serve.queue import DONE, FAILED
+from repro.serve.service import ServiceError, SynthesisService
+from repro.verify.certificate import CertificateError, CertificateReport, Violation
+
+
+def task(power=12.0, graph="hal", latency=17):
+    return SynthesisTask(graph=graph, latency=latency, power_budget=power)
+
+
+class TestExecution:
+    def test_submit_and_wait_produces_records(self, tmp_path):
+        with SynthesisService(tmp_path, workers=2) as service:
+            jobs = service.submit_many([task(10.0), task(12.0)])
+            service.wait(jobs, timeout=60)
+        assert all(job.state == DONE for job in jobs)
+        assert jobs[0].record["feasible"] and jobs[0].record["area"] == 754.0
+        assert jobs[1].record["area"] == 528.0
+
+    def test_infeasible_task_is_done_with_infeasible_record(self, tmp_path):
+        with SynthesisService(tmp_path, workers=1) as service:
+            (job,) = service.submit_many([task(2.0)])
+            service.wait([job], timeout=60)
+        assert job.state == DONE
+        assert job.record["feasible"] is False
+        assert job.record["error"]
+
+    def test_identical_jobs_synthesize_once(self, tmp_path):
+        with SynthesisService(tmp_path, workers=4) as service:
+            jobs = service.submit_many([task()] * 5)
+            service.wait(jobs, timeout=60)
+        cached = [job.record["cached"] for job in jobs]
+        assert cached.count(False) == 1
+        assert cached.count(True) == 4
+        assert service.cache.stats.writes == 1
+
+    def test_certificate_failure_marks_job_failed_and_uncached(self, tmp_path, monkeypatch):
+        report = CertificateReport(
+            graph="hal",
+            violations=[Violation("latency", "t", "made up for the test")],
+        )
+
+        def rejecting_run_task(*_args, **_kwargs):
+            raise CertificateError(report)
+
+        import repro.serve.service as service_module
+
+        monkeypatch.setattr(service_module, "run_task", rejecting_run_task)
+        with SynthesisService(tmp_path, workers=1) as service:
+            (job,) = service.submit_many([task()])
+            service.wait([job], timeout=10)
+        assert job.state == FAILED
+        assert job.error_type == "CertificateError"
+        assert service.cache.record_for_key(job.key) is None
+        assert service.summary().certificate_errors == 1
+
+    def test_shared_cache_serves_across_service_restarts(self, tmp_path):
+        with SynthesisService(tmp_path, workers=1) as service:
+            jobs = service.submit_many([task()])
+            service.wait(jobs, timeout=60)
+        with SynthesisService(tmp_path, workers=1) as service:
+            (job,) = service.submit_many([task()])
+            service.wait([job], timeout=60)
+            assert job.record["cached"] is True
+
+
+class TestLifecycle:
+    def test_requires_at_least_one_worker(self):
+        with pytest.raises(ServiceError):
+            SynthesisService(workers=0)
+
+    def test_submit_after_shutdown_raises(self, tmp_path):
+        service = SynthesisService(tmp_path, workers=1).start()
+        service.shutdown()
+        with pytest.raises(ServiceError):
+            service.submit(task())
+
+    def test_drain_completes_accepted_work(self, tmp_path):
+        service = SynthesisService(tmp_path, workers=2).start()
+        jobs = service.submit_many([task(p) for p in (9.0, 10.0, 11.0, 12.0)])
+        service.shutdown(drain=True)
+        assert all(job.state == DONE for job in jobs)
+        assert not service.running
+
+    def test_pending_jobs_resume_on_next_boot(self, tmp_path):
+        # Never started: everything stays pending in the persistent queue.
+        cold = SynthesisService(tmp_path, workers=1)
+        cold.submit_many([task(10.0), task(12.0)])
+        cold.queue.close()
+
+        service = SynthesisService(tmp_path, workers=1)
+        assert service.queue.depth == 2  # replayed, workers not started yet
+        with service:
+            service.wait(service.queue.jobs(), timeout=60)
+        assert all(job.state == DONE for job in service.queue.jobs())
+
+
+class TestIntrospection:
+    def test_stats_shape_and_batch_summary_agreement(self, tmp_path):
+        with SynthesisService(tmp_path, workers=2) as service:
+            jobs = service.submit_many([task(10.0), task(10.0), task(2.0)])
+            service.wait(jobs, timeout=60)
+            stats = service.stats()
+        assert stats["queue"]["jobs"]["done"] == 3
+        assert stats["summary"]["total"] == 3
+        assert stats["summary"]["feasible"] == 2
+        assert stats["summary"]["cache_hits"] == 1
+        assert stats["summary"]["computed"] == 2
+        assert stats["cache"]["writes"] == 2
+        engine = stats["per_strategy"]["engine"]
+        assert engine["jobs"] == 3
+        assert engine["cache_hits"] == 1
+        assert engine["computed"] == 2
+        assert engine["mean_computed_seconds"] > 0
+
+    def test_healthz_reports_running_then_stopped(self, tmp_path):
+        service = SynthesisService(tmp_path, workers=1).start()
+        assert service.healthz()["status"] == "ok"
+        service.shutdown()
+        assert service.healthz()["status"] == "stopped"
+
+    def test_result_lookup_by_content_address(self, tmp_path):
+        with SynthesisService(tmp_path, workers=1) as service:
+            (job,) = service.submit_many([task()])
+            service.wait([job], timeout=60)
+            payload = service.result(job.key)
+        assert payload["key"] == job.key
+        assert payload["record"]["feasible"] is True
+        assert service.result("0" * 64) is None
+
+    def test_unverifiable_foreign_cache_records_are_withheld(self, tmp_path):
+        # Some other producer writes a feasible verify=False record into
+        # the shared cache directory: its certification is unprovable, so
+        # /results must not serve it as certified.
+        from repro.api.batch import run_task
+
+        foreign = SynthesisTask(
+            graph="hal", latency=17, power_budget=12.0, verify=False
+        )
+        run_task(foreign, keep_result=False, cache=ResultCache(tmp_path / "cache"))
+
+        service = SynthesisService(tmp_path, workers=1)
+        assert service.cache.record_for_key(foreign.cache_key()) is not None
+        assert service.result(foreign.cache_key()) is None
+
+        # The same verify=False spec computed by the service itself *is*
+        # served: workers run the run_task(verify=True) gate regardless.
+        own = SynthesisTask(graph="hal", latency=17, power_budget=10.0, verify=False)
+        with service:
+            (job,) = service.submit_many([own])
+            service.wait([job], timeout=60)
+            assert service.result(job.key) is not None
+
+            # Submitting the *foreign* spec yields a cache hit, which is
+            # returned as-is without re-certification — it must not
+            # launder the uncertified record into servability.
+            (hit,) = service.submit_many([foreign])
+            service.wait([hit], timeout=60)
+            assert hit.record["cached"] is True
+            assert service.result(foreign.cache_key()) is None
+
+    def test_wait_timeout_raises(self, tmp_path):
+        service = SynthesisService(tmp_path, workers=1)  # never started
+        job = service.submit(task())
+        with pytest.raises(ServiceError):
+            service.wait([job], timeout=0.05)

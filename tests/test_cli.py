@@ -110,9 +110,12 @@ class TestBatch:
         results = tmp_path / "results.json"
         assert main(["batch", path, "--jobs", "2", "-o", str(results)]) == 0
         assert "4/4 tasks feasible" in capsys.readouterr().out
-        records = json.loads(results.read_text())
-        assert len(records) == 4
-        assert all(r["feasible"] for r in records)
+        payload = json.loads(results.read_text())
+        assert payload["summary"]["total"] == 4
+        assert payload["summary"]["feasible"] == 4
+        assert payload["summary"]["certificate_errors"] == 0
+        assert len(payload["records"]) == 4
+        assert all(r["feasible"] for r in payload["records"])
 
     def test_malformed_batch_file(self, tmp_path, capsys):
         path = self._write_batch(tmp_path, [{"graph": "hal", "lateny": 17}])
@@ -293,5 +296,84 @@ class TestCacheFlags:
         capsys.readouterr()
         assert main(["batch", str(path), "--cache-dir", cache_dir, "--resume"]) == 0
         out = capsys.readouterr().out
-        assert "2 resumed from cache" in out
+        assert "2 cache hit(s), 0 computed" in out
         assert "2 hit(s), 0 miss(es)" in out
+
+
+class TestBatchCertificateGate:
+    def test_batch_exits_violations_on_certificate_errors(self, tmp_path, capsys, monkeypatch):
+        from repro.api.batch import BatchResults, TaskResult
+
+        def rejected_batch(tasks, **_kwargs):
+            return BatchResults(
+                TaskResult(
+                    task=t,
+                    feasible=False,
+                    error="latency bound exceeded (made up)",
+                    error_type="CertificateError",
+                )
+                for t in tasks
+            )
+
+        monkeypatch.setattr("repro.cli.run_batch", rejected_batch)
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps([{"graph": "hal", "latency": 17}]))
+        assert main(["batch", str(path)]) == EXIT_VIOLATIONS
+        assert "failed certificate verification" in capsys.readouterr().err
+
+
+class TestServeAndSubmit:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        from repro.serve import start_server
+
+        with start_server(workers=2, state_dir=tmp_path / "state") as handle:
+            yield handle
+
+    def _batch_file(self, tmp_path):
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps(
+            [{"graph": "hal", "latency": 17, "power_budget": p} for p in (10.0, 2.0)]
+        ))
+        return str(path)
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8642 and args.workers == 2
+
+    def test_submit_without_wait_prints_job_ids(self, tmp_path, capsys, server):
+        code = main(["submit", self._batch_file(tmp_path), "--url", server.url])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "submitted 2 job(s)" in out
+        assert "job-" in out
+
+    def test_submit_wait_prints_results_table(self, tmp_path, capsys, server):
+        code = main(["submit", self._batch_file(tmp_path), "--url", server.url, "--wait"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Served results" in out
+        assert "1/2 tasks feasible" in out
+
+        # identical resubmission: answered entirely from the server's cache
+        code = main(["submit", self._batch_file(tmp_path), "--url", server.url, "--wait"])
+        assert code == 0
+        assert "2 cache hit(s), 0 computed" in capsys.readouterr().out
+
+    def test_submit_bad_file_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        assert main(["submit", str(path)]) == 1
+        assert "bad batch file" in capsys.readouterr().err
+
+    def test_submit_unreachable_server_exits_1(self, tmp_path, capsys):
+        code = main(["submit", self._batch_file(tmp_path),
+                     "--url", "http://127.0.0.1:1", "--timeout", "0.3"])
+        assert code == 1
+        assert "server error" in capsys.readouterr().err
+
+    def test_fully_infeasible_served_batch_exits_2(self, tmp_path, capsys, server):
+        path = tmp_path / "infeasible.json"
+        path.write_text(json.dumps([{"graph": "hal", "latency": 17, "power_budget": 2.0}]))
+        code = main(["submit", str(path), "--url", server.url, "--wait"])
+        assert code == EXIT_INFEASIBLE
