@@ -20,9 +20,11 @@ import sys
 from repro import SCHEDULERS, SynthesisTask, run_batch
 from repro.reporting.table import render_table
 
-#: The exhaustive scheduler only handles ~12 operations; skip it for the
-#: paper-sized benchmarks so the comparison stays fast.
-SKIP = {"exact"}
+#: Skip the exact engines: the exhaustive search only handles ~12
+#: operations, and the ILP — while it does scale to the paper-sized
+#: benchmarks (see examples/ilp_quickstart.py) — needs minutes, not
+#: seconds, at this (T, P) corner.  The heuristic shoot-out stays fast.
+SKIP = {"exact", "ilp"}
 
 
 def main() -> None:

@@ -30,7 +30,11 @@ The package provides:
 * :mod:`repro.serve` — the serving layer: a dependency-free HTTP
   synthesis service (persistent job queue, worker pool, shared result
   cache, certified results only) plus the blocking ``Client`` that
-  ``repro submit`` uses.
+  ``repro submit`` uses,
+* :mod:`repro.lp` — a zero-dependency exact LP/ILP core (rational
+  simplex + branch-and-bound) and the time-indexed ``ilp`` scheduling
+  strategy: a second exact oracle without the exhaustive search's size
+  cap, and the only scheduler honouring a task's ``register_budget``.
 
 Quickstart::
 
@@ -104,8 +108,16 @@ from .verify import (
     run_fuzz,
 )
 from .serve import SynthesisService, start_server
+from .lp import (
+    LinearProgram,
+    ilp_schedule,
+    minimum_registers,
+    schedule_register_usage,
+    solve_lp,
+    solve_milp,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CDFG",
@@ -163,5 +175,11 @@ __all__ = [
     "FuzzConfig",
     "SynthesisService",
     "start_server",
+    "LinearProgram",
+    "solve_lp",
+    "solve_milp",
+    "ilp_schedule",
+    "minimum_registers",
+    "schedule_register_usage",
     "__version__",
 ]

@@ -56,6 +56,8 @@ class TaskResult:
         fu_area: Functional-unit area only (``None`` when infeasible).
         peak_power: Peak per-cycle power of the result.
         latency: Cycles used by the result.
+        registers: Register count of the result's datapath allocation
+            (``None`` when infeasible or unallocated).
         backtracks: Engine backtrack-and-lock invocations.
         error: Failure message for infeasible tasks.
         error_type: Exception class name for infeasible tasks.
@@ -74,6 +76,7 @@ class TaskResult:
     fu_area: Optional[float] = None
     peak_power: Optional[float] = None
     latency: Optional[int] = None
+    registers: Optional[int] = None
     backtracks: int = 0
     error: Optional[str] = None
     error_type: Optional[str] = None
@@ -90,6 +93,7 @@ class TaskResult:
             "fu_area": self.fu_area,
             "peak_power": self.peak_power,
             "latency": self.latency,
+            "registers": self.registers,
             "backtracks": self.backtracks,
             "error": self.error,
             "error_type": self.error_type,
@@ -262,6 +266,11 @@ def run_task(
             fu_area=result.fu_area,
             peak_power=result.peak_power,
             latency=result.latency,
+            registers=(
+                result.datapath.registers.count
+                if result.datapath.registers is not None
+                else None
+            ),
             backtracks=result.backtracks,
             elapsed=time.perf_counter() - started,
             result=result if keep_result else None,
@@ -396,6 +405,7 @@ class Sweep:
     latency: int
     power_budgets: Sequence[float]
     library: Union[str, Dict[str, Any]] = "table1"
+    register_budget: Optional[int] = None
     scheduler: str = "engine"
     binder: str = "greedy"
     selector: str = "min_power"
@@ -417,6 +427,7 @@ class Sweep:
                 graph=self.graph,
                 latency=self.latency,
                 power_budget=budget,
+                register_budget=self.register_budget,
                 library=self.library,
                 scheduler=self.scheduler,
                 binder=self.binder,
@@ -438,6 +449,7 @@ class Sweep:
             "latency": self.latency,
             "power_budgets": list(self.power_budgets),
             "library": self.library,
+            "register_budget": self.register_budget,
             "scheduler": self.scheduler,
             "binder": self.binder,
             "selector": self.selector,
@@ -454,6 +466,7 @@ class Sweep:
             "latency",
             "power_budgets",
             "library",
+            "register_budget",
             "scheduler",
             "binder",
             "selector",

@@ -39,6 +39,7 @@ from ..scheduling.constraints import (
     PowerConstraint,
     SynthesisConstraints,
     TimeConstraint,
+    UnsupportedConstraintError,
 )
 from ..scheduling.schedule import Schedule
 from ..synthesis.engine import EngineOptions
@@ -113,8 +114,22 @@ def select_pass(ctx: PipelineContext) -> None:
 
 
 def schedule_pass(ctx: PipelineContext) -> None:
-    """Run the task's scheduler strategy."""
-    SCHEDULERS.get(ctx.task.scheduler)(ctx)
+    """Run the task's scheduler strategy.
+
+    A task carrying a ``register_budget`` is rejected up front unless the
+    strategy declares ``supports_register_budget`` — a constraint a
+    scheduler cannot guarantee must fail loudly, not get dropped.
+    """
+    strategy = SCHEDULERS.get(ctx.task.scheduler)
+    if ctx.task.register_budget is not None and not getattr(
+        strategy, "supports_register_budget", False
+    ):
+        raise UnsupportedConstraintError(
+            f"scheduler {ctx.task.scheduler!r} cannot guarantee a register "
+            f"budget (R={ctx.task.register_budget}); use one of the "
+            "register-aware schedulers (e.g. 'ilp')"
+        )
+    strategy(ctx)
     if ctx.schedule is None:
         raise PipelineError(
             f"scheduler {ctx.task.scheduler!r} did not produce a schedule"
@@ -139,7 +154,9 @@ def finalize_pass(ctx: PipelineContext) -> None:
         datapath.schedule = ctx.schedule
     datapath.finalize()
     bound = ctx.task.latency if ctx.task.latency is not None else ctx.schedule.makespan
-    constraints = SynthesisConstraints.of(bound, ctx.task.power_budget)
+    constraints = SynthesisConstraints.of(
+        bound, ctx.task.power_budget, register_budget=ctx.task.register_budget
+    )
     result = SynthesisResult(
         datapath=datapath,
         schedule=ctx.schedule,

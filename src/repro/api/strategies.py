@@ -4,8 +4,8 @@ Importing this module guarantees the registries are fully populated:
 
 * schedulers register themselves in :mod:`repro.scheduling` (``asap``,
   ``alap``, ``list``, ``force_directed``, ``pasap``, ``palap``,
-  ``two_step``, ``exact``) and :mod:`repro.synthesis.engine`
-  (``engine``),
+  ``two_step``, ``exact``), :mod:`repro.lp` (``ilp``) and
+  :mod:`repro.synthesis.engine` (``engine``),
 * selectors and libraries register in :mod:`repro.library`,
 * the binders below register here (``greedy``, ``naive``).
 
@@ -25,6 +25,7 @@ from ..registries import BINDERS
 
 # Imported for their registration side effects (see module docstring).
 from .. import library as _library  # noqa: F401
+from .. import lp as _lp  # noqa: F401
 from .. import scheduling as _scheduling  # noqa: F401
 from ..synthesis import engine as _engine  # noqa: F401
 

@@ -37,7 +37,8 @@ class TaskError(ValueError):
 
 #: Bump when the canonical spec layout (or anything that changes what a
 #: given spec *means*) changes, so stale on-disk cache entries never match.
-CACHE_KEY_VERSION = 1
+#: v2: register_budget joined the spec.
+CACHE_KEY_VERSION = 2
 
 
 # --------------------------------------------------------------------------- #
@@ -168,6 +169,7 @@ _TASK_FIELDS = (
     "graph",
     "latency",
     "power_budget",
+    "register_budget",
     "library",
     "scheduler",
     "binder",
@@ -189,6 +191,11 @@ class SynthesisTask:
             the schedule takes" — only schedulers that do not need a bound
             (``asap``, ``pasap``) accept that.
         power_budget: Per-cycle power budget ``P``; ``None`` = unbounded.
+        register_budget: Per-cycle register (live-value) budget ``R``;
+            ``None`` = unbounded.  Only schedulers that can *guarantee*
+            the budget accept it (currently ``ilp``); the pipeline
+            rejects the combination otherwise instead of silently
+            ignoring the constraint.
         library: Registered library name (``"table1"``, ``"single"``) or
             an inline :func:`library_to_dict` dictionary.
         scheduler: Scheduler strategy name (see ``SCHEDULERS.names()``).
@@ -207,6 +214,7 @@ class SynthesisTask:
     graph: Union[str, Dict[str, Any]]
     latency: Optional[int] = None
     power_budget: Optional[float] = None
+    register_budget: Optional[int] = None
     library: Union[str, Dict[str, Any]] = "table1"
     scheduler: str = "engine"
     binder: str = "greedy"
@@ -240,6 +248,17 @@ class SynthesisTask:
                 raise TaskError(f"power budget must be a number, got {self.power_budget!r}") from None
             if self.power_budget <= 0:
                 raise TaskError(f"power budget must be positive, got {self.power_budget}")
+        if self.register_budget is not None:
+            try:
+                self.register_budget = int(self.register_budget)
+            except (TypeError, ValueError):
+                raise TaskError(
+                    f"register budget must be an integer, got {self.register_budget!r}"
+                ) from None
+            if self.register_budget <= 0:
+                raise TaskError(
+                    f"register budget must be positive, got {self.register_budget}"
+                )
         for field_name in ("scheduler", "binder", "selector"):
             if not isinstance(getattr(self, field_name), str):
                 raise TaskError(f"task {field_name} must be a strategy name (string)")
@@ -257,6 +276,7 @@ class SynthesisTask:
         library: Union[str, Dict[str, Any], FULibrary] = "table1",
         latency: Optional[int] = None,
         power_budget: Optional[float] = None,
+        register_budget: Optional[int] = None,
         scheduler: str = "engine",
         binder: str = "greedy",
         selector: str = "min_power",
@@ -289,6 +309,7 @@ class SynthesisTask:
             graph=graph,
             latency=latency,
             power_budget=power_budget,
+            register_budget=register_budget,
             library=library,
             scheduler=scheduler,
             binder=binder,
@@ -351,6 +372,8 @@ class SynthesisTask:
         if self.latency is not None:
             parts.append(f"T={self.latency}")
         parts.append(f"P={self.power_budget:g}" if self.power_budget is not None else "P=inf")
+        if self.register_budget is not None:
+            parts.append(f"R={self.register_budget}")
         if self.label:
             parts.append(f"label={self.label!r}")
         return "SynthesisTask(" + ", ".join(parts) + ")"
@@ -383,6 +406,7 @@ class SynthesisTask:
             "library": library,
             "latency": self.latency,
             "power_budget": self.power_budget,
+            "register_budget": self.register_budget,
             "scheduler": self.scheduler,
             "binder": self.binder,
             "selector": self.selector,
@@ -420,6 +444,7 @@ class SynthesisTask:
             "graph": self.graph,
             "latency": self.latency,
             "power_budget": self.power_budget,
+            "register_budget": self.register_budget,
             "library": self.library,
             "scheduler": self.scheduler,
             "binder": self.binder,

@@ -133,6 +133,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         graph=_graph_spec(args),
         latency=args.latency,
         power_budget=args.power,
+        register_budget=args.registers,
         scheduler=args.scheduler,
         binder=args.binder,
     )
@@ -329,6 +330,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         schedulers=tuple(args.schedulers or ()),
         binders=tuple(args.binders or ()),
         max_slack=args.max_slack,
+        register_fraction=args.register_fraction,
     )
     cache = _open_cache(args)
     started = time.perf_counter()
@@ -454,6 +456,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_graph_options(synth)
     synth.add_argument("--latency", "-T", type=int, required=True)
     synth.add_argument("--power", "-P", type=float, default=None)
+    synth.add_argument(
+        "--registers",
+        "-R",
+        type=int,
+        default=None,
+        help="register budget (needs a register-aware scheduler, e.g. 'ilp')",
+    )
     synth.add_argument(
         "--scheduler",
         default="engine",
@@ -581,6 +590,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=6,
         help="largest latency slack above the critical path (default: 6)",
+    )
+    fuzz.add_argument(
+        "--register-fraction",
+        type=float,
+        default=0.25,
+        help="share of cases carrying a register budget (default: 0.25)",
     )
     fuzz.add_argument("--output", "-o", help="also write a structured JSON report here")
     add_cache_options(fuzz)

@@ -1,0 +1,56 @@
+"""Pluggable MILP solver hook.
+
+The formulation layer never calls :func:`repro.lp.branch_bound.solve_milp`
+directly; it goes through :func:`solve`, which dispatches on a solver
+name in :data:`MILP_SOLVERS` — the same string-keyed
+:class:`~repro.registries.StrategyRegistry` pattern the rest of the
+package uses for schedulers and binders.
+
+Only the stdlib ``builtin`` backend ships with the package (the
+container bakes in no solver libraries), but an environment that *does*
+have one can graft it on without touching this package::
+
+    from repro.lp import MILP_SOLVERS, BranchBoundResult
+
+    @MILP_SOLVERS.register("glpk")
+    def glpk_backend(program, **options):
+        ...  # translate, solve, map back
+        return BranchBoundResult(status="optimal", ...)
+
+Backend contract: ``fn(program: LinearProgram, **options) ->
+BranchBoundResult``.  Statuses must keep their proof semantics —
+``"infeasible"`` only for a genuine certificate of infeasibility,
+``"limit"`` for any inconclusive exit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..registries import StrategyRegistry
+from .branch_bound import BranchBoundResult, solve_milp
+from .model import LinearProgram
+
+#: Registered MILP backends; ``builtin`` is the stdlib branch-and-bound.
+MILP_SOLVERS: StrategyRegistry[Callable] = StrategyRegistry("milp solver")
+
+
+@MILP_SOLVERS.register("builtin")
+def _builtin(program: LinearProgram, **options) -> BranchBoundResult:
+    """The zero-dependency exact branch-and-bound shipped in-tree."""
+    return solve_milp(program, **options)
+
+
+def solve(program: LinearProgram, solver: str = "builtin", **options) -> BranchBoundResult:
+    """Solve ``program`` with the named backend.
+
+    Args:
+        program: The MILP to minimize.
+        solver: A name registered in :data:`MILP_SOLVERS`.
+        **options: Passed through to the backend (the builtin accepts
+            ``groups``, ``node_limit`` and ``integral_objective``).
+
+    Raises:
+        repro.registries.UnknownStrategyError: for an unknown name.
+    """
+    return MILP_SOLVERS.get(solver)(program, **options)

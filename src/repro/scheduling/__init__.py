@@ -6,6 +6,7 @@ from .constraints import (
     ResourceConstraint,
     SynthesisConstraints,
     TimeConstraint,
+    UnsupportedConstraintError,
     feasible_power_floor,
     minimum_feasible_power,
 )
@@ -33,6 +34,7 @@ from .force_directed import force_directed_schedule
 from .two_step import TwoStepResult, two_step_schedule
 from .exact import (
     ExactSchedulerError,
+    ExactSizeError,
     exact_schedule,
     exists_schedule,
     minimum_latency_under_power,
@@ -41,6 +43,7 @@ from .exact import (
 
 __all__ = [
     "ConstraintError",
+    "UnsupportedConstraintError",
     "PowerConstraint",
     "ResourceConstraint",
     "SynthesisConstraints",
@@ -79,6 +82,7 @@ __all__ = [
     "TwoStepResult",
     "two_step_schedule",
     "ExactSchedulerError",
+    "ExactSizeError",
     "exact_schedule",
     "exists_schedule",
     "minimum_latency_under_power",
@@ -203,4 +207,5 @@ def _exact_strategy(ctx) -> None:
         ctx.power_constraint,
         ctx.require_latency("exact"),
         label=ctx.strategy_label("exact"),
+        max_operations=ctx.options.exact_max_operations,
     )

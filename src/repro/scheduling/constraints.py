@@ -25,6 +25,14 @@ class ConstraintError(Exception):
     """Raised for malformed or mutually impossible constraints."""
 
 
+class UnsupportedConstraintError(ConstraintError):
+    """A constraint was given to a strategy that cannot guarantee it.
+
+    Raised instead of silently dropping the constraint — e.g. a
+    ``register_budget`` on a scheduler without register-pressure support.
+    """
+
+
 @dataclass(frozen=True)
 class TimeConstraint:
     """Latency bound: every operation must finish by cycle ``latency``."""
@@ -101,17 +109,35 @@ class ResourceConstraint:
 
 @dataclass(frozen=True)
 class SynthesisConstraints:
-    """Bundle of the constraints the combined synthesis honours."""
+    """Bundle of the constraints the combined synthesis honours.
+
+    ``register_budget`` (``None`` = unbounded) caps the number of
+    simultaneously live values; only register-aware schedulers can
+    guarantee it, and the certificate checker verifies it independently.
+    """
 
     time: TimeConstraint
     power: PowerConstraint = field(default_factory=PowerConstraint.unbounded)
     resources: ResourceConstraint = field(default_factory=ResourceConstraint.unlimited)
+    register_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.register_budget is not None and self.register_budget <= 0:
+            raise ConstraintError(
+                f"register budget must be positive, got {self.register_budget}"
+            )
 
     @staticmethod
-    def of(latency: int, max_power: Optional[float] = None) -> "SynthesisConstraints":
+    def of(
+        latency: int,
+        max_power: Optional[float] = None,
+        register_budget: Optional[int] = None,
+    ) -> "SynthesisConstraints":
         """Convenience constructor from plain numbers."""
         power = PowerConstraint(max_power) if max_power is not None else PowerConstraint.unbounded()
-        return SynthesisConstraints(TimeConstraint(latency), power)
+        return SynthesisConstraints(
+            TimeConstraint(latency), power, register_budget=register_budget
+        )
 
 
 def feasible_power_floor(total_energy: float, latency: int) -> float:

@@ -24,19 +24,30 @@ from ..ir.cdfg import CDFG
 from .constraints import PowerConstraint
 from .schedule import Schedule, add_to_profile, profile_allows
 
-#: Safety cap on the number of operations the exhaustive search accepts.
+#: Default safety cap on the number of operations the exhaustive search
+#: accepts; callers can raise it per call (``max_operations=``) or per
+#: engine (``EngineOptions.exact_max_operations``).
 MAX_OPERATIONS = 12
 
 
 class ExactSchedulerError(Exception):
-    """Raised when the problem is too large for exhaustive search."""
+    """Raised when exhaustive search fails (size cap or infeasibility)."""
 
 
-def _check_size(cdfg: CDFG) -> None:
+class ExactSizeError(ExactSchedulerError):
+    """The graph exceeds the exhaustive-search size cap.
+
+    A *capacity* verdict, not a scheduling one: the differential harness
+    keys on this type to tell "too big to try" apart from a genuine
+    infeasibility result.
+    """
+
+
+def _check_size(cdfg: CDFG, max_operations: int) -> None:
     count = len(cdfg.schedulable_operations())
-    if count > MAX_OPERATIONS:
-        raise ExactSchedulerError(
-            f"exact scheduling limited to {MAX_OPERATIONS} operations, got {count}"
+    if count > max_operations:
+        raise ExactSizeError(
+            f"exact scheduling limited to {max_operations} operations, got {count}"
         )
 
 
@@ -164,6 +175,7 @@ def minimum_latency_under_power(
     powers: Mapping[str, float],
     power: PowerConstraint,
     horizon: Optional[int] = None,
+    max_operations: int = MAX_OPERATIONS,
 ) -> Optional[int]:
     """Smallest makespan of any schedule meeting the power budget.
 
@@ -171,10 +183,10 @@ def minimum_latency_under_power(
     (which only happens if a single operation exceeds the budget).
 
     Raises:
-        ExactSchedulerError: if the graph has more than
-            :data:`MAX_OPERATIONS` schedulable operations.
+        ExactSizeError: if the graph has more than ``max_operations``
+            schedulable operations (default :data:`MAX_OPERATIONS`).
     """
-    _check_size(cdfg)
+    _check_size(cdfg, max_operations)
     operations = [n for n in cdfg.topological_order()]
     if horizon is None:
         horizon = sum(delays[n] for n in operations) + 1
@@ -204,9 +216,12 @@ def exists_schedule(
     powers: Mapping[str, float],
     power: PowerConstraint,
     latency: int,
+    max_operations: int = MAX_OPERATIONS,
 ) -> bool:
     """True if some schedule meets both the power budget and the latency bound."""
-    best = minimum_latency_under_power(cdfg, delays, powers, power, horizon=latency)
+    best = minimum_latency_under_power(
+        cdfg, delays, powers, power, horizon=latency, max_operations=max_operations
+    )
     return best is not None and best <= latency
 
 
@@ -217,14 +232,15 @@ def exact_schedule(
     power: PowerConstraint,
     latency: int,
     label: str = "exact",
+    max_operations: int = MAX_OPERATIONS,
 ) -> Schedule:
     """Makespan-optimal schedule under ``(latency, power)`` by exhaustive search.
 
     Raises:
-        ExactSchedulerError: when the graph exceeds :data:`MAX_OPERATIONS`
-            or no schedule exists within the latency bound.
+        ExactSizeError: when the graph exceeds ``max_operations``.
+        ExactSchedulerError: when no schedule exists within the latency bound.
     """
-    _check_size(cdfg)
+    _check_size(cdfg, max_operations)
     order = list(cdfg.topological_order())
     best: List = [None, None]
     tail = _tail_lengths(cdfg, delays)

@@ -74,12 +74,26 @@ class EngineOptions:
             keeps the greedy from trading a 16-area input port against
             three extra multipliers.  Set to 0 to recover the purely
             area-lexicographic greedy.
+        exact_max_operations: Size cap for the exhaustive ``exact``
+            scheduler.  Raising it trades exponential runtime for
+            coverage; the differential harness reads this instead of
+            assuming the module default.
+        ilp_memory_model: Register-pressure linearization the ``ilp``
+            scheduler uses when a task carries a ``register_budget``
+            (``"optimistic"`` or ``"pessimistic"``).
+        ilp_node_limit: Branch-and-bound node budget for the ``ilp``
+            scheduler.  ``None`` means unlimited; when the budget is
+            exhausted the scheduler raises the *inconclusive*
+            ``ILPLimitError``, never a fake infeasibility verdict.
     """
 
     trace: bool = True
     allow_module_upgrade: bool = True
     interconnect_weight: int = 1
     delay_area_weight: float = 4.0
+    exact_max_operations: int = 12
+    ilp_memory_model: str = "optimistic"
+    ilp_node_limit: Optional[int] = 20_000
 
 
 @dataclass

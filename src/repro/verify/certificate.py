@@ -32,6 +32,9 @@ Violation kinds (the ``Violation.kind`` vocabulary):
                       lifetimes (recomputed from the schedule)
 ``register-missing``  a live value (a scheduled producer with scheduled
                       consumers) is stored in no register, or twice
+``register-budget``   the stored register count, or the peak number of
+                      simultaneously live values re-derived from the
+                      schedule, exceeds the register budget ``R``
 ``interconnect``      the stored mux counts disagree with the counts the
                       interconnect model yields for this binding
 ``area``              the reported area breakdown disagrees with the
@@ -566,6 +569,51 @@ def _check_area(result: SynthesisResult, report: CertificateReport) -> None:
             )
 
 
+def _check_register_budget(
+    result: SynthesisResult,
+    constraints: SynthesisConstraints,
+    report: CertificateReport,
+) -> None:
+    """Certify the register budget from two independent angles.
+
+    Both the *stored* allocation's register count and the peak value
+    liveness *re-derived from the schedule alone* must fit the budget —
+    so neither an inflated allocation nor a schedule whose pressure the
+    allocator happened to hide can pass.
+    """
+    budget = constraints.register_budget
+    if budget is None:
+        return
+    lifetimes = _derived_lifetimes(result)
+    events: Dict[int, int] = {}
+    for birth, death in lifetimes.values():
+        events[birth] = events.get(birth, 0) + 1
+        events[death] = events.get(death, 0) - 1
+    peak = current = 0
+    for cycle in sorted(events):
+        current += events[cycle]
+        peak = max(peak, current)
+    if peak > budget:
+        report.violations.append(
+            Violation(
+                "register-budget",
+                result.schedule.cdfg.name,
+                f"{peak} values are simultaneously live, budget is {budget}",
+                {"peak": peak, "budget": budget},
+            )
+        )
+    allocation = result.datapath.registers
+    if allocation is not None and allocation.count > budget:
+        report.violations.append(
+            Violation(
+                "register-budget",
+                result.schedule.cdfg.name,
+                f"allocation uses {allocation.count} registers, budget is {budget}",
+                {"count": allocation.count, "budget": budget},
+            )
+        )
+
+
 #: The check passes, in the order they run (name → implementation).
 _CHECKS = (
     ("completeness", _check_completeness),
@@ -605,4 +653,6 @@ def check_certificate(
     _check_latency(result, constraints, report)
     report.checks.append("power")
     _check_power(result, constraints, report)
+    report.checks.append("register-budget")
+    _check_register_budget(result, constraints, report)
     return report

@@ -27,11 +27,20 @@ Certificate violations are then *classified* per strategy:
   a self-checking strategy (the engine verifies its own result) can
   produce one, and the engine guarantees every contract.
 
-The second invariant is **soundness vs. the exact scheduler**: ``exact``
-is an exhaustive search over the *same* module selection the other
-classical schedulers use, so "exact says infeasible" while another
-classical strategy holds a certified witness means one of the two is
-buggy.
+The second invariant is **soundness vs. the complete schedulers**:
+``exact`` (exhaustive search) and ``ilp`` (exact integer programming)
+both decide feasibility over the *same* module selection the other
+classical schedulers use, so "a complete scheduler says infeasible"
+while another classical strategy holds a certified witness means one of
+the two is buggy.  Capacity verdicts (``ExactSizeError``,
+``ILPLimitError``, ``UnsupportedConstraintError``) are recognised *by
+type* and are never treated as infeasibility evidence.
+
+The third invariant is **oracle agreement**: ``exact`` and ``ilp`` are
+independent implementations of the same optimization problem, so when
+both produce a verdict they must agree on feasibility — and on the
+optimal makespan when both are feasible.  Any split is a bug in one of
+the two exact engines.
 
 What is deliberately **not** an invariant is feasibility agreement
 between heuristics: pasap/palap/two_step are incomplete by design (the
@@ -64,22 +73,35 @@ SELF_BINDING_SCHEDULERS = ("engine",)
 BOUNDLESS_SCHEDULERS = ("asap", "pasap")
 
 #: Schedulers whose infeasibility verdict is authoritative for the module
-#: selection they were given (exhaustive search, not a heuristic).
-COMPLETE_SCHEDULERS = ("exact",)
+#: selection they were given (exhaustive search / exact optimization,
+#: not a heuristic).
+COMPLETE_SCHEDULERS = ("exact", "ilp")
 
 #: Schedulers that *guarantee* the power budget when they succeed — a
 #: power violation from one of these is a bug, not obliviousness.
 #: (two_step is best-effort: it records whether the repair met P.)
-POWER_GUARANTEEING = ("pasap", "palap", "exact", "engine")
+POWER_GUARANTEEING = ("pasap", "palap", "exact", "ilp", "engine")
 
 #: Schedulers that *guarantee* the latency bound when they succeed.
 #: (pasap stretches without a bound; the list scheduler's latency is a
 #: hint; asap simply ignores T.)
-LATENCY_GUARANTEEING = ("alap", "force_directed", "palap", "exact", "engine")
+LATENCY_GUARANTEEING = ("alap", "force_directed", "palap", "exact", "ilp", "engine")
 
-#: Violation kinds that express a missed (T, P) constraint rather than a
-#: structurally broken result.
-_CONSTRAINT_KINDS = frozenset({"latency", "power"})
+#: Schedulers that *guarantee* a task's register budget when they succeed.
+#: (The pipeline rejects budgeted tasks for everyone else up front.)
+REGISTER_GUARANTEEING = ("ilp",)
+
+#: Error types that are *capacity* verdicts, not scheduling verdicts: the
+#: strategy declined to decide (size cap, node budget, unsupported
+#: constraint dimension).  Recognised structurally by exception type name
+#: so the harness never has to pattern-match error prose.
+NON_VERDICT_ERRORS = frozenset(
+    {"ExactSizeError", "ILPLimitError", "UnsupportedConstraintError"}
+)
+
+#: Violation kinds that express a missed (T, P, R) constraint rather
+#: than a structurally broken result.
+_CONSTRAINT_KINDS = frozenset({"latency", "power", "register-budget"})
 
 
 def _tolerated_kinds(scheduler: str) -> frozenset:
@@ -89,6 +111,8 @@ def _tolerated_kinds(scheduler: str) -> frozenset:
         tolerated.add("power")
     if scheduler not in LATENCY_GUARANTEEING:
         tolerated.add("latency")
+    if scheduler not in REGISTER_GUARANTEEING:
+        tolerated.add("register-budget")
     return frozenset(tolerated)
 
 
@@ -138,6 +162,9 @@ class StrategyOutcome:
         error: Failure message for infeasible outcomes.
         error_type: Exception class name for infeasible outcomes.
         area / peak_power / latency: Scalar metrics of feasible outcomes.
+        optimal_latency: The provably optimal makespan claimed by an
+            exact scheduler (``exact``/``ilp`` metadata; ``None``
+            elsewhere) — what the oracle-agreement invariant compares.
         cached: The outcome was answered by a result cache (scalars only).
         elapsed: Wall-clock seconds of the underlying run.
     """
@@ -152,8 +179,14 @@ class StrategyOutcome:
     area: Optional[float] = None
     peak_power: Optional[float] = None
     latency: Optional[int] = None
+    optimal_latency: Optional[int] = None
     cached: bool = False
     elapsed: float = 0.0
+
+    @property
+    def is_verdict(self) -> bool:
+        """True when this outcome decides feasibility (capacity errors don't)."""
+        return self.feasible or self.error_type not in NON_VERDICT_ERRORS
 
     @property
     def pair(self) -> str:
@@ -170,6 +203,7 @@ class StrategyOutcome:
             "area": self.area,
             "peak_power": self.peak_power,
             "latency": self.latency,
+            "optimal_latency": self.optimal_latency,
             "cached": self.cached,
             "elapsed": self.elapsed,
         }
@@ -323,6 +357,9 @@ def cross_check(
                 outcome.peak_power = None
                 outcome.latency = None
         if record.feasible and record.result is not None:
+            makespan = record.result.schedule.metadata.get("optimal_makespan")
+            if makespan is not None:
+                outcome.optimal_latency = int(makespan)
             certificate = check_certificate(record.result)
             outcome.certificate = certificate
             outcome.certified = certificate.ok
@@ -374,6 +411,7 @@ def cross_check(
         report.outcomes.append(outcome)
 
     implicated = _check_exact_soundness(report)
+    implicated.extend(_check_oracle_agreement(report))
     # A record that exposed a bug must never enter the cache — a later
     # --resume would silently serve the lie as scalars.  That includes
     # the certified witnesses of a soundness violation (a scalar hit
@@ -425,10 +463,11 @@ def _check_exact_soundness(report: CrossCheckReport) -> List[StrategyOutcome]:
         for outcome in report.outcomes
         if outcome.scheduler in COMPLETE_SCHEDULERS
         and not outcome.feasible
-        # A size rejection ("exact scheduling limited to N operations")
-        # proves nothing about feasibility; only genuine search exhaustion
-        # is authoritative.
-        and "limited to" not in (outcome.error or "")
+        # A capacity rejection (size cap, node budget, unsupported
+        # constraint) proves nothing about feasibility; only a genuine
+        # verdict is authoritative.  Recognised by exception type, not
+        # by matching error prose.
+        and outcome.is_verdict
     ]
     if not exact_infeasible:
         return []
@@ -452,3 +491,77 @@ def _check_exact_soundness(report: CrossCheckReport) -> List[StrategyOutcome]:
             )
         )
     return witnesses
+
+
+def _check_oracle_agreement(report: CrossCheckReport) -> List[StrategyOutcome]:
+    """The complete schedulers must agree with each other.
+
+    ``exact`` and ``ilp`` are independent exact engines for the same
+    optimization problem.  Whenever two of them produce verdicts for one
+    task they must split neither on feasibility nor — when both are
+    feasible — on the optimal makespan they claim.  Capacity outcomes
+    (``is_verdict`` False) abstain.
+
+    Returns the implicated outcomes so their records stay out of the
+    cache (a resumed scalar hit could no longer testify).
+    """
+    by_scheduler: Dict[str, StrategyOutcome] = {}
+    for outcome in report.outcomes:
+        if outcome.scheduler in COMPLETE_SCHEDULERS and outcome.is_verdict:
+            # Binder choice cannot change a scheduling verdict; one
+            # representative outcome per scheduler suffices.
+            by_scheduler.setdefault(outcome.scheduler, outcome)
+    oracles = [by_scheduler[name] for name in COMPLETE_SCHEDULERS if name in by_scheduler]
+    if len(oracles) < 2:
+        return []
+    implicated: List[StrategyOutcome] = []
+
+    def implicate(*schedulers: str) -> None:
+        implicated.extend(
+            outcome
+            for outcome in report.outcomes
+            if outcome.scheduler in schedulers
+        )
+
+    reference = oracles[0]
+    for other in oracles[1:]:
+        if reference.feasible != other.feasible:
+            feasible, infeasible = (
+                (reference, other) if reference.feasible else (other, reference)
+            )
+            report.violations.append(
+                Violation(
+                    "differential-oracle",
+                    f"{reference.scheduler}/{other.scheduler}",
+                    f"complete schedulers split on feasibility: "
+                    f"{feasible.scheduler} found a schedule, "
+                    f"{infeasible.scheduler} proved infeasibility "
+                    f"({infeasible.error_type}: {infeasible.error})",
+                    {
+                        "feasible": feasible.scheduler,
+                        "infeasible": infeasible.scheduler,
+                    },
+                )
+            )
+            implicate(reference.scheduler, other.scheduler)
+        elif (
+            reference.feasible
+            and reference.optimal_latency is not None
+            and other.optimal_latency is not None
+            and reference.optimal_latency != other.optimal_latency
+        ):
+            report.violations.append(
+                Violation(
+                    "differential-oracle",
+                    f"{reference.scheduler}/{other.scheduler}",
+                    f"complete schedulers disagree on the optimal makespan: "
+                    f"{reference.scheduler} says {reference.optimal_latency}, "
+                    f"{other.scheduler} says {other.optimal_latency}",
+                    {
+                        reference.scheduler: reference.optimal_latency,
+                        other.scheduler: other.optimal_latency,
+                    },
+                )
+            )
+            implicate(reference.scheduler, other.scheduler)
+    return implicated

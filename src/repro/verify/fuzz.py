@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..api.task import SynthesisTask
+from ..binding.register import register_lower_bound
 from ..ir.analysis import critical_path_length
 from ..library.library import default_library
 from ..library.selection import (
@@ -33,6 +34,8 @@ from ..library.selection import (
     selection_powers,
 )
 from ..registries import SCHEDULERS
+from ..scheduling.alap import alap_schedule
+from ..scheduling.asap import asap_schedule
 from ..scheduling.constraints import minimum_feasible_power
 from ..suite.generators import FAMILIES, family_cdfg
 from .differential import COMPLETE_SCHEDULERS, CrossCheckReport, cross_check
@@ -52,6 +55,13 @@ class FuzzConfig:
         unbounded_fraction: Share of cases run without a power budget.
         tight_fraction: Share of cases probing *below* the analytic
             feasibility floor (exercising the typed-infeasibility paths).
+        register_fraction: Share of cases that additionally carry a
+            register budget, sampled around the best register count the
+            ASAP/ALAP schedules achieve — sometimes one below it, so the
+            register-infeasibility path is exercised too.  Only the
+            register-aware schedulers produce verdicts on these cases;
+            everyone else must report a typed
+            ``UnsupportedConstraintError``.
     """
 
     families: Tuple[str, ...] = ()
@@ -62,6 +72,7 @@ class FuzzConfig:
     max_slack: int = 6
     unbounded_fraction: float = 0.2
     tight_fraction: float = 0.25
+    register_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         if self.seeds < 1:
@@ -70,6 +81,8 @@ class FuzzConfig:
             raise ValueError("max_slack must be non-negative")
         if not 0.0 <= self.unbounded_fraction + self.tight_fraction <= 1.0:
             raise ValueError("case-mix fractions must sum to within [0, 1]")
+        if not 0.0 <= self.register_fraction <= 1.0:
+            raise ValueError("register_fraction must be within [0, 1]")
 
     def family_names(self) -> List[str]:
         return list(self.families) if self.families else FAMILIES.names()
@@ -84,6 +97,7 @@ class FuzzConfig:
             "max_slack": self.max_slack,
             "unbounded_fraction": self.unbounded_fraction,
             "tight_fraction": self.tight_fraction,
+            "register_fraction": self.register_fraction,
         }
 
 
@@ -136,13 +150,45 @@ def fuzz_case_tasks(config: FuzzConfig) -> Iterator[FuzzCase]:
                 budget = round(floor * rng.uniform(0.5, 0.95), 3)
             else:
                 budget = round(floor * rng.uniform(1.0, 3.0), 3)
+            register_budget = _sample_register_budget(
+                config, family, seed, cdfg, delays, powers, latency
+            )
             task = SynthesisTask.of(
                 cdfg,
                 latency=latency,
                 power_budget=budget,
+                register_budget=register_budget,
                 label=f"{family}/s{seed}",
             )
             yield FuzzCase(family=family, seed=seed, task=task, power_floor=floor)
+
+
+def _sample_register_budget(
+    config: FuzzConfig,
+    family: str,
+    seed: int,
+    cdfg,
+    delays,
+    powers,
+    latency: int,
+) -> Optional[int]:
+    """Draw a register budget for a fraction of the cases (else ``None``).
+
+    A separate RNG stream keeps the (latency, power) draws of existing
+    seeds stable.  The reference point is the better of the ASAP/ALAP
+    register counts at this latency — an upper bound on the true
+    schedulable floor — and the draw lands mostly at or above it (cheap
+    feasible ILP solves) with an occasional ``reference - 1`` probe that
+    may cross into provable infeasibility.
+    """
+    rng = random.Random(f"fuzz-reg:{family}:{seed}")
+    if rng.random() >= config.register_fraction:
+        return None
+    reference = min(
+        register_lower_bound(asap_schedule(cdfg, delays, powers)),
+        register_lower_bound(alap_schedule(cdfg, delays, powers, latency)),
+    )
+    return max(1, reference + rng.choice((-1, 0, 0, 1, 2)))
 
 
 @dataclass

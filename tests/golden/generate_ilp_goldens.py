@@ -1,0 +1,80 @@
+"""Generate golden exact-vs-ilp agreement fixtures (``golden_ilp.json``).
+
+Each case pins, for one small benchmark and one ``(T, P)`` point, the
+feasibility verdict and — when feasible — the optimal makespan, as
+decided by the exhaustive ``exact`` scheduler with its size cap raised
+to cover the benchmark.  ``test_golden_ilp.py`` then asserts that both
+exact engines still reproduce these verdicts bit-for-bit.
+
+Regenerate (and say so loudly in the PR) with::
+
+    PYTHONPATH=src python tests/golden/generate_ilp_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.library import default_library
+from repro.library.selection import (
+    MinPowerSelection,
+    selection_delays,
+    selection_powers,
+)
+from repro.scheduling.constraints import PowerConstraint
+from repro.scheduling.exact import minimum_latency_under_power
+from repro.suite.registry import build_benchmark
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: (benchmark, latency bound, power budget or None) — all benchmarks
+#: small enough for the exhaustive search once its cap is raised.
+CASES = [
+    ("chain", 26, None),
+    ("chain", 26, 10.0),
+    ("chain", 23, None),  # below the critical path: infeasible
+    ("tree", 7, 15.0),
+    ("tree", 6, 12.0),
+    ("tree", 5, 7.0),  # power floor forces serialization T=5 cannot hold
+    ("butterfly", 9, 15.0),
+    ("butterfly", 8, 12.0),
+]
+
+#: Exact-search cap that covers every benchmark above.
+EXACT_CAP = 16
+
+
+def main() -> None:
+    library = default_library()
+    entries = []
+    for benchmark, latency, power in CASES:
+        cdfg = build_benchmark(benchmark)
+        selection = MinPowerSelection().select(cdfg, library)
+        delays = selection_delays(selection, cdfg)
+        powers = selection_powers(selection, cdfg)
+        budget = (
+            PowerConstraint.unbounded() if power is None else PowerConstraint(power)
+        )
+        optimum = minimum_latency_under_power(
+            cdfg, delays, powers, budget, horizon=latency, max_operations=EXACT_CAP
+        )
+        entries.append(
+            {
+                "benchmark": benchmark,
+                "latency": latency,
+                "power": power,
+                "feasible": optimum is not None,
+                "optimal_makespan": optimum,
+            }
+        )
+        print(entries[-1])
+    path = os.path.join(HERE, "golden_ilp.json")
+    with open(path, "w") as handle:
+        json.dump({"exact_cap": EXACT_CAP, "cases": entries}, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

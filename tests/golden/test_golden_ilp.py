@@ -1,0 +1,126 @@
+"""Golden exact-vs-ilp agreement on the small benchmarks.
+
+``exact`` (exhaustive search) and ``ilp`` (integer programming) are
+independent implementations of the same optimization problem; the
+fixtures in ``golden_ilp.json`` pin its answers on every benchmark small
+enough for both.  Regenerate with ``generate_ilp_goldens.py`` (and say
+so loudly in the PR) if a case is ever added.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api.task import SynthesisTask
+from repro.library import default_library
+from repro.library.selection import (
+    MinPowerSelection,
+    selection_delays,
+    selection_powers,
+)
+from repro.lp.formulation import ILPInfeasibleError, ilp_schedule
+from repro.scheduling.constraints import PowerConstraint
+from repro.scheduling.exact import ExactSizeError, minimum_latency_under_power
+from repro.suite.registry import build_benchmark
+from repro.verify.certificate import check_certificate
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+with open(os.path.join(HERE, "golden_ilp.json")) as _handle:
+    _GOLDEN = json.load(_handle)
+
+EXACT_CAP = _GOLDEN["exact_cap"]
+CASES = _GOLDEN["cases"]
+
+
+def _ids(case):
+    return f"{case['benchmark']}-T{case['latency']}-P{case['power']}"
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library()
+
+
+def maps_for(cdfg, library):
+    selection = MinPowerSelection().select(cdfg, library)
+    return selection_delays(selection, cdfg), selection_powers(selection, cdfg)
+
+
+@pytest.mark.parametrize("case", CASES, ids=_ids)
+class TestGoldenAgreement:
+    def test_exact_matches_the_golden_verdict(self, case, library):
+        cdfg = build_benchmark(case["benchmark"])
+        delays, powers = maps_for(cdfg, library)
+        budget = (
+            PowerConstraint.unbounded()
+            if case["power"] is None
+            else PowerConstraint(case["power"])
+        )
+        optimum = minimum_latency_under_power(
+            cdfg,
+            delays,
+            powers,
+            budget,
+            horizon=case["latency"],
+            max_operations=EXACT_CAP,
+        )
+        assert (optimum is not None) == case["feasible"]
+        assert optimum == case["optimal_makespan"]
+
+    def test_ilp_matches_the_golden_verdict(self, case, library):
+        cdfg = build_benchmark(case["benchmark"])
+        delays, powers = maps_for(cdfg, library)
+        budget = (
+            PowerConstraint.unbounded()
+            if case["power"] is None
+            else PowerConstraint(case["power"])
+        )
+        if not case["feasible"]:
+            with pytest.raises(ILPInfeasibleError):
+                ilp_schedule(cdfg, delays, powers, budget, case["latency"])
+            return
+        schedule = ilp_schedule(cdfg, delays, powers, budget, case["latency"])
+        assert schedule.metadata["optimal_makespan"] == case["optimal_makespan"]
+        assert schedule.makespan == case["optimal_makespan"]
+
+
+class TestBeyondTheExactCap:
+    """mesh (18 operations) is above the default exact size cap: the
+    exhaustive search must decline with a *capacity* verdict while the
+    ILP produces a certified optimal schedule for the same task."""
+
+    TASK = dict(graph="mesh", latency=14, power_budget=20.0)
+
+    def test_exact_declines_with_a_capacity_verdict(self, library):
+        cdfg = build_benchmark("mesh")
+        delays, powers = maps_for(cdfg, library)
+        with pytest.raises(ExactSizeError):
+            minimum_latency_under_power(
+                cdfg, delays, powers, PowerConstraint(20.0), horizon=14
+            )
+
+    def test_ilp_certifies_an_optimal_result(self):
+        task = SynthesisTask(scheduler="ilp", verify=False, **self.TASK)
+        result = task.run()
+        report = check_certificate(result)
+        assert report.ok, report.describe()
+        assert result.schedule.metadata["optimal_makespan"] == result.schedule.makespan
+
+    def test_raising_the_cap_brings_exact_back_in_agreement(self):
+        # Satellite check: the cap is a task-level option, and once it is
+        # raised the exhaustive search confirms the ILP's optimum.
+        ilp = SynthesisTask(scheduler="ilp", verify=False, **self.TASK).run()
+        exact = SynthesisTask(
+            scheduler="exact",
+            verify=False,
+            options={"exact_max_operations": 18},
+            **self.TASK,
+        ).run()
+        assert (
+            exact.schedule.metadata["optimal_makespan"]
+            == ilp.schedule.metadata["optimal_makespan"]
+        )

@@ -1,0 +1,169 @@
+"""Tests for the time-indexed scheduling formulation and its decoders."""
+
+import pytest
+
+from repro.ir.analysis import critical_path_length
+from repro.ir.builder import CDFGBuilder
+from repro.library.library import default_library
+from repro.library.selection import (
+    MinPowerSelection,
+    selection_delays,
+    selection_powers,
+)
+from repro.lp import formulation
+from repro.lp.formulation import (
+    ILPInfeasibleError,
+    ILPLimitError,
+    build_schedule_model,
+    ilp_schedule,
+    minimum_registers,
+    schedule_register_usage,
+)
+from repro.binding.register import register_lower_bound
+from repro.scheduling.asap import asap_schedule
+from repro.scheduling.alap import alap_schedule
+from repro.scheduling.constraints import PowerConstraint
+from repro.scheduling.exact import minimum_latency_under_power
+
+LIBRARY = default_library()
+UNBOUNDED = PowerConstraint.unbounded()
+
+
+def maps_for(cdfg):
+    selection = MinPowerSelection().select(cdfg, LIBRARY)
+    return selection_delays(selection, cdfg), selection_powers(selection, cdfg)
+
+
+def two_independent_adds():
+    b = CDFGBuilder("pair")
+    x = b.const("x")
+    y = b.const("y")
+    b.add("a1", x, y)
+    b.add("a2", x, y)
+    return b.build()
+
+
+class TestBuildModel:
+    def test_windows_match_asap_alap(self, diamond):
+        delays, powers = maps_for(diamond)
+        latency = critical_path_length(diamond, delays) + 2
+        model = build_schedule_model(diamond, delays, powers, UNBOUNDED, latency)
+        asap = asap_schedule(diamond, delays, powers)
+        alap = alap_schedule(diamond, delays, powers, latency)
+        for name, (lo, hi) in model.windows.items():
+            assert lo == asap.start(name)
+            assert hi == alap.start(name)
+        # One binary per (operation, start cycle) in the window.
+        for name, (lo, hi) in model.windows.items():
+            for cycle in range(lo, hi + 1):
+                assert (name, cycle) in model.starts
+
+    def test_latency_below_critical_path_is_infeasible_at_build(self, diamond):
+        delays, powers = maps_for(diamond)
+        latency = critical_path_length(diamond, delays)
+        with pytest.raises(ILPInfeasibleError):
+            build_schedule_model(diamond, delays, powers, UNBOUNDED, latency - 1)
+
+    def test_size_guard_is_a_limit_not_a_verdict(self, diamond, monkeypatch):
+        delays, powers = maps_for(diamond)
+        monkeypatch.setattr(formulation, "MAX_START_VARIABLES", 2)
+        with pytest.raises(ILPLimitError):
+            build_schedule_model(diamond, delays, powers, UNBOUNDED, 10)
+
+
+class TestIlpSchedule:
+    def test_matches_exact_optimum_without_budget(self, diamond):
+        delays, powers = maps_for(diamond)
+        optimum = minimum_latency_under_power(diamond, delays, powers, UNBOUNDED)
+        schedule = ilp_schedule(
+            diamond, delays, powers, UNBOUNDED, optimum + 3
+        )
+        assert schedule.makespan == optimum
+        assert schedule.metadata["optimal_makespan"] == optimum
+
+    def test_power_budget_forces_serialization_like_exact(self):
+        cdfg = two_independent_adds()
+        delays, powers = maps_for(cdfg)
+        budget = PowerConstraint(3.0)  # both adds together draw 5.0
+        optimum = minimum_latency_under_power(cdfg, delays, powers, budget)
+        schedule = ilp_schedule(cdfg, delays, powers, budget, 4)
+        assert schedule.makespan == optimum == 2
+
+    def test_schedule_is_precedence_and_power_clean(self, diamond):
+        delays, powers = maps_for(diamond)
+        budget = PowerConstraint(20.0)
+        latency = critical_path_length(diamond, delays) + 2
+        schedule = ilp_schedule(diamond, delays, powers, budget, latency)
+        assert schedule.respects_precedence()
+        assert schedule.peak_power <= 20.0
+
+    def test_infeasible_budget_is_a_proof(self):
+        cdfg = two_independent_adds()
+        delays, powers = maps_for(cdfg)
+        # T=1 forces both adds into the same cycle; P=3 forbids it.
+        with pytest.raises(ILPInfeasibleError):
+            ilp_schedule(cdfg, delays, powers, PowerConstraint(3.0), 1)
+
+    def test_node_limit_is_inconclusive_not_infeasible(self, diamond):
+        delays, powers = maps_for(diamond)
+        latency = critical_path_length(diamond, delays) + 2
+        with pytest.raises(ILPLimitError):
+            ilp_schedule(
+                diamond, delays, powers, UNBOUNDED, latency, node_limit=0
+            )
+
+
+class TestRegisterBudget:
+    def test_budgeted_schedule_respects_the_budget(self, chain):
+        delays, powers = maps_for(chain)
+        latency = critical_path_length(chain, delays) + 2
+        floor = minimum_registers(chain, delays, powers, latency)
+        schedule = ilp_schedule(
+            chain, delays, powers, UNBOUNDED, latency, register_budget=floor
+        )
+        assert schedule_register_usage(schedule) <= floor
+        assert schedule.metadata["register_budget"] == floor
+
+    def test_below_the_floor_is_infeasible(self, chain):
+        delays, powers = maps_for(chain)
+        latency = critical_path_length(chain, delays) + 2
+        floor = minimum_registers(chain, delays, powers, latency)
+        assert floor > 0
+        with pytest.raises(ILPInfeasibleError):
+            ilp_schedule(
+                chain,
+                delays,
+                powers,
+                UNBOUNDED,
+                latency,
+                register_budget=floor - 1,
+            )
+
+    def test_minimum_registers_never_beats_any_schedule(self, diamond):
+        # The optimum over all schedules is <= the usage of any concrete
+        # feasible schedule at the same latency.
+        delays, powers = maps_for(diamond)
+        latency = critical_path_length(diamond, delays) + 1
+        floor = minimum_registers(diamond, delays, powers, latency)
+        witness = asap_schedule(diamond, delays, powers)
+        assert floor <= schedule_register_usage(witness)
+
+    def test_pessimistic_model_counts_edges(self, diamond):
+        delays, powers = maps_for(diamond)
+        schedule = asap_schedule(diamond, delays, powers)
+        optimistic = schedule_register_usage(schedule, "optimistic")
+        pessimistic = schedule_register_usage(schedule, "pessimistic")
+        # Per-edge counting can only over-approximate per-value counting.
+        assert pessimistic >= optimistic
+
+    def test_optimistic_usage_matches_the_binding_layer(self, diamond, chain):
+        for cdfg in (diamond, chain):
+            delays, powers = maps_for(cdfg)
+            schedule = asap_schedule(cdfg, delays, powers)
+            assert schedule_register_usage(schedule) == register_lower_bound(schedule)
+
+    def test_unknown_memory_model_rejected(self, diamond):
+        delays, powers = maps_for(diamond)
+        schedule = asap_schedule(diamond, delays, powers)
+        with pytest.raises(ValueError):
+            schedule_register_usage(schedule, "hopeful")

@@ -8,7 +8,7 @@ from repro.api.task import SynthesisTask
 from repro.explore import ResultCache
 from repro.registries import BINDERS, SCHEDULERS
 from repro.verify import CrossCheckReport, StrategyOutcome, cross_check, strategy_pairs
-from repro.verify.differential import _check_exact_soundness
+from repro.verify.differential import _check_exact_soundness, _check_oracle_agreement
 
 
 class TestStrategyPairs:
@@ -253,7 +253,12 @@ class TestSoundnessSurvivesResume:
 
 class TestExactSoundness:
     @staticmethod
-    def _report(exact_error, witness_scheduler="pasap", certified=True):
+    def _report(
+        exact_error,
+        witness_scheduler="pasap",
+        certified=True,
+        error_type="ExactSchedulerError",
+    ):
         report = CrossCheckReport(
             task=SynthesisTask(graph="hal", latency=17, power_budget=12.0)
         )
@@ -263,7 +268,7 @@ class TestExactSoundness:
                 binder="greedy",
                 feasible=False,
                 error=exact_error,
-                error_type="ExactSchedulerError",
+                error_type=error_type,
             )
         )
         report.outcomes.append(
@@ -284,7 +289,12 @@ class TestExactSoundness:
         assert report.violations[0].kind == "differential-soundness"
 
     def test_size_rejection_is_not_authoritative(self):
-        report = self._report("exact scheduling limited to 12 operations, got 20")
+        # Capacity verdicts are recognised by exception *type*, not by
+        # pattern-matching the error prose.
+        report = self._report(
+            "exact scheduling limited to 12 operations, got 20",
+            error_type="ExactSizeError",
+        )
         _check_exact_soundness(report)
         assert report.ok
 
@@ -305,3 +315,78 @@ class TestExactSoundness:
         )
         _check_exact_soundness(report)
         assert report.ok
+
+
+class TestOracleAgreement:
+    """exact and ilp are independent exact engines: verdicts must match."""
+
+    @staticmethod
+    def _report(*outcomes):
+        report = CrossCheckReport(
+            task=SynthesisTask(graph="hal", latency=17, power_budget=12.0)
+        )
+        report.outcomes.extend(outcomes)
+        return report
+
+    @staticmethod
+    def _outcome(scheduler, feasible, optimal=None, error_type=None, binder="greedy"):
+        return StrategyOutcome(
+            scheduler=scheduler,
+            binder=binder,
+            feasible=feasible,
+            certified=True if feasible else None,
+            area=100.0 if feasible else None,
+            optimal_latency=optimal,
+            error=None if feasible else "no schedule meets the constraints",
+            error_type=error_type,
+        )
+
+    def test_matching_verdicts_pass(self):
+        report = self._report(
+            self._outcome("exact", True, optimal=16),
+            self._outcome("ilp", True, optimal=16),
+        )
+        assert _check_oracle_agreement(report) == []
+        assert report.ok
+
+    def test_feasibility_split_is_flagged(self):
+        report = self._report(
+            self._outcome("exact", False, error_type="ExactSchedulerError"),
+            self._outcome("ilp", True, optimal=16),
+        )
+        implicated = _check_oracle_agreement(report)
+        assert not report.ok
+        assert report.violations[0].kind == "differential-oracle"
+        # Both oracles' records must stay out of the cache.
+        assert {o.scheduler for o in implicated} == {"exact", "ilp"}
+
+    def test_optimal_makespan_mismatch_is_flagged(self):
+        report = self._report(
+            self._outcome("exact", True, optimal=16),
+            self._outcome("ilp", True, optimal=17),
+        )
+        _check_oracle_agreement(report)
+        assert not report.ok
+        assert "optimal makespan" in report.violations[0].message
+
+    def test_capacity_outcomes_abstain(self):
+        report = self._report(
+            self._outcome("exact", False, error_type="ExactSizeError"),
+            self._outcome("ilp", True, optimal=16),
+        )
+        assert _check_oracle_agreement(report) == []
+        assert report.ok
+
+    def test_implication_covers_every_binder_pair(self):
+        # Each binder pair has its own cache record; a disagreement must
+        # implicate all of them, not just the representative outcome.
+        report = self._report(
+            self._outcome("exact", False, error_type="ExactSchedulerError"),
+            self._outcome(
+                "exact", False, error_type="ExactSchedulerError", binder="naive"
+            ),
+            self._outcome("ilp", True, optimal=16),
+            self._outcome("ilp", True, optimal=16, binder="naive"),
+        )
+        implicated = _check_oracle_agreement(report)
+        assert len(implicated) == 4
