@@ -1,0 +1,165 @@
+"""Result-store scalability — columnar vs. legacy at 100k records.
+
+The store subsystem's pitch (ISSUE 8) is that a sweep-scale cache keeps
+answering fast: point lookups stay O(log n) against a sorted key block,
+and range queries read only the columns they filter on instead of
+parsing every JSON object on disk.  This module builds one synthetic
+corpus of ``REPRO_STORE_BENCH_N`` records (default 100 000) in **both**
+backends and measures, from cold store instances:
+
+* ``test_point_lookup[backend]`` — 200 content-address lookups,
+* ``test_full_scan[backend]`` — one full row scan (no record bodies),
+* ``test_family_range_query[backend]`` — a family + power-range query,
+  the adaptive refiner's access pattern,
+* ``test_range_query_speedup_at_least_10x`` — asserts the contract:
+  columnar answers the range query at least 10x faster than legacy.
+
+Record the numbers into the repository's benchmark history with::
+
+    python benchmarks/record.py --bench bench_store_scale \
+        --history BENCH_scalability.json --label store-scale
+
+(see :mod:`benchmarks.record`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.store import ColumnarStore, LegacyStore, StoreQuery
+
+#: Corpus size; the ISSUE-8 acceptance floor is 100k records.
+RECORDS = int(os.environ.get("REPRO_STORE_BENCH_N", "100000"))
+FAMILIES = 20
+LOOKUPS = 200
+
+#: The refiner-shaped query: one benchmark family, one power window.
+RANGE_QUERY = StoreQuery(family="fam07", power=(10.0, 20.0))
+
+
+def synthetic_payload(index: int):
+    key = hashlib.sha256(f"bench-store-{index}".encode()).hexdigest()
+    family = f"fam{index % FAMILIES:02d}"
+    power = float(index % 500) / 10.0
+    record = {
+        "task": {
+            "graph": family,
+            "scheduler": "pasap",
+            "binder": "greedy",
+            "selector": "min_area",
+            "latency": 10 + index % 20,
+            "power_budget": power,
+            "register_budget": None,
+            "label": f"bench-{index}",
+        },
+        "feasible": index % 7 != 0,
+        "area": 50.0 + (index % 1000) * 0.25,
+        "fu_area": 40.0 + (index % 1000) * 0.2,
+        "peak_power": power * 0.9,
+        "latency": 10 + index % 20,
+        "registers": 4 + index % 9,
+        "backtracks": index % 5,
+        "elapsed": 0.002,
+        "cached": False,
+        "error_type": None,
+    }
+    return key, {"key": key, "record": record}
+
+
+class Corpus:
+    """Both backends populated with the same synthetic records, once."""
+
+    def __init__(self) -> None:
+        self.root = tempfile.mkdtemp(prefix="repro-bench-store-")
+        self.legacy_root = os.path.join(self.root, "legacy")
+        self.columnar_root = os.path.join(self.root, "columnar")
+        legacy = LegacyStore(self.legacy_root)
+        columnar = ColumnarStore(self.columnar_root)
+        self.probe_keys = []
+        for index in range(RECORDS):
+            key, payload = synthetic_payload(index)
+            legacy.put(key, payload)
+            columnar.put(key, payload)
+            if index % (max(RECORDS // LOOKUPS, 1)) == 0:
+                self.probe_keys.append(key)
+        columnar.compact()
+
+    def open(self, backend: str):
+        """A cold store instance (no warmed in-memory shard state)."""
+        if backend == "columnar":
+            return ColumnarStore(self.columnar_root)
+        return LegacyStore(self.legacy_root)
+
+    def cleanup(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    built = Corpus()
+    yield built
+    built.cleanup()
+
+
+@pytest.mark.parametrize("backend", ["legacy", "columnar"])
+def test_point_lookup(benchmark, corpus, backend):
+    """Cold point lookups by content address."""
+
+    def lookup():
+        store = corpus.open(backend)
+        hits = sum(1 for key in corpus.probe_keys if store.get(key) is not None)
+        assert hits == len(corpus.probe_keys)
+        return hits
+
+    benchmark.pedantic(lookup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("backend", ["legacy", "columnar"])
+def test_full_scan(benchmark, corpus, backend):
+    """One pass over every indexed row (no record bodies)."""
+
+    def scan():
+        rows = sum(1 for _ in corpus.open(backend).scan())
+        assert rows == RECORDS
+        return rows
+
+    benchmark.pedantic(scan, rounds=2 if backend == "legacy" else 3, iterations=1)
+
+
+@pytest.mark.parametrize("backend", ["legacy", "columnar"])
+def test_family_range_query(benchmark, corpus, backend):
+    """The refiner's access pattern: one family, one power window."""
+
+    def query():
+        rows = list(corpus.open(backend).scan(RANGE_QUERY))
+        assert rows, "the synthetic corpus always has fam07 rows in 10..20"
+        for row in rows:
+            assert row.family == "fam07" and 10.0 <= row.power_budget <= 20.0
+        return len(rows)
+
+    benchmark.pedantic(query, rounds=2 if backend == "legacy" else 5, iterations=1)
+
+
+def test_range_query_speedup_at_least_10x(corpus):
+    """The ISSUE-8 acceptance bar: >=10x on family/constraint-range queries."""
+
+    def timed(backend):
+        store = corpus.open(backend)
+        started = time.perf_counter()
+        rows = list(store.scan(RANGE_QUERY))
+        return time.perf_counter() - started, rows
+
+    legacy_elapsed, legacy_rows = timed("legacy")
+    columnar_elapsed, columnar_rows = timed("columnar")
+    assert sorted(r.key for r in legacy_rows) == sorted(r.key for r in columnar_rows)
+    assert legacy_elapsed >= 10 * columnar_elapsed, (
+        f"columnar range query must be >=10x faster: "
+        f"legacy={legacy_elapsed:.3f}s columnar={columnar_elapsed:.3f}s "
+        f"({legacy_elapsed / max(columnar_elapsed, 1e-9):.1f}x)"
+    )

@@ -97,7 +97,16 @@ from .api import (
     run_batch,
     run_task,
 )
-from .explore import ResultCache, adaptive_power_sweep
+from .explore import ResultCache, adaptive_power_sweep, iter_journal
+from .store import (
+    ColumnarStore,
+    LegacyStore,
+    ResultStore,
+    StoreQuery,
+    StoredRow,
+    migrate_store,
+    open_store,
+)
 from .verify import (
     CertificateError,
     CertificateReport,
@@ -117,7 +126,7 @@ from .lp import (
     solve_milp,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "CDFG",
@@ -166,6 +175,14 @@ __all__ = [
     "run_batch",
     "ResultCache",
     "adaptive_power_sweep",
+    "iter_journal",
+    "ResultStore",
+    "ColumnarStore",
+    "LegacyStore",
+    "StoreQuery",
+    "StoredRow",
+    "open_store",
+    "migrate_store",
     "CertificateError",
     "CertificateReport",
     "Violation",

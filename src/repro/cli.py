@@ -15,6 +15,9 @@ flows without writing any Python:
 * ``fuzz`` — differential fuzzing: seeded tasks from every scenario
   family run through every scheduler × binder pair, every feasible
   result certified from scratch (see :mod:`repro.verify`),
+* ``store`` — inspect and maintain a result-store directory: ``stats``,
+  ``compact``, ``migrate`` (legacy ↔ columnar, verified bit-identical)
+  and ``query`` (columnar range scans; see :mod:`repro.store`),
 * ``serve`` — run the long-lived HTTP synthesis service (persistent job
   queue + worker pool + shared result cache; see :mod:`repro.serve`),
 * ``submit`` — send a batch file to a running server and (optionally)
@@ -83,7 +86,12 @@ def _open_cache(args: argparse.Namespace) -> Optional[ResultCache]:
         raise SystemExit("--resume requires --cache-dir (nowhere to resume from)")
     if args.cache_dir is None:
         return None
-    return ResultCache(args.cache_dir, read=bool(getattr(args, "resume", False)))
+    backend = getattr(args, "cache_backend", "auto")
+    return ResultCache(
+        args.cache_dir,
+        read=bool(getattr(args, "resume", False)),
+        backend=None if backend == "auto" else backend,
+    )
 
 
 def _print_cache_summary(cache: Optional[ResultCache]) -> None:
@@ -95,7 +103,7 @@ def _print_cache_summary(cache: Optional[ResultCache]) -> None:
     print(
         f"cache: {stats.hits} hit(s), {stats.misses} miss(es), "
         f"{stats.writes} new record(s) in this process; "
-        f"{len(cache)} on disk in {cache.root}"
+        f"{len(cache)} on disk in {cache.root} [{cache.backend}]"
     )
 
 
@@ -348,15 +356,144 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else EXIT_VIOLATIONS
 
 
+def _parse_range(text: Optional[str], name: str):
+    """Parse a ``repro store query`` range: ``X`` exact or ``LO:HI`` inclusive."""
+    if text is None:
+        return None
+    if ":" not in text:
+        try:
+            return float(text)
+        except ValueError:
+            raise SystemExit(f"--{name} expects a number or LO:HI, got {text!r}")
+    lo_text, _, hi_text = text.partition(":")
+    try:
+        lo = float(lo_text) if lo_text else None
+        hi = float(hi_text) if hi_text else None
+    except ValueError:
+        raise SystemExit(f"--{name} expects a number or LO:HI, got {text!r}")
+    return (lo, hi)
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    from .store import open_store
+
+    stats = open_store(args.dir).store_stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"store: {stats['root']}  backend={stats['backend']}")
+    print(f"  records: {stats['records']}   bytes: {stats['bytes']}")
+    for shard in stats.get("shards", []):
+        print(
+            f"  shard {shard['prefix']}: gen={shard['generation']} "
+            f"compacted={shard['compacted_rows']} tail={shard['tail_rows']} "
+            f"segments={shard['segments']} bytes={shard['bytes']}"
+        )
+    return 0
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    from .store import open_store
+
+    store = open_store(args.dir)
+    report = store.compact()
+    if report.get("shards") is None:
+        print(f"nothing to compact: {args.dir} is a {store.backend} store")
+        return 0
+    print(
+        f"compacted {report['compacted']} record(s) across {report['shards']} "
+        f"shard(s); {report['removed']} consumed segment(s) removed"
+    )
+    return 0
+
+
+def _cmd_store_migrate(args: argparse.Namespace) -> int:
+    from .store import migrate_store, open_store, verify_migration
+
+    source = open_store(args.source)
+    destination = open_store(args.destination, backend=args.to)
+    report = migrate_store(source, destination)
+    print(
+        f"migrated {report['records']} record(s) "
+        f"(+{report['replayed']} replayed from the journal) "
+        f"{report['source_backend']} -> {report['destination_backend']}"
+    )
+    if not args.no_verify:
+        verified = verify_migration(source, destination)
+        print(f"verified: {verified['records']} record(s) bit-identical")
+    return 0
+
+
+def _cmd_store_query(args: argparse.Namespace) -> int:
+    from .store import StoreQuery, open_store
+
+    store = open_store(args.dir)
+    query = StoreQuery(
+        family=args.family,
+        scheduler=args.scheduler,
+        binder=args.binder,
+        selector=args.selector,
+        feasible=(
+            True if args.feasible else False if args.infeasible else None
+        ),
+        latency=_parse_range(args.latency, "latency"),
+        power=_parse_range(args.power, "power"),
+        register=_parse_range(args.register, "register"),
+    )
+    rows = []
+    matched = 0
+    for row in store.scan(query):
+        matched += 1
+        if args.limit is not None and matched > args.limit:
+            continue  # keep counting, stop collecting
+        rows.append(row)
+    if args.json:
+        shown = (row.to_dict() for row in rows)
+        print(json.dumps({"total": matched, "rows": list(shown)}, indent=2))
+        return 0
+    table_rows = [
+        [
+            row.key[:12],
+            row.family or "<inline>",
+            row.scheduler,
+            row.binder,
+            row.latency if row.latency is not None else "-",
+            f"{row.power_budget:g}" if row.power_budget is not None else "-",
+            row.register_budget if row.register_budget is not None else "-",
+            "yes" if row.feasible else "no",
+            f"{row.area:.2f}" if row.area is not None else "-",
+            f"{row.peak_power:.2f}" if row.peak_power is not None else "-",
+        ]
+        for row in rows
+    ]
+    print(
+        render_table(
+            ["key", "family", "scheduler", "binder", "T", "P", "R", "feasible", "area", "peak"],
+            table_rows,
+            title=f"{matched} matching record(s) in {args.dir} [{store.backend}]",
+        )
+    )
+    if args.limit is not None and matched > args.limit:
+        print(f"(showing {args.limit} of {matched}; raise --limit)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve.http import SynthesisServer
     from .serve.service import SynthesisService
 
     cache = None
     if args.cache_dir is not None:
-        cache = ResultCache(args.cache_dir)
+        backend = getattr(args, "cache_backend", "auto")
+        cache = ResultCache(
+            args.cache_dir, backend=None if backend == "auto" else backend
+        )
+    backend = getattr(args, "cache_backend", "auto")
     service = SynthesisService(
-        args.state_dir, cache=cache, workers=args.workers
+        args.state_dir,
+        cache=cache,
+        cache_backend=None if backend == "auto" else backend,
+        workers=args.workers,
     ).start()
     server = SynthesisServer((args.host, args.port), service, verbose=args.verbose)
     print(f"repro serve: listening on {server.url}")
@@ -504,6 +641,13 @@ def build_parser() -> argparse.ArgumentParser:
             "computed points (from any sweep, batch or killed run) return "
             "instantly",
         )
+        p.add_argument(
+            "--cache-backend",
+            choices=["auto", "legacy", "columnar"],
+            default="auto",
+            help="storage backend for a fresh --cache-dir (an existing "
+            "directory's layout is always autodetected; default: auto)",
+        )
 
     sweep = sub.add_parser("sweep", help="power/area sweep (one Figure-2 curve)")
     add_graph_options(sweep)
@@ -626,9 +770,80 @@ def build_parser() -> argparse.ArgumentParser:
         "a private temp dir without --state-dir)",
     )
     serve.add_argument(
+        "--cache-backend",
+        choices=["auto", "legacy", "columnar"],
+        default="auto",
+        help="storage backend for a fresh --cache-dir (existing layouts "
+        "are autodetected)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and maintain a result-store directory "
+        "(stats, compact, migrate, query)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_stats = store_sub.add_parser(
+        "stats", help="backend, record count and per-shard inventory"
+    )
+    store_stats.add_argument("dir", help="cache / store directory")
+    store_stats.add_argument("--json", action="store_true", help="machine-readable output")
+    store_stats.set_defaults(handler=_cmd_store_stats)
+
+    store_compact = store_sub.add_parser(
+        "compact",
+        help="merge a columnar store's append segments into sorted, "
+        "indexed column files",
+    )
+    store_compact.add_argument("dir", help="cache / store directory")
+    store_compact.set_defaults(handler=_cmd_store_compact)
+
+    store_migrate = store_sub.add_parser(
+        "migrate",
+        help="copy every record (and replay the journal) into a new "
+        "directory with a different backend, then verify bit-identity",
+    )
+    store_migrate.add_argument("source", help="existing cache / store directory")
+    store_migrate.add_argument("destination", help="fresh directory for the new store")
+    store_migrate.add_argument(
+        "--to",
+        choices=["legacy", "columnar"],
+        default="columnar",
+        help="destination backend (default: columnar)",
+    )
+    store_migrate.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the record-by-record bit-identity check after copying",
+    )
+    store_migrate.set_defaults(handler=_cmd_store_migrate)
+
+    store_query = store_sub.add_parser(
+        "query",
+        help="columnar range scan: filter stored records by family, "
+        "strategy and the (T, P, R) constraint axes",
+    )
+    store_query.add_argument("dir", help="cache / store directory")
+    store_query.add_argument("--family", help="scenario family / benchmark name")
+    store_query.add_argument("--scheduler", choices=SCHEDULERS.names())
+    store_query.add_argument("--binder", choices=BINDERS.names())
+    store_query.add_argument("--selector", help="module-selection policy name")
+    feasibility = store_query.add_mutually_exclusive_group()
+    feasibility.add_argument("--feasible", action="store_true", help="feasible records only")
+    feasibility.add_argument("--infeasible", action="store_true", help="infeasible records only")
+    store_query.add_argument("--latency", "-T", help="latency bound: exact T or LO:HI")
+    store_query.add_argument("--power", "-P", help="power budget: exact P or LO:HI")
+    store_query.add_argument("--register", "-R", help="register budget: exact R or LO:HI")
+    store_query.add_argument(
+        "--limit", type=int, default=40, help="rows to display (default: 40)"
+    )
+    store_query.add_argument("--json", action="store_true", help="machine-readable output")
+    store_query.set_defaults(handler=_cmd_store_query)
 
     submit = sub.add_parser(
         "submit",

@@ -29,7 +29,7 @@ Quickstart::
     print(cache.stats)          # second call: all hits, zero synthesis
 """
 
-from .cache import JOURNAL_NAME, CacheStats, ResultCache, load_journal
+from .cache import JOURNAL_NAME, CacheStats, ResultCache, iter_journal, load_journal
 from .refine import AdaptiveSweepResult, adaptive_power_sweep
 
 __all__ = [
@@ -38,5 +38,6 @@ __all__ = [
     "JOURNAL_NAME",
     "ResultCache",
     "adaptive_power_sweep",
+    "iter_journal",
     "load_journal",
 ]

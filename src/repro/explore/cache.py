@@ -10,17 +10,27 @@ fixed-grid sweep, the adaptive frontier refiner, a bisection probe inside
 :func:`~repro.synthesis.explore.minimum_feasible_power`, a different CLI
 invocation, or a worker process of a parallel batch.
 
-Layout on disk::
+Since the store refactor this class is a thin policy facade — read/write
+gating, the journal, lifetime stats, the in-memory layer — over a
+pluggable :class:`~repro.store.ResultStore` backend:
 
-    <root>/objects/<key[:2]>/<key>.json   one record per content address
-    <root>/journal.jsonl                  append-only log of computed records
+* ``legacy`` (the default for fresh directories): one atomically written
+  JSON object per key under ``<root>/objects/<key[:2]>/<key>.json``,
+* ``columnar``: the sharded append-then-compact
+  :class:`~repro.store.ColumnarStore` built for millions of records,
+  with O(1) counting and indexed range scans (``repro store query``).
 
-Object files are written atomically (temp file + ``os.replace``) so
-concurrent workers sharing one cache directory never observe a torn
-record; the journal is the human-greppable trail of everything that was
-actually *computed* (cache hits are not re-journaled), which is what lets
-a killed grid restart without rework: re-running the same batch with the
-same cache directory replays the journaled points as instant hits.
+The backend of an *existing* directory is always autodetected from its
+layout, so every consumer — ``run_task`` / ``run_batch``, the sweep
+refiner, the serving layer, fuzz resume, the CLI — works identically on
+either; pass ``backend="columnar"`` (CLI: ``--cache-backend columnar``)
+only to choose the layout of a brand-new cache directory.
+
+Whatever the backend, the journal (``<root>/journal.jsonl``) keeps its
+format and semantics: every *computed* record appends one line (cache
+hits are not re-journaled) as a single ``O_APPEND`` write, torn tails
+are tolerated, and a killed grid restarts without rework by replaying
+the same directory.
 
 Only scalar metrics are cached — the heavyweight
 :class:`~repro.synthesis.result.SynthesisResult` object is dropped, just
@@ -30,18 +40,29 @@ have ``result=None`` and ``cached=True``.
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from ..api.batch import TaskResult
 from ..api.task import SynthesisTask
+from ..store import (
+    JOURNAL_NAME,
+    LegacyStore,
+    StoreError,
+    append_journal_line,
+    iter_journal,
+    load_journal,
+    open_store,
+)
 
-#: File name of the append-only JSONL journal inside a cache directory.
-JOURNAL_NAME = "journal.jsonl"
+__all__ = [
+    "CacheStats",
+    "JOURNAL_NAME",
+    "ResultCache",
+    "iter_journal",
+    "load_journal",
+]
 
 
 @dataclass
@@ -74,6 +95,11 @@ class ResultCache:
             ``--cache-dir`` without ``--resume``).
         write: Store computed records on :meth:`put`.
         journal: Also append every stored record to ``journal.jsonl``.
+        backend: Storage backend for a *fresh* directory (``"legacy"`` /
+            ``"columnar"``); an existing directory's layout always wins,
+            and naming a conflicting backend raises
+            :class:`~repro.store.StoreError` instead of splitting the
+            store across formats.
 
     An in-memory layer fronts the disk so repeated lookups of the same
     point within one process (e.g. bisection probes) cost one file read.
@@ -86,13 +112,20 @@ class ResultCache:
         read: bool = True,
         write: bool = True,
         journal: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         self.root = Path(root).expanduser()
         self.read = read
         self.write = write
         self.journal = journal
         self.stats = CacheStats()
+        self.store = open_store(self.root, backend=backend)
         self._memory: Dict[str, Dict[str, Any]] = {}
+
+    @property
+    def backend(self) -> str:
+        """Name of the storage backend this cache sits on."""
+        return self.store.backend
 
     # ------------------------------------------------------------------ #
     # Addressing
@@ -101,7 +134,12 @@ class ResultCache:
         return task.cache_key()
 
     def _object_path(self, key: str) -> Path:
-        return self.root / "objects" / key[:2] / f"{key}.json"
+        """Legacy-layout object path (kept for tooling and tests)."""
+        if isinstance(self.store, LegacyStore):
+            return self.store.object_path(key)
+        raise StoreError(
+            f"the {self.backend!r} backend does not file one object per key"
+        )
 
     @property
     def journal_path(self) -> Path:
@@ -118,17 +156,15 @@ class ResultCache:
         content address deliberately ignores spelling differences and the
         label, so the stored spec may be a differently-spelled twin and
         must not leak into the caller's reports.  Corrupt or unreadable
-        object files count as misses — the point is simply recomputed.
+        stored data counts as a miss — the point is simply recomputed.
         """
         if not self.read:
             return None
         key = self.key_for(task)
         payload = self._memory.get(key)
         if payload is None:
-            try:
-                payload = json.loads(self._object_path(key).read_text())
-                payload["record"]
-            except (OSError, ValueError, KeyError, TypeError):
+            payload = self.store.get(key)
+            if payload is None:
                 self.stats.misses += 1
                 return None
             self._memory[key] = payload
@@ -154,32 +190,9 @@ class ResultCache:
         if not self.write:
             return key
         payload = {"key": key, "record": record.to_dict()}
-        path = self._object_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        text = json.dumps(payload, indent=1, sort_keys=True)
-        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-                handle.write("\n")
-            os.replace(tmp_name, path)
-        except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        self.store.put(key, payload)
         if self.journal:
-            line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-            # one unbuffered write to an O_APPEND fd: concurrent workers
-            # sharing the journal never interleave mid-line
-            fd = os.open(
-                self.journal_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-            )
-            try:
-                os.write(fd, (line + "\n").encode("utf-8"))
-            finally:
-                os.close(fd)
+            append_journal_line(self.root, payload)
         self._memory[key] = payload
         self.stats.writes += 1
         return key
@@ -191,51 +204,32 @@ class ResultCache:
         hand to rebind), honours neither the ``read`` flag nor the stats
         counters, and returns the plain payload dict — it exists for the
         serving layer's ``GET /results/<key>`` endpoint, which addresses
-        results the way the cache files them.
+        results the way the cache files them.  Disk reads memoize into
+        the in-memory layer, so a client polling one key parses its
+        record once, not once per poll.
         """
         payload = self._memory.get(key)
         if payload is None:
-            try:
-                payload = json.loads(self._object_path(key).read_text())
-            except (OSError, ValueError):
+            payload = self.store.get(key)
+            if payload is None:
                 return None
+            self._memory[key] = payload
         record = payload.get("record") if isinstance(payload, dict) else None
         if not isinstance(record, dict):
             return None
         return dict(record)
 
     def __len__(self) -> int:
-        """Number of records on disk (not just in this process's memory)."""
-        objects = self.root / "objects"
-        if not objects.is_dir():
-            return 0
-        return sum(1 for _ in objects.glob("*/*.json"))
+        """Number of records on disk (not just in this process's memory).
+
+        O(1) on the columnar backend (a maintained count); a directory
+        scan on the legacy one.
+        """
+        return self.store.count()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = ("r" if self.read else "") + ("w" if self.write else "")
-        return f"ResultCache({str(self.root)!r}, mode={mode!r}, {self.stats})"
-
-
-def load_journal(path: Union[str, Path]) -> List[TaskResult]:
-    """Parse a cache journal (``journal.jsonl``) back into records.
-
-    Malformed lines (e.g. a half-written tail from a killed process) are
-    skipped, so a journal is always safe to load after a crash.
-    """
-    records: List[TaskResult] = []
-    journal = Path(path)
-    if journal.is_dir():
-        journal = journal / JOURNAL_NAME
-    if not journal.exists():
-        return records
-    with open(journal) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-                records.append(TaskResult.from_dict(payload["record"]))
-            except (ValueError, KeyError, TypeError):
-                continue
-    return records
+        return (
+            f"ResultCache({str(self.root)!r}, backend={self.backend!r}, "
+            f"mode={mode!r}, {self.stats})"
+        )

@@ -71,6 +71,9 @@ class SynthesisService:
             and examples, no crash tolerance.
         cache: A :class:`~repro.explore.cache.ResultCache` to share; by
             default one is opened at ``<state_dir>/cache``.
+        cache_backend: Storage backend for a cache the service opens
+            itself (``"legacy"`` / ``"columnar"``; existing directories
+            autodetect).  Ignored when ``cache`` is given.
         workers: Worker threads executing jobs concurrently.
         verify: Re-certify every feasible result before it is recorded
             (the ``run_task(verify=True)`` gate).  On by default — a
@@ -86,6 +89,7 @@ class SynthesisService:
         state_dir: Optional[Union[str, Path]] = None,
         *,
         cache: Optional[ResultCache] = None,
+        cache_backend: Optional[str] = None,
         workers: int = 2,
         verify: bool = True,
     ) -> None:
@@ -95,11 +99,15 @@ class SynthesisService:
         self._owns_temp_cache = False
         if cache is None:
             if state_dir is not None:
-                cache = ResultCache(Path(state_dir).expanduser() / "cache")
+                cache = ResultCache(
+                    Path(state_dir).expanduser() / "cache", backend=cache_backend
+                )
             else:
                 import tempfile
 
-                cache = ResultCache(tempfile.mkdtemp(prefix="repro-serve-"))
+                cache = ResultCache(
+                    tempfile.mkdtemp(prefix="repro-serve-"), backend=cache_backend
+                )
                 self._owns_temp_cache = True
         self.cache = cache
         self.workers = int(workers)
@@ -341,6 +349,7 @@ class SynthesisService:
             "workers": self.workers,
             "queue": {"depth": self.queue.depth, "jobs": counts},
             "cache": {
+                "backend": self.cache.backend,
                 "hits": cache_stats.hits,
                 "misses": cache_stats.misses,
                 "writes": cache_stats.writes,

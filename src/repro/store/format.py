@@ -1,0 +1,534 @@
+"""The columnar backend's on-disk binary format (stdlib only).
+
+Two file kinds make up a shard of a
+:class:`~repro.store.columnar.ColumnarStore`:
+
+**Append segments** (``append.seg``, plus ``consumed-*.seg`` awaiting a
+compaction) hold one CRC-framed record per write::
+
+    b"RSG1" | u32 body_len | u32 crc32(body) | body
+
+with ``body`` = 32-byte raw content address + the fixed-width numeric
+row (:data:`ROW_STRUCT`) + five length-prefixed strings (family,
+scheduler, binder, selector, error_type) + the length-prefixed JSON
+record blob.  A frame is emitted as **one** ``os.write`` to an
+``O_APPEND`` descriptor, so concurrent writers never interleave; a crash
+mid-write leaves a torn tail that :func:`iter_frames` detects and stops
+at (every complete frame before it is intact).
+
+**Compacted column files** (``compact-<gen>.col``) are what range scans
+read.  :func:`write_compacted` lays out, in order: the sorted 32-byte
+key block, one contiguous block per numeric column, u32 string-id
+columns over an interned string table, the blob offset/length columns,
+the string table, the blob heap, and a JSON section directory as a
+footer (``directory | u32 dir_len | b"RCOLEND1"``).
+:class:`CompactedReader` reads the footer, then loads *only the blocks a
+query touches* — a family+scheduler+P-range scan over 100k rows reads a
+few column blocks, never the blobs of non-matching rows.
+
+Numeric ``None`` is encoded as ``-1`` for integer columns (every real
+value is non-negative) and NaN for float columns; an absent
+``error_type`` is the empty string.  Multi-byte blocks are written
+little-endian regardless of host byte order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import sys
+import zlib
+from array import array
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .base import StoreError, StoredRow
+
+FRAME_MAGIC = b"RSG1"
+FRAME_HEADER = struct.Struct("<4sII")  # magic, body length, crc32(body)
+
+#: Fixed-width numeric row: latency, power_budget, register_budget,
+#: feasible, cached, area, fu_area, peak_power, result_latency,
+#: registers, backtracks, elapsed.
+ROW_STRUCT = struct.Struct("<qdqBBdddqqqd")
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+FOOTER_MAGIC = b"RCOLEND1"
+FOOTER = struct.Struct("<I8s")  # directory length, magic
+
+#: String columns interned into the compacted string table, in order.
+STRING_COLUMNS = ("family", "scheduler", "binder", "selector", "error_type")
+
+#: Numeric columns and their array typecodes, in on-disk order.
+NUMERIC_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("latency", "q"),
+    ("power_budget", "d"),
+    ("register_budget", "q"),
+    ("feasible", "B"),
+    ("cached", "B"),
+    ("area", "d"),
+    ("fu_area", "d"),
+    ("peak_power", "d"),
+    ("result_latency", "q"),
+    ("registers", "q"),
+    ("backtracks", "q"),
+    ("elapsed", "d"),
+)
+
+_NAN = float("nan")
+
+
+def _enc_int(value: Optional[int]) -> int:
+    return -1 if value is None else int(value)
+
+
+def _dec_int(value: int) -> Optional[int]:
+    return None if value < 0 else int(value)
+
+
+def _enc_float(value: Optional[float]) -> float:
+    return _NAN if value is None else float(value)
+
+
+def _dec_float(value: float) -> Optional[float]:
+    return None if value != value else value  # NaN ≠ NaN
+
+
+def pack_numeric_row(row: StoredRow) -> bytes:
+    """The fixed-width numeric portion of one row."""
+    return ROW_STRUCT.pack(
+        _enc_int(row.latency),
+        _enc_float(row.power_budget),
+        _enc_int(row.register_budget),
+        1 if row.feasible else 0,
+        1 if row.cached else 0,
+        _enc_float(row.area),
+        _enc_float(row.fu_area),
+        _enc_float(row.peak_power),
+        _enc_int(row.result_latency),
+        _enc_int(row.registers),
+        int(row.backtracks),
+        float(row.elapsed),
+    )
+
+
+def unpack_numeric_row(key: str, strings: Sequence[str], packed: bytes) -> StoredRow:
+    """Rebuild a :class:`StoredRow` from its packed numeric + string parts."""
+    (
+        latency,
+        power_budget,
+        register_budget,
+        feasible,
+        cached,
+        area,
+        fu_area,
+        peak_power,
+        result_latency,
+        registers,
+        backtracks,
+        elapsed,
+    ) = ROW_STRUCT.unpack(packed)
+    family, scheduler, binder, selector, error_type = strings
+    return StoredRow(
+        key=key,
+        family=family,
+        scheduler=scheduler,
+        binder=binder,
+        selector=selector,
+        latency=_dec_int(latency),
+        power_budget=_dec_float(power_budget),
+        register_budget=_dec_int(register_budget),
+        feasible=bool(feasible),
+        area=_dec_float(area),
+        fu_area=_dec_float(fu_area),
+        peak_power=_dec_float(peak_power),
+        result_latency=_dec_int(result_latency),
+        registers=_dec_int(registers),
+        backtracks=int(backtracks),
+        elapsed=float(elapsed),
+        cached=bool(cached),
+        error_type=error_type or None,
+    )
+
+
+def row_strings(row: StoredRow) -> Tuple[str, ...]:
+    """The row's values for :data:`STRING_COLUMNS`, ``None`` as ``""``."""
+    return (
+        row.family,
+        row.scheduler,
+        row.binder,
+        row.selector,
+        row.error_type or "",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Append frames
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Frame:
+    """One decoded append-segment frame."""
+
+    key: str  # hex content address
+    row: StoredRow
+    blob: bytes  # canonical JSON of the record dict
+
+    def record(self) -> Dict[str, Any]:
+        return json.loads(self.blob.decode("utf-8"))
+
+
+def encode_frame(key: str, row: StoredRow, blob: bytes) -> bytes:
+    """Serialize one record into a single appendable frame."""
+    key_bytes = bytes.fromhex(key)
+    if len(key_bytes) != 32:
+        raise StoreError(f"content address must be 64 hex chars, got {key!r}")
+    parts = [key_bytes, pack_numeric_row(row)]
+    for text in row_strings(row):
+        data = text.encode("utf-8")
+        if len(data) > 0xFFFF:
+            raise StoreError(f"string column value too long ({len(data)} bytes)")
+        parts.append(_U16.pack(len(data)))
+        parts.append(data)
+    parts.append(_U32.pack(len(blob)))
+    parts.append(blob)
+    body = b"".join(parts)
+    return FRAME_HEADER.pack(FRAME_MAGIC, len(body), zlib.crc32(body)) + body
+
+
+def decode_frame_body(body: bytes) -> Frame:
+    """Decode one frame body (already CRC-validated)."""
+    try:
+        key = body[:32].hex()
+        offset = 32 + ROW_STRUCT.size
+        packed = body[32:offset]
+        strings: List[str] = []
+        for _ in STRING_COLUMNS:
+            (length,) = _U16.unpack_from(body, offset)
+            offset += _U16.size
+            strings.append(body[offset : offset + length].decode("utf-8"))
+            offset += length
+        (blob_len,) = _U32.unpack_from(body, offset)
+        offset += _U32.size
+        blob = body[offset : offset + blob_len]
+        if len(blob) != blob_len:
+            raise StoreError("frame body shorter than its blob length")
+    except (struct.error, IndexError) as exc:
+        raise StoreError(f"malformed frame body: {exc}") from exc
+    return Frame(key=key, row=unpack_numeric_row(key, strings, packed), blob=blob)
+
+
+def iter_frames(data: bytes, start: int = 0) -> Iterator[Tuple[int, Frame]]:
+    """Yield ``(end_offset, frame)`` for every intact frame in ``data``.
+
+    Stops at the first torn or corrupt frame — everything before a bad
+    header, length or checksum is trusted, everything after is not (it
+    cannot be resynchronized safely).  The last yielded ``end_offset`` is
+    therefore the valid prefix length, which the store uses to repair a
+    torn tail before appending again.
+    """
+    offset = start
+    total = len(data)
+    while offset + FRAME_HEADER.size <= total:
+        magic, body_len, crc = FRAME_HEADER.unpack_from(data, offset)
+        if magic != FRAME_MAGIC:
+            return
+        body_end = offset + FRAME_HEADER.size + body_len
+        if body_end > total:
+            return
+        body = data[offset + FRAME_HEADER.size : body_end]
+        if zlib.crc32(body) != crc:
+            return
+        try:
+            frame = decode_frame_body(body)
+        except StoreError:
+            return
+        yield body_end, frame
+        offset = body_end
+
+
+def valid_prefix_length(data: bytes) -> int:
+    """Length of the intact frame prefix of an append segment."""
+    end = 0
+    for end, _ in iter_frames(data):
+        pass
+    return end
+
+
+# --------------------------------------------------------------------------- #
+# Compacted column files
+# --------------------------------------------------------------------------- #
+def _le(arr: array) -> array:
+    """Ensure little-endian byte order for multi-byte array blocks."""
+    if sys.byteorder != "little" and arr.itemsize > 1:  # pragma: no cover - BE hosts
+        arr = array(arr.typecode, arr)
+        arr.byteswap()
+    return arr
+
+
+def write_compacted(path, entries: Sequence[Tuple[str, StoredRow, bytes]]) -> None:
+    """Write one compacted column file from ``(key, row, blob)`` entries.
+
+    ``entries`` must be sorted by key and free of duplicates; the writer
+    lays the sections out contiguously and finishes with the footer, so a
+    crash mid-write leaves a file without a valid footer — readers reject
+    it and fall back to the previous generation.
+    """
+    n = len(entries)
+    strings: Dict[str, int] = {}
+
+    def intern(text: str) -> int:
+        index = strings.get(text)
+        if index is None:
+            index = len(strings)
+            strings[text] = index
+        return index
+
+    key_block = bytearray()
+    numeric: Dict[str, array] = {name: array(code) for name, code in NUMERIC_COLUMNS}
+    string_ids: Dict[str, array] = {name: array("I") for name in STRING_COLUMNS}
+    blob_off = array("Q")
+    blob_len = array("I")
+    heap_size = 0
+    previous = b""
+    for key, row, blob in entries:
+        key_bytes = bytes.fromhex(key)
+        if key_bytes <= previous and previous:
+            raise StoreError("compacted entries must be sorted by key, unique")
+        previous = key_bytes
+        key_block += key_bytes
+        packed = ROW_STRUCT.unpack(pack_numeric_row(row))
+        for (name, _), value in zip(NUMERIC_COLUMNS, packed):
+            numeric[name].append(value)
+        for name, text in zip(STRING_COLUMNS, row_strings(row)):
+            string_ids[name].append(intern(text))
+        blob_off.append(heap_size)
+        blob_len.append(len(blob))
+        heap_size += len(blob)
+
+    table = bytearray(_U32.pack(len(strings)))
+    for text in strings:  # insertion order == id order
+        data = text.encode("utf-8")
+        table += _U32.pack(len(data))
+        table += data
+
+    sections: Dict[str, Tuple[int, int]] = {}
+    cursor = 0
+
+    def block(name: str, data: bytes) -> bytes:
+        nonlocal cursor
+        sections[name] = (cursor, len(data))
+        cursor += len(data)
+        return data
+
+    blocks = [block("keys", bytes(key_block))]
+    for name, _ in NUMERIC_COLUMNS:
+        blocks.append(block(f"col:{name}", _le(numeric[name]).tobytes()))
+    for name in STRING_COLUMNS:
+        blocks.append(block(f"col:{name}", _le(string_ids[name]).tobytes()))
+    blocks.append(block("blob_off", _le(blob_off).tobytes()))
+    blocks.append(block("blob_len", _le(blob_len).tobytes()))
+    blocks.append(block("strings", bytes(table)))
+    blocks.append(block("blobs", b""))  # offset marker; heap streamed below
+
+    directory = json.dumps(
+        {
+            "version": 1,
+            "rows": n,
+            "heap": heap_size,
+            "sections": {name: list(span) for name, span in sections.items()},
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+    with open(path, "wb") as handle:
+        for data in blocks:
+            handle.write(data)
+        for _, _, blob in entries:
+            handle.write(blob)
+        handle.write(directory)
+        handle.write(FOOTER.pack(len(directory), FOOTER_MAGIC))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+class CompactedReader:
+    """Partial-read access to one compacted column file.
+
+    Loads the footer directory once; every key block, column block,
+    string table and blob is then fetched with an independent
+    seek+read, cached per reader.  Corrupt or footer-less files raise
+    :class:`StoreError` at construction so the store can skip them.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._handle = open(path, "rb")
+        try:
+            self._handle.seek(0, 2)
+            size = self._handle.tell()
+            if size < FOOTER.size:
+                raise StoreError(f"{path}: too short for a compacted file")
+            self._handle.seek(size - FOOTER.size)
+            dir_len, magic = FOOTER.unpack(self._handle.read(FOOTER.size))
+            if magic != FOOTER_MAGIC or dir_len > size - FOOTER.size:
+                raise StoreError(f"{path}: missing compacted footer")
+            self._handle.seek(size - FOOTER.size - dir_len)
+            directory = json.loads(self._handle.read(dir_len).decode("utf-8"))
+            self.rows: int = directory["rows"]
+            self._heap = directory["heap"]
+            self._sections: Dict[str, Tuple[int, int]] = {
+                name: (int(off), int(length))
+                for name, (off, length) in directory["sections"].items()
+            }
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self._handle.close()
+            if isinstance(exc, StoreError):
+                raise
+            raise StoreError(f"{path}: corrupt compacted file: {exc}") from exc
+        self._cache: Dict[str, Any] = {}
+        self._typecodes = dict(NUMERIC_COLUMNS)
+        self._typecodes.update({name: "I" for name in STRING_COLUMNS})
+        self._typecodes.update({"blob_off": "Q", "blob_len": "I"})
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def _read(self, name: str) -> bytes:
+        off, length = self._sections[name]
+        self._handle.seek(off)
+        return self._handle.read(length)
+
+    @property
+    def keys_block(self) -> bytes:
+        block = self._cache.get("keys")
+        if block is None:
+            block = self._cache["keys"] = self._read("keys")
+        return block
+
+    def key_at(self, index: int) -> str:
+        return self.keys_block[index * 32 : index * 32 + 32].hex()
+
+    def find(self, key: str) -> Optional[int]:
+        """Binary-search the sorted key block; row index or ``None``."""
+        needle = bytes.fromhex(key)
+        block = self.keys_block
+        lo, hi = 0, self.rows
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probe = block[mid * 32 : mid * 32 + 32]
+            if probe < needle:
+                lo = mid + 1
+            elif probe > needle:
+                hi = mid
+            else:
+                return mid
+        return None
+
+    def column(self, name: str) -> array:
+        """One whole column block (cached after first load)."""
+        cached = self._cache.get(name)
+        if cached is None:
+            section = f"col:{name}" if f"col:{name}" in self._sections else name
+            cached = array(self._typecodes[name])
+            cached.frombytes(self._read(section))
+            cached = _le(cached)
+            self._cache[name] = cached
+        return cached
+
+    @property
+    def string_table(self) -> List[str]:
+        table = self._cache.get("strings")
+        if table is None:
+            data = self._read("strings")
+            (count,) = _U32.unpack_from(data, 0)
+            offset = _U32.size
+            table = []
+            for _ in range(count):
+                (length,) = _U32.unpack_from(data, offset)
+                offset += _U32.size
+                table.append(data[offset : offset + length].decode("utf-8"))
+                offset += length
+            self._cache["strings"] = table
+        return table
+
+    def blob(self, index: int) -> bytes:
+        heap_start = self._sections["blobs"][0]
+        off = self.column("blob_off")[index]
+        length = self.column("blob_len")[index]
+        self._handle.seek(heap_start + off)
+        return self._handle.read(length)
+
+    def record(self, index: int) -> Dict[str, Any]:
+        return json.loads(self.blob(index).decode("utf-8"))
+
+    def row(self, index: int) -> StoredRow:
+        strings = self.string_table
+        values = [self.column(name)[index] for name, _ in NUMERIC_COLUMNS]
+        packed = ROW_STRUCT.pack(*values)
+        names = [strings[self.column(name)[index]] for name in STRING_COLUMNS]
+        return unpack_numeric_row(self.key_at(index), names, packed)
+
+    def match_indices(self, query) -> List[int]:
+        """Row indices matching ``query``, touching only filtered columns.
+
+        An empty query matches everything without loading any block; a
+        ``family="elliptic", power=(8, 40)`` query loads exactly the
+        ``family`` string-id column (plus the string table) and the
+        ``power_budget`` column.
+        """
+        candidates: Optional[List[int]] = None
+
+        def narrow(matches) -> None:
+            nonlocal candidates
+            pool = range(self.rows) if candidates is None else candidates
+            candidates = [i for i in pool if matches(i)]
+
+        for name in ("family", "scheduler", "binder", "selector"):
+            wanted = getattr(query, name)
+            if wanted is None:
+                continue
+            try:
+                target = self.string_table.index(wanted)
+            except ValueError:
+                return []
+            column = self.column(name)
+            narrow(lambda i, c=column, t=target: c[i] == t)
+            if not candidates:
+                return []
+        if query.feasible is not None:
+            column = self.column("feasible")
+            want = 1 if query.feasible else 0
+            narrow(lambda i, c=column, w=want: c[i] == w)
+            if not candidates:
+                return []
+        for attr, col_name, integer in (
+            ("latency", "latency", True),
+            ("power", "power_budget", False),
+            ("register", "register_budget", True),
+        ):
+            bounds = getattr(query, attr)
+            if bounds is None:
+                continue
+            lo, hi = bounds
+            column = self.column(col_name)
+            if integer:
+                narrow(
+                    lambda i, c=column, lo=lo, hi=hi: c[i] >= 0
+                    and (lo is None or c[i] >= lo)
+                    and (hi is None or c[i] <= hi)
+                )
+            else:
+                narrow(
+                    lambda i, c=column, lo=lo, hi=hi: c[i] == c[i]
+                    and (lo is None or c[i] >= lo)
+                    and (hi is None or c[i] <= hi)
+                )
+            if not candidates:
+                return []
+        if candidates is None:
+            return list(range(self.rows))
+        return candidates

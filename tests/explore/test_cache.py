@@ -281,3 +281,100 @@ class TestObjectFileFormat:
         assert payload["key"] == key == task.cache_key()
         assert payload["record"]["feasible"] is True
         assert "result" not in payload["record"]
+
+
+class TestStoreFacade:
+    """The cache is a facade over repro.store — both backends, one policy."""
+
+    def test_columnar_backend_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path, backend="columnar")
+        assert cache.backend == "columnar"
+        task = hal_task()
+        record = run_task(task, cache=cache)
+        hit = cache.get(task)
+        assert hit is not None and hit.cached and hit.area == record.area
+
+    def test_columnar_hit_survives_a_fresh_instance(self, tmp_path):
+        run_task(hal_task(), cache=ResultCache(tmp_path, backend="columnar"))
+        reopened = ResultCache(tmp_path)  # backend autodetected
+        assert reopened.backend == "columnar"
+        hit = reopened.get(hal_task())
+        assert hit is not None and hit.cached
+
+    def test_columnar_len_is_maintained(self, tmp_path):
+        cache = ResultCache(tmp_path, backend="columnar")
+        assert len(cache) == 0
+        run_task(hal_task(12.0), cache=cache)
+        run_task(hal_task(13.0), cache=cache)
+        assert len(cache) == 2
+        cache.store.compact()
+        assert len(cache) == 2
+
+    def test_columnar_journal_kept_identical(self, tmp_path):
+        cache = ResultCache(tmp_path, backend="columnar")
+        run_task(hal_task(), cache=cache)
+        lines = (tmp_path / JOURNAL_NAME).read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["record"]["feasible"] is True
+
+    def test_record_for_key_memoizes_the_disk_read(self, tmp_path):
+        task = hal_task()
+        key = ResultCache(tmp_path).put(task, run_task(task))
+        cache = ResultCache(tmp_path)
+        assert key not in cache._memory
+        record = cache.record_for_key(key)
+        assert record is not None and record["feasible"] is True
+        assert key in cache._memory  # second call never touches the disk
+        assert cache.record_for_key(key)["feasible"] is True
+
+    def test_object_path_raises_on_columnar(self, tmp_path):
+        from repro.store import StoreError
+
+        cache = ResultCache(tmp_path, backend="columnar")
+        run_task(hal_task(), cache=cache)
+        with pytest.raises(StoreError):
+            cache._object_path(cache.key_for(hal_task()))
+
+    def test_batch_parity_across_backends(self, tmp_path):
+        budgets = [9.0, 12.0, 20.0]
+        tasks = [hal_task(p) for p in budgets]
+        legacy = run_batch(tasks, keep_results=False, cache=ResultCache(tmp_path / "a"))
+        columnar = run_batch(
+            tasks,
+            keep_results=False,
+            cache=ResultCache(tmp_path / "b", backend="columnar"),
+        )
+        for left, right in zip(legacy, columnar):
+            assert (left.feasible, left.area) == (right.feasible, right.area)
+
+
+class TestIterJournal:
+    def test_streaming_matches_load_journal(self, tmp_path):
+        from repro.explore import iter_journal
+
+        cache = ResultCache(tmp_path)
+        run_task(hal_task(9.0), cache=cache)
+        run_task(hal_task(12.0), cache=cache)
+        streamed = list(iter_journal(tmp_path))
+        loaded = load_journal(tmp_path)
+        assert len(streamed) == len(loaded) == 2
+        for a, b in zip(streamed, loaded):
+            assert a.task.power_budget == b.task.power_budget and a.area == b.area
+
+    def test_iter_journal_is_lazy(self, tmp_path):
+        from repro.explore import iter_journal
+
+        run_task(hal_task(), cache=ResultCache(tmp_path))
+        iterator = iter_journal(tmp_path)
+        first = next(iterator)
+        assert first.feasible
+        assert next(iterator, None) is None
+
+    def test_iter_journal_skips_torn_tail(self, tmp_path):
+        from repro.explore import iter_journal
+
+        cache = ResultCache(tmp_path)
+        run_task(hal_task(), cache=cache)
+        with open(tmp_path / JOURNAL_NAME, "a") as handle:
+            handle.write('{"key": "torn')
+        assert len(list(iter_journal(tmp_path))) == 1

@@ -63,7 +63,8 @@ class TestEndpoints:
         client.submit_and_wait({"graph": "hal", "latency": 17, "power_budget": 10.0})
         stats = client.stats()
         assert stats["summary"]["total"] >= 1
-        assert set(stats["cache"]) == {"hits", "misses", "writes", "hit_rate"}
+        assert set(stats["cache"]) == {"hits", "misses", "writes", "hit_rate", "backend"}
+        assert stats["cache"]["backend"] in {"legacy", "columnar"}
 
     def test_jobs_listing(self, server, client):
         client.submit_and_wait({"graph": "hal", "latency": 17, "power_budget": 12.0})

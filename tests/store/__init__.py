@@ -1,0 +1,1 @@
+"""Tests for the sharded columnar result store (repro.store)."""

@@ -1,0 +1,83 @@
+"""Shared fixtures for the store tests: hand-rolled synthetic payloads.
+
+These tests exercise the storage layer directly, so they do not run any
+synthesis — payloads are crafted by hand with the exact shape
+``ResultCache.put`` produces (``{"key": ..., "record": {...}}`` with a
+``task`` dict inside the record).
+"""
+
+import hashlib
+
+import pytest
+
+
+def synthetic_key(index):
+    """A deterministic 64-hex content address that spreads across shards."""
+    return hashlib.sha256(f"store-test-{index}".encode()).hexdigest()
+
+
+def make_payload(
+    index,
+    *,
+    family="hal",
+    scheduler="pasap",
+    binder="greedy",
+    selector="min_area",
+    latency=17,
+    power=12.0,
+    register_budget=None,
+    feasible=True,
+    area=100.0,
+    error_type=None,
+    **record_overrides,
+):
+    """One synthetic cache payload, bit-exact round-trippable."""
+    key = synthetic_key(index)
+    record = {
+        "task": {
+            "graph": family,
+            "scheduler": scheduler,
+            "binder": binder,
+            "selector": selector,
+            "latency": latency,
+            "power_budget": power,
+            "register_budget": register_budget,
+            "label": f"case-{index}",
+        },
+        "feasible": feasible,
+        "area": area if feasible else None,
+        "fu_area": area * 0.75 if feasible else None,
+        "peak_power": power - 0.25 if feasible else None,
+        "latency": latency if feasible else None,
+        "registers": 5 + index % 4 if feasible else None,
+        "backtracks": index % 3,
+        "elapsed": 0.001 * (index + 1),
+        "cached": False,
+        "error_type": error_type,
+    }
+    record.update(record_overrides)
+    return key, {"key": key, "record": record}
+
+
+def fill(store, count, **kwargs):
+    """Put ``count`` synthetic payloads; return {key: payload}."""
+    expected = {}
+    for index in range(count):
+        key, payload = make_payload(index, **kwargs)
+        store.put(key, payload)
+        expected[key] = payload
+    return expected
+
+
+@pytest.fixture
+def columnar(tmp_path):
+    from repro.store import ColumnarStore
+
+    return ColumnarStore(tmp_path / "col")
+
+
+@pytest.fixture
+def legacy(tmp_path):
+    from repro.store import LegacyStore
+
+    return LegacyStore(tmp_path / "leg")

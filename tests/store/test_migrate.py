@@ -1,0 +1,124 @@
+"""Migration tests: legacy ↔ columnar round trips are bit-identical."""
+
+import json
+
+import pytest
+
+from repro.store import (
+    ColumnarStore,
+    LegacyStore,
+    StoreError,
+    StoreQuery,
+    migrate_store,
+    open_store,
+    verify_migration,
+)
+from repro.store.journal import append_journal_line
+
+from .conftest import fill, make_payload
+
+
+def record_map(store):
+    return {
+        payload["key"]: json.dumps(payload["record"], sort_keys=True)
+        for payload in store.iter_payloads()
+    }
+
+
+@pytest.fixture
+def populated_legacy(tmp_path):
+    store = LegacyStore(tmp_path / "leg")
+    fill(store, 15)
+    for index in range(15, 20):
+        key, payload = make_payload(
+            index, family="fir", feasible=False, error_type="InfeasibleError"
+        )
+        store.put(key, payload)
+        append_journal_line(store.root, payload)
+    return store
+
+
+class TestMigration:
+    def test_legacy_to_columnar_bit_identical(self, populated_legacy, tmp_path):
+        destination = ColumnarStore(tmp_path / "col")
+        report = migrate_store(populated_legacy, destination)
+        assert report["records"] == 20
+        assert report["source_backend"] == "legacy"
+        assert report["destination_backend"] == "columnar"
+        assert record_map(destination) == record_map(populated_legacy)
+        verify_migration(populated_legacy, destination)
+
+    def test_round_trip_back_to_legacy(self, populated_legacy, tmp_path):
+        columnar = ColumnarStore(tmp_path / "col")
+        migrate_store(populated_legacy, columnar)
+        back = LegacyStore(tmp_path / "leg2")
+        migrate_store(columnar, back)
+        assert record_map(back) == record_map(populated_legacy)
+        verify_migration(populated_legacy, back)
+
+    def test_queries_identical_across_backends(self, populated_legacy, tmp_path):
+        destination = ColumnarStore(tmp_path / "col")
+        migrate_store(populated_legacy, destination)
+        for query in (
+            StoreQuery(family="hal"),
+            StoreQuery(feasible=False),
+            StoreQuery(power=(11.0, 13.0)),
+        ):
+            assert sorted(r.key for r in populated_legacy.scan(query)) == sorted(
+                r.key for r in destination.scan(query)
+            )
+
+    def test_destination_arrives_compacted(self, populated_legacy, tmp_path):
+        destination = ColumnarStore(tmp_path / "col")
+        migrate_store(populated_legacy, destination)
+        stats = destination.store_stats()
+        assert sum(s["tail_rows"] for s in stats["shards"]) == 0
+        assert sum(s["compacted_rows"] for s in stats["shards"]) == 20
+
+    def test_journal_only_strays_are_replayed(self, tmp_path):
+        """A record that made the journal but not the object store (the
+        classic kill-between-writes window) still migrates."""
+        source = LegacyStore(tmp_path / "leg")
+        fill(source, 5)
+        key, payload = make_payload(500)
+        append_journal_line(source.root, payload)  # journal line, no object
+        destination = ColumnarStore(tmp_path / "col")
+        report = migrate_store(source, destination)
+        assert report["records"] == 5
+        assert report["replayed"] == 1
+        assert destination.get(key) is not None
+        assert destination.count() == 6
+
+    def test_journal_carried_to_destination(self, populated_legacy, tmp_path):
+        destination = ColumnarStore(tmp_path / "col")
+        migrate_store(populated_legacy, destination)
+        journal = destination.root / "journal.jsonl"
+        assert journal.exists()
+        lines = [json.loads(line) for line in journal.read_text().splitlines()]
+        assert len(lines) == 20
+
+    def test_same_directory_refused(self, populated_legacy):
+        with pytest.raises(StoreError):
+            migrate_store(populated_legacy, LegacyStore(populated_legacy.root))
+
+    def test_verify_catches_a_mutated_record(self, populated_legacy, tmp_path):
+        destination = ColumnarStore(tmp_path / "col")
+        migrate_store(populated_legacy, destination)
+        key, mutated = make_payload(0, area=99999.0)
+        destination.put(key, mutated)
+        destination.compact()
+        with pytest.raises(StoreError):
+            verify_migration(populated_legacy, destination)
+
+    def test_verify_catches_a_missing_record(self, populated_legacy, tmp_path):
+        destination = ColumnarStore(tmp_path / "col")
+        migrate_store(populated_legacy, destination)
+        missing_key, _ = make_payload(999)
+        populated_legacy.put(*make_payload(999))
+        with pytest.raises(StoreError):
+            verify_migration(populated_legacy, destination)
+
+    def test_open_store_detects_migrated_dir(self, populated_legacy, tmp_path):
+        destination = ColumnarStore(tmp_path / "col")
+        migrate_store(populated_legacy, destination)
+        assert open_store(tmp_path / "col").backend == "columnar"
