@@ -99,13 +99,16 @@ from .api import (
 )
 from .explore import ResultCache, adaptive_power_sweep, iter_journal
 from .store import (
+    Claim,
     ColumnarStore,
     LegacyStore,
     ResultStore,
     StoreQuery,
     StoredRow,
+    break_stale_claims,
     migrate_store,
     open_store,
+    try_acquire,
 )
 from .verify import (
     CertificateError,
@@ -116,7 +119,13 @@ from .verify import (
     cross_check,
     run_fuzz,
 )
-from .serve import SynthesisService, start_server
+from .serve import (
+    Client,
+    QueueFullError,
+    SynthesisService,
+    WorkerCrash,
+    start_server,
+)
 from .lp import (
     LinearProgram,
     ilp_schedule,
@@ -126,7 +135,7 @@ from .lp import (
     solve_milp,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CDFG",
@@ -183,6 +192,9 @@ __all__ = [
     "StoredRow",
     "open_store",
     "migrate_store",
+    "Claim",
+    "try_acquire",
+    "break_stale_claims",
     "CertificateError",
     "CertificateReport",
     "Violation",
@@ -192,6 +204,9 @@ __all__ = [
     "FuzzConfig",
     "SynthesisService",
     "start_server",
+    "Client",
+    "QueueFullError",
+    "WorkerCrash",
     "LinearProgram",
     "solve_lp",
     "solve_milp",

@@ -494,11 +494,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=cache,
         cache_backend=None if backend == "auto" else backend,
         workers=args.workers,
+        worker_mode=args.worker_mode,
+        max_queue_depth=args.max_queue_depth,
     ).start()
     server = SynthesisServer((args.host, args.port), service, verbose=args.verbose)
     print(f"repro serve: listening on {server.url}")
     print(
-        f"  workers={args.workers}  state_dir={args.state_dir or '<memory>'}  "
+        f"  workers={args.workers} ({args.worker_mode})  "
+        f"state_dir={args.state_dir or '<memory>'}  "
         f"cache={service.cache.root}"
     )
     pending = service.queue.depth
@@ -532,7 +535,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
     client = Client(args.url, timeout=args.timeout)
     try:
-        accepted = client.submit(tasks)
+        accepted = client.submit(tasks, priority=args.priority)
         print(f"submitted {len(accepted)} job(s) to {args.url}")
         for entry in accepted:
             print(f"  {entry['id']}  key={entry['key'][:16]}…")
@@ -755,7 +758,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8642, help="bind port (0 = ephemeral)"
     )
     serve.add_argument(
-        "--workers", "-j", type=int, default=2, help="synthesis worker threads"
+        "--workers", "-j", type=int, default=2, help="synthesis workers"
+    )
+    serve.add_argument(
+        "--worker-mode",
+        choices=["process", "thread"],
+        default="process",
+        help="run synthesis in child processes (scales past the GIL; "
+        "default) or in threads (single-process debugging)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="bound on queued-but-unstarted jobs; a full queue answers "
+        "429 + Retry-After instead of buffering without limit",
     )
     serve.add_argument(
         "--state-dir",
@@ -868,6 +885,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=300.0,
         help="overall wait/request timeout in seconds (default: 300)",
+    )
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="queue priority for this batch (higher runs first; default 0)",
     )
     submit.set_defaults(handler=_cmd_submit)
 

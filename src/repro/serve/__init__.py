@@ -5,18 +5,27 @@ process that accepts work over the wire — the piece that makes the
 repository a *service* rather than a toolbox:
 
 * :class:`~repro.serve.queue.JobQueue` — a persistent, crash-tolerant
-  FIFO of accepted jobs (append-only JSONL event log; replay requeues
-  work a dead process left in flight),
-* :class:`~repro.serve.service.SynthesisService` — a worker pool
+  priority queue of accepted jobs (append-only JSONL event log; replay
+  requeues work a dead process left in flight; a configurable depth
+  bound turns overload into :class:`QueueFullError` backpressure),
+* :class:`~repro.serve.service.SynthesisService` — a worker tier
   executing jobs through :func:`~repro.api.batch.run_task` against one
-  shared :class:`~repro.explore.cache.ResultCache`, with per-content-
-  address single-flight so identical requests synthesize exactly once,
+  shared :class:`~repro.explore.cache.ResultCache`.  Workers are child
+  *processes* by default (:mod:`~repro.serve.workers`), so CPU-bound
+  synthesis scales past the GIL; a crashed child is detected, its job
+  requeued, its slot respawned.  Single-flight is enforced at two
+  levels: in-process per-key claims inside one service, and
+  store-level claim files (:mod:`repro.store.claims`) across *any*
+  processes sharing a cache directory,
 * :class:`~repro.serve.http.SynthesisServer` / :func:`start_server` —
-  the stdlib ``ThreadingHTTPServer`` JSON surface (``POST /tasks``,
+  a selector-based single-threaded JSON front (``POST /tasks``,
   ``GET /jobs/<id>``, ``GET /results/<key>``, ``GET /healthz``,
-  ``GET /stats``),
-* :class:`~repro.serve.client.Client` — a small blocking client, used
-  by ``repro submit``, the examples and the end-to-end tests.
+  ``GET /stats``) that holds thousands of idle pollers on one thread
+  and answers queue overload with ``429 + Retry-After``,
+* :class:`~repro.serve.client.Client` — a small blocking client with
+  split connect/read timeouts and bounded exponential backoff on
+  429/5xx, used by ``repro submit``, the examples and the end-to-end
+  tests.
 
 Quickstart (in-process, ephemeral port)::
 
@@ -36,19 +45,26 @@ From the command line: ``repro serve --port 8642`` and
 """
 
 from .client import Client, ClientError
-from .http import ServerHandle, SynthesisServer, start_server
-from .queue import Job, JobQueue, QueueError
+from .http import ServerHandle, Submission, SynthesisServer, parse_submission, start_server
+from .queue import Job, JobQueue, QueueError, QueueFullError
 from .service import ServiceError, SynthesisService
+from .workers import ProcessWorker, WorkerCrash, run_claimed_task
 
 __all__ = [
     "Client",
     "ClientError",
     "Job",
     "JobQueue",
+    "ProcessWorker",
     "QueueError",
+    "QueueFullError",
     "ServerHandle",
     "ServiceError",
+    "Submission",
     "SynthesisServer",
     "SynthesisService",
+    "WorkerCrash",
+    "parse_submission",
+    "run_claimed_task",
     "start_server",
 ]

@@ -1,10 +1,23 @@
-"""A small blocking client for the synthesis service (stdlib ``urllib``).
+"""A small blocking client for the synthesis service (stdlib ``http.client``).
 
 :class:`Client` speaks the JSON protocol of :mod:`repro.serve.http`:
-submit task specs, poll jobs, fetch certified result records.  It is
-what ``repro submit`` and the end-to-end tests use — deliberately
-synchronous and dependency-free, mirroring how a script or CI job would
-drive a shared synthesis server.
+submit task specs (optionally with a queue priority), poll jobs, fetch
+certified result records.  It is what ``repro submit`` and the
+end-to-end tests use — deliberately synchronous and dependency-free,
+mirroring how a script or CI job would drive a shared synthesis server.
+
+Production manners are built in rather than left to every caller:
+
+* **Split timeouts** — ``connect_timeout`` bounds the TCP handshake,
+  ``read_timeout`` bounds each response read, so a silent server cannot
+  hang a client for the combined worst case of both.
+* **Bounded retry with exponential backoff** — ``429`` (queue full) and
+  ``5xx`` responses are retried up to ``retries`` times, sleeping
+  ``backoff * 2**attempt`` capped at ``backoff_cap`` seconds, honoring
+  the server's ``Retry-After`` header when it asks for longer (still
+  capped).  Everything else — 4xx mistakes, transport failures,
+  timeouts — raises immediately; retrying a malformed submission
+  cannot fix it.
 
 Quickstart::
 
@@ -20,14 +33,18 @@ Quickstart::
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
 import time
-import urllib.error
-import urllib.request
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+import urllib.parse
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..api.batch import TaskResult
 from ..api.task import SynthesisTask
+
+#: Statuses worth retrying: backpressure and transient server trouble.
+RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
 
 
 class ClientError(RuntimeError):
@@ -35,11 +52,19 @@ class ClientError(RuntimeError):
 
     Attributes:
         status: HTTP status code (``None`` for transport errors).
+        retry_after: Seconds the server asked us to wait (429 responses),
+            or ``None``.
     """
 
-    def __init__(self, message: str, status: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 class Client:
@@ -48,17 +73,48 @@ class Client:
     Args:
         base_url: Server address, e.g. ``"http://127.0.0.1:8642"`` (what
             :func:`repro.serve.start_server` returns on ``handle.url``).
-        timeout: Per-request socket timeout in seconds.
+        timeout: Default for both ``connect_timeout`` and
+            ``read_timeout`` when those are not given.
+        connect_timeout: Seconds allowed for the TCP connect.
+        read_timeout: Seconds allowed for each response read.
+        retries: Retry attempts *after* the first try for retryable
+            statuses (429/5xx).  ``0`` disables retrying.
+        backoff: Base backoff in seconds; attempt ``n`` sleeps
+            ``backoff * 2**n`` (before capping).
+        backoff_cap: Upper bound on any single sleep, including one
+            requested by a ``Retry-After`` header.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 10.0,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+        retries: int = 3,
+        backoff: float = 0.1,
+        backoff_cap: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
+        split = urllib.parse.urlsplit(self.base_url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {split.scheme!r} in {base_url!r}")
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port or 80
         self.timeout = timeout
+        self.connect_timeout = connect_timeout if connect_timeout is not None else timeout
+        self.read_timeout = read_timeout if read_timeout is not None else timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
 
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
-    def _request(
+    def _request_once(
         self, path: str, *, body: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
         data = None
@@ -66,23 +122,74 @@ class Client:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            f"{self.base_url}{path}", data=data, headers=headers
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.connect_timeout
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
             try:
-                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
-            except ValueError:
-                detail = ""
-            raise ClientError(
-                f"{path}: HTTP {exc.code}" + (f" — {detail}" if detail else ""),
-                status=exc.code,
-            ) from exc
-        except urllib.error.URLError as exc:
-            raise ClientError(f"{path}: {exc.reason}") from exc
+                conn.connect()
+            except (socket.timeout, TimeoutError) as exc:
+                raise ClientError(f"{path}: connect timed out") from exc
+            except OSError as exc:
+                raise ClientError(f"{path}: {exc}") from exc
+            # the connect deadline has served its purpose; from here on
+            # the clock that matters is how long a response read may stall
+            if conn.sock is not None:
+                conn.sock.settimeout(self.read_timeout)
+            try:
+                conn.request(
+                    "POST" if body is not None else "GET",
+                    path,
+                    body=data,
+                    headers=headers,
+                )
+                response = conn.getresponse()
+                raw = response.read()
+            except (socket.timeout, TimeoutError) as exc:
+                raise ClientError(f"{path}: read timed out") from exc
+            except (http.client.HTTPException, OSError) as exc:
+                raise ClientError(f"{path}: {exc}") from exc
+            if response.status >= 400:
+                try:
+                    detail = json.loads(raw.decode("utf-8")).get("error", "")
+                except ValueError:
+                    detail = ""
+                retry_after: Optional[float] = None
+                header = response.getheader("Retry-After")
+                if header:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        retry_after = None
+                raise ClientError(
+                    f"{path}: HTTP {response.status}"
+                    + (f" — {detail}" if detail else ""),
+                    status=response.status,
+                    retry_after=retry_after,
+                )
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except ValueError as exc:
+                raise ClientError(f"{path}: malformed response body") from exc
+        finally:
+            conn.close()
+
+    def _request(
+        self, path: str, *, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(path, body=body)
+            except ClientError as exc:
+                retryable = exc.status in RETRYABLE_STATUSES
+                if not retryable or attempt >= self.retries:
+                    raise
+                delay = min(self.backoff_cap, self.backoff * (2 ** attempt))
+                if exc.retry_after is not None:
+                    delay = min(self.backoff_cap, max(delay, exc.retry_after))
+                self._sleep(delay)
+                attempt += 1
 
     # ------------------------------------------------------------------ #
     # Protocol
@@ -90,11 +197,14 @@ class Client:
     def submit(
         self,
         tasks: Union[SynthesisTask, Dict[str, Any], Sequence[Union[SynthesisTask, Dict[str, Any]]]],
+        *,
+        priority: int = 0,
     ) -> List[Dict[str, Any]]:
         """POST tasks; returns the accepted ``{id, key, state}`` entries.
 
         Accepts a single :class:`~repro.api.task.SynthesisTask` or spec
-        dict, or a sequence of either.
+        dict, or a sequence of either.  ``priority`` orders the queue:
+        higher-priority jobs are dequeued first.
         """
         if isinstance(tasks, (SynthesisTask, dict)):
             tasks = [tasks]
@@ -102,7 +212,9 @@ class Client:
             task.to_dict() if isinstance(task, SynthesisTask) else dict(task)
             for task in tasks
         ]
-        return self._request("/tasks", body={"tasks": specs})["jobs"]
+        return self._request(
+            "/tasks", body={"tasks": specs, "priority": int(priority)}
+        )["jobs"]
 
     def job(self, job_id: str) -> Dict[str, Any]:
         """GET one job's status record."""
@@ -186,7 +298,8 @@ class Client:
         tasks: Union[SynthesisTask, Dict[str, Any], Sequence[Union[SynthesisTask, Dict[str, Any]]]],
         *,
         timeout: float = 120.0,
+        priority: int = 0,
     ) -> List[TaskResult]:
         """Submit, wait, and reconstruct one :class:`TaskResult` per task."""
-        accepted = self.submit(tasks)
+        accepted = self.submit(tasks, priority=priority)
         return self.records_from_states(self.wait(accepted, timeout=timeout))

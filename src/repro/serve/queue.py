@@ -16,17 +16,30 @@ answered from the cache in ~0.2 ms on the re-run).  That replay is what
 lets ``repro serve`` restart under load without losing or duplicating
 accepted work.
 
-The queue is strictly FIFO, and it also provides the single-flight
-primitive the service builds dedup on: :meth:`JobQueue.take` registers a
+Dequeue order is *priority, then FIFO*: every submission carries an
+integer priority (default 0, higher first), ready jobs are taken in
+``(-priority, submission order)`` order, and a requeued job re-enters
+ahead of later submissions of its own priority class.  The queue can be
+depth-bounded (``max_depth``): when the backlog of pending jobs is at
+the bound, :meth:`submit` raises :class:`QueueFullError` carrying a
+``retry_after`` hint — what the HTTP front turns into ``429`` +
+``Retry-After`` backpressure instead of an unbounded in-memory backlog.
+
+The queue also provides the in-process single-flight primitive the
+service builds dedup on: :meth:`JobQueue.take` registers a
 per-content-address claim under the same lock that serializes dequeues,
 and :meth:`JobQueue.wait_for_key_turn` blocks a job until every
 earlier-taken job with the same key has finished.  Because claim order
-is take order is submission order, "the second client's identical batch
-is answered entirely from cache" is a guarantee, not a race.
+is take order, "the second client's identical batch is answered
+entirely from cache" is a guarantee, not a race.  (The *cross-process*
+twin of this primitive — two service processes sharing one cache
+directory — lives in :mod:`repro.store.claims` and is enforced by the
+workers, not the queue.)
 """
 
 from __future__ import annotations
 
+import bisect
 import json
 import os
 import threading
@@ -34,7 +47,7 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 from ..api.task import SynthesisTask, TaskError
 
@@ -52,6 +65,19 @@ STATES = (PENDING, RUNNING, DONE, FAILED)
 
 class QueueError(RuntimeError):
     """A job-queue usage error (unknown id, illegal transition, …)."""
+
+
+class QueueFullError(QueueError):
+    """The queue's pending backlog is at ``max_depth``.
+
+    Attributes:
+        retry_after: Suggested seconds before retrying — what the HTTP
+            front sends as the ``Retry-After`` header of its ``429``.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -74,6 +100,10 @@ class Job:
             structural ``CertificateError`` the verify gate rejected).
         requeues: How many times the job re-entered the queue after a
             crash or drain found it in flight.
+        priority: Dequeue priority (higher first; FIFO within a class).
+            A submission attribute, not part of the task's content
+            address — the same task at two priorities is still one
+            synthesis.
     """
 
     id: str
@@ -87,6 +117,9 @@ class Job:
     error: Optional[str] = None
     error_type: Optional[str] = None
     requeues: int = 0
+    priority: int = 0
+    #: Monotonic submission sequence number (dequeue tie-breaker).
+    seq: int = 0
 
     @property
     def finished(self) -> bool:
@@ -107,6 +140,7 @@ class Job:
             "error": self.error,
             "error_type": self.error_type,
             "requeues": self.requeues,
+            "priority": self.priority,
         }
 
 
@@ -117,18 +151,32 @@ class JobQueue:
         state_dir: Directory holding ``jobs.jsonl``.  ``None`` keeps the
             queue purely in memory (tests, throwaway servers) — identical
             semantics, no durability.
+        max_depth: Bound on the *pending* backlog.  ``None`` (default)
+            is unbounded; with a bound, :meth:`submit` /
+            :meth:`submit_many` raise :class:`QueueFullError` instead of
+            growing the backlog — the service's backpressure signal.
 
     All methods are thread-safe; :meth:`take` blocks on a condition
-    variable so idle workers cost nothing.
+    variable so idle workers cost nothing.  Pending jobs are ordered by
+    ``(-priority, submission sequence)``.
     """
 
-    def __init__(self, state_dir: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        state_dir: Optional[Union[str, Path]] = None,
+        *,
+        max_depth: Optional[int] = None,
+    ) -> None:
         self.state_dir = Path(state_dir).expanduser() if state_dir is not None else None
+        self.max_depth = int(max_depth) if max_depth is not None else None
+        if self.max_depth is not None and self.max_depth < 1:
+            raise QueueError(f"max_depth must be >= 1, got {max_depth}")
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._finished = threading.Condition(self._lock)
         self._jobs: Dict[str, Job] = {}
-        self._pending: List[str] = []
+        #: Sorted (-priority, seq, job_id) triples; index 0 dequeues next.
+        self._pending: List[tuple] = []
         self._taken_keys: Dict[str, List[str]] = {}
         self._seq = 0
         self._closed = False
@@ -182,6 +230,8 @@ class JobQueue:
                             task=SynthesisTask.from_dict(event["task"]),
                             key=event["key"],
                             submitted_at=event.get("ts", 0.0),
+                            priority=int(event.get("priority", 0)),
+                            seq=len(order) + 1,
                         )
                         self._jobs[job_id] = job
                         order.append(job_id)
@@ -211,38 +261,78 @@ class JobQueue:
                 job.requeues += 1
                 self._append({"event": "requeue", "id": job_id, "ts": time.time()})
             if job.state == PENDING:
-                self._pending.append(job_id)
+                bisect.insort(self._pending, (-job.priority, job.seq, job.id))
         self._seq = len(order)
 
     # ------------------------------------------------------------------ #
     # Producer side
     # ------------------------------------------------------------------ #
-    def submit(self, task: SynthesisTask) -> Job:
-        """Accept a task: assign an id, persist the submit event, enqueue."""
-        key = task.cache_key()
+    def submit(self, task: SynthesisTask, *, priority: int = 0) -> Job:
+        """Accept a task: assign an id, persist the submit event, enqueue.
+
+        Raises :class:`QueueFullError` when a ``max_depth`` bound is set
+        and the pending backlog is at it.
+        """
+        return self.submit_many([task], priority=priority)[0]
+
+    def submit_many(
+        self, tasks: Iterable[SynthesisTask], *, priority: int = 0
+    ) -> List[Job]:
+        """Accept a batch atomically: all admitted, or ``QueueFullError``.
+
+        Capacity is checked for the whole batch under the queue lock —
+        a client is never left with half its batch admitted and the
+        other half bounced, which would make the 429 retry re-submit
+        (and re-account) the admitted half.
+        """
+        tasks = list(tasks)
         with self._not_empty:
             if self._closed:
                 raise QueueError("queue is closed to new submissions")
-            self._seq += 1
-            job = Job(
-                id=f"job-{self._seq:06d}-{uuid.uuid4().hex[:8]}",
-                task=task,
-                key=key,
-                submitted_at=time.time(),
-            )
-            self._jobs[job.id] = job
-            self._pending.append(job.id)
-            self._append(
-                {
-                    "event": "submit",
-                    "id": job.id,
-                    "ts": job.submitted_at,
-                    "task": task.to_dict(),
-                    "key": key,
-                }
-            )
-            self._not_empty.notify()
-        return job
+            if (
+                self.max_depth is not None
+                and len(self._pending) + len(tasks) > self.max_depth
+            ):
+                raise QueueFullError(
+                    f"queue is full ({len(self._pending)} pending, "
+                    f"max_depth={self.max_depth}); retry later",
+                    retry_after=self._retry_after_hint(),
+                )
+            jobs = []
+            for task in tasks:
+                self._seq += 1
+                job = Job(
+                    id=f"job-{self._seq:06d}-{uuid.uuid4().hex[:8]}",
+                    task=task,
+                    key=task.cache_key(),
+                    submitted_at=time.time(),
+                    priority=int(priority),
+                    seq=self._seq,
+                )
+                self._jobs[job.id] = job
+                bisect.insort(self._pending, (-job.priority, job.seq, job.id))
+                self._append(
+                    {
+                        "event": "submit",
+                        "id": job.id,
+                        "ts": job.submitted_at,
+                        "task": task.to_dict(),
+                        "key": job.key,
+                        "priority": job.priority,
+                    }
+                )
+                jobs.append(job)
+            self._not_empty.notify(len(jobs))
+        return jobs
+
+    def _retry_after_hint(self) -> float:
+        """Seconds a bounced client should wait (caller holds the lock).
+
+        Deliberately crude — half a second per pending job, clamped to
+        [1, 30] — because the real signal is *when the client retries
+        and succeeds*; the hint only spreads the retries out.
+        """
+        return min(30.0, max(1.0, 0.5 * len(self._pending)))
 
     def close(self) -> None:
         """Refuse further submissions and wake blocked :meth:`take` calls."""
@@ -260,7 +350,7 @@ class JobQueue:
     # Worker side
     # ------------------------------------------------------------------ #
     def take(self, timeout: Optional[float] = None) -> Optional[Job]:
-        """Dequeue the oldest pending job and mark it running.
+        """Dequeue the highest-priority oldest pending job, mark it running.
 
         Blocks up to ``timeout`` seconds (forever when ``None``) and
         returns ``None`` on timeout or when the queue was closed while
@@ -275,7 +365,7 @@ class JobQueue:
                 if remaining is not None and remaining <= 0:
                     return None
                 self._not_empty.wait(remaining)
-            job = self._jobs[self._pending.pop(0)]
+            job = self._jobs[self._pending.pop(0)[2]]
             job.state = RUNNING
             job.started_at = time.time()
             # registering the key claim under the same lock that serializes
@@ -351,7 +441,12 @@ class JobQueue:
                 self._finished.wait(remaining if remaining is not None else 0.5)
 
     def requeue(self, job: Job) -> None:
-        """Put a running job back at the head of the queue (drain/crash)."""
+        """Put a running job back into the queue (drain/crash recovery).
+
+        The job keeps its original submission sequence, so it re-enters
+        *ahead* of anything submitted after it within its own priority
+        class — a crash costs latency, never its place in line.
+        """
         with self._not_empty:
             if job.state != RUNNING:
                 raise QueueError(f"cannot requeue job {job.id} in state {job.state!r}")
@@ -359,7 +454,7 @@ class JobQueue:
             job.started_at = None
             job.requeues += 1
             self._release_key(job)
-            self._pending.insert(0, job.id)
+            bisect.insort(self._pending, (-job.priority, job.seq, job.id))
             self._append({"event": "requeue", "id": job.id, "ts": time.time()})
             self._not_empty.notify()
             self._finished.notify_all()

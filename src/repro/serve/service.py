@@ -1,22 +1,36 @@
-"""The synthesis service: a worker pool over the queue + cache stack.
+"""The synthesis service: a process-pool worker tier over queue + cache.
 
 :class:`SynthesisService` is the long-lived engine behind ``repro
 serve``: it accepts :class:`~repro.api.task.SynthesisTask` submissions
 into a persistent :class:`~repro.serve.queue.JobQueue`, and a pool of
-worker threads executes them through the exact same
+workers executes them through the exact same
 :func:`~repro.api.batch.run_task` path the CLI and the batch API use,
 against one shared :class:`~repro.explore.cache.ResultCache`.
 
-Two properties fall out of building on that stack rather than beside it:
+Since the process-tier re-architecture the default ``worker_mode`` is
+``"process"``: each worker slot is a parent-side dispatch thread paired
+with a long-lived child process (:class:`~repro.serve.workers
+.ProcessWorker`) that does the CPU-bound synthesis — N workers really
+use N cores instead of serializing on the GIL.  The parent keeps all
+authority: the queue, the in-process per-key claims, the counters.  A
+child that dies mid-job (SIGKILL, OOM) is detected on its pipe, the job
+is requeued (up to ``max_requeues``, then failed as a ``WorkerCrash``
+record) and the slot respawned.  ``worker_mode="thread"`` keeps the
+old in-process execution — useful for tests that monkeypatch the
+synthesis path, and on single-core machines where processes buy nothing.
 
-* **Single-synthesis semantics.**  Content-identical jobs execute
-  strictly in dequeue order (the queue's per-content-address claim,
-  :meth:`~repro.serve.queue.JobQueue.wait_for_key_turn`), and
-  ``run_task`` consults the shared cache before synthesizing.
-  Identical requests — from one client or many, concurrent or not —
-  therefore synthesize exactly once; every other copy waits for the
-  first and returns as a warm cache hit (~0.2 ms), never as duplicate
-  work.
+Three properties fall out of building on the existing stack:
+
+* **Single-synthesis semantics, cross-process.**  Content-identical
+  jobs within one service execute strictly in dequeue order (the
+  queue's per-content-address claim,
+  :meth:`~repro.serve.queue.JobQueue.wait_for_key_turn`); across
+  *service processes* sharing a cache directory, workers take the
+  store-level claim file for the address (:mod:`repro.store.claims`)
+  before synthesizing and poll the cache while someone else holds it.
+  Identical requests — one client or many, one service or many —
+  synthesize exactly once; every other copy returns as a warm cache
+  hit, never duplicate work.
 
 * **Certified results only.**  Workers run with ``verify=True``, the
   same caller-side assertion as ``run_task(verify=True)``: a feasible
@@ -25,12 +39,18 @@ Two properties fall out of building on that stack rather than beside it:
   cache, so ``GET /results/<key>`` can only ever serve records that
   passed the gate.
 
+* **Bounded backlog.**  With ``max_queue_depth`` set, submissions
+  beyond the bound raise :class:`~repro.serve.queue.QueueFullError`
+  (HTTP: ``429`` + ``Retry-After``) instead of growing memory without
+  limit, and per-job priorities order the backlog that is admitted.
+
 Shutdown is graceful by construction: ``shutdown(drain=True)`` stops
 accepting work and waits for the queue to empty; ``drain=False`` stops
 after the jobs currently in flight (synthesis is not interruptible
 mid-run) and leaves the rest pending in the persistent queue, where the
 next boot's replay picks them up.  A process that dies mid-job instead
-of shutting down is covered by the queue's requeue-on-replay.
+of shutting down is covered by the queue's requeue-on-replay plus the
+claim files' dead-pid staleness.
 """
 
 from __future__ import annotations
@@ -44,7 +64,12 @@ from typing import Any, Dict, Iterable, List, Optional, Union
 from ..api.batch import BatchSummary, TaskResult, run_task
 from ..api.task import SynthesisTask
 from ..explore.cache import ResultCache
-from .queue import Job, JobQueue, QueueError
+from ..store import claims
+from .queue import Job, JobQueue, QueueError, QueueFullError
+from .workers import ProcessWorker, WorkerCrash
+
+#: Recognized worker execution modes.
+WORKER_MODES = ("process", "thread")
 
 
 class ServiceError(RuntimeError):
@@ -74,7 +99,18 @@ class SynthesisService:
         cache_backend: Storage backend for a cache the service opens
             itself (``"legacy"`` / ``"columnar"``; existing directories
             autodetect).  Ignored when ``cache`` is given.
-        workers: Worker threads executing jobs concurrently.
+        workers: Worker slots executing jobs concurrently.
+        worker_mode: ``"process"`` (default) pairs each slot with a
+            child process doing the CPU-bound synthesis — the GIL-free
+            tier; ``"thread"`` executes in-process on the slot's own
+            thread (tests, monkeypatching, single-core boxes).
+        max_queue_depth: Bound on the pending backlog; beyond it,
+            submissions raise :class:`~repro.serve.queue.QueueFullError`
+            — the HTTP front's ``429 Retry-After`` signal.  ``None`` is
+            unbounded.
+        max_requeues: How many times a job whose worker child was killed
+            mid-run is requeued before it is failed as a
+            ``WorkerCrash`` record.
         verify: Re-certify every feasible result before it is recorded
             (the ``run_task(verify=True)`` gate).  On by default — a
             serving process is exactly the place where an uncertified
@@ -91,11 +127,18 @@ class SynthesisService:
         cache: Optional[ResultCache] = None,
         cache_backend: Optional[str] = None,
         workers: int = 2,
+        worker_mode: str = "process",
+        max_queue_depth: Optional[int] = None,
+        max_requeues: int = 2,
         verify: bool = True,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"a service needs at least one worker, got {workers}")
-        self.queue = JobQueue(state_dir)
+        if worker_mode not in WORKER_MODES:
+            raise ServiceError(
+                f"unknown worker_mode {worker_mode!r}; choose from {WORKER_MODES}"
+            )
+        self.queue = JobQueue(state_dir, max_depth=max_queue_depth)
         self._owns_temp_cache = False
         if cache is None:
             if state_dir is not None:
@@ -111,14 +154,19 @@ class SynthesisService:
                 self._owns_temp_cache = True
         self.cache = cache
         self.workers = int(workers)
+        self.worker_mode = worker_mode
+        self.max_requeues = int(max_requeues)
         self.verify = verify
         self.started_at: Optional[float] = None
         self._threads: List[threading.Thread] = []
+        self._children: List[Optional[ProcessWorker]] = [None] * self.workers
         self._stop = threading.Event()
         self._guard = threading.Lock()
         self._strategy_stats: Dict[str, Dict[str, float]] = {}
         self._summary = BatchSummary()
         self._certified_keys: set = set()
+        self._worker_crashes = 0
+        self._stale_claims_broken = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -129,13 +177,30 @@ class SynthesisService:
             return self
         self.started_at = time.time()
         self._stop.clear()
+        if self.worker_mode == "process":
+            # boot hygiene: claims left by a machine-wide crash (their
+            # pids possibly reused by now) must not gate their keys
+            self._stale_claims_broken = claims.break_stale_claims(self.cache.root)
+            for slot in range(self.workers):
+                self._children[slot] = self._spawn_child(slot)
         for index in range(self.workers):
             thread = threading.Thread(
-                target=self._worker_loop, name=f"repro-serve-worker-{index}", daemon=True
+                target=self._worker_loop,
+                args=(index,),
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
             )
             thread.start()
             self._threads.append(thread)
         return self
+
+    def _spawn_child(self, slot: int) -> ProcessWorker:
+        return ProcessWorker(
+            str(self.cache.root),
+            cache_backend=self.cache.backend,
+            verify=self.verify,
+            name=f"repro-serve-child-{slot}",
+        )
 
     def __enter__(self) -> "SynthesisService":
         return self.start()
@@ -163,6 +228,10 @@ class SynthesisService:
         self._threads = [t for t in self._threads if t.is_alive()]
         if not self._threads:
             self._stop.set()
+            for slot, child in enumerate(self._children):
+                if child is not None:
+                    child.stop()
+                    self._children[slot] = None
             if self._owns_temp_cache:
                 # a private temp cache dies with the service; shared /
                 # state-dir caches are durable by design and left alone
@@ -178,16 +247,25 @@ class SynthesisService:
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
-    def submit(self, task: SynthesisTask) -> Job:
+    def submit(self, task: SynthesisTask, *, priority: int = 0) -> Job:
         """Accept one task; returns its :class:`~repro.serve.queue.Job`."""
+        return self.submit_many([task], priority=priority)[0]
+
+    def submit_many(
+        self, tasks: Iterable[SynthesisTask], *, priority: int = 0
+    ) -> List[Job]:
+        """Accept a batch atomically, in order; returns the jobs.
+
+        A full queue raises :class:`~repro.serve.queue.QueueFullError`
+        (backpressure — retryable, nothing admitted); other queue errors
+        (closed for shutdown) surface as :class:`ServiceError`.
+        """
         try:
-            return self.queue.submit(task)
+            return self.queue.submit_many(tasks, priority=priority)
+        except QueueFullError:
+            raise
         except QueueError as exc:
             raise ServiceError(str(exc)) from exc
-
-    def submit_many(self, tasks: Iterable[SynthesisTask]) -> List[Job]:
-        """Accept a batch of tasks in order; returns their jobs."""
-        return [self.submit(task) for task in tasks]
 
     def job(self, job_id: str) -> Optional[Job]:
         """Look up a job by id."""
@@ -235,16 +313,19 @@ class SynthesisService:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, slot: int) -> None:
         while not self._stop.is_set():
             job = self.queue.take(timeout=0.1)
             if job is None:
                 if self.queue.closed and self.queue.depth == 0:
                     return
                 continue
-            self._execute(job)
+            if self.worker_mode == "process":
+                self._execute_in_child(slot, job)
+            else:
+                self._execute_in_thread(job)
 
-    def _execute(self, job: Job) -> None:
+    def _execute_in_thread(self, job: Job) -> None:
         # Single-flight: content-identical jobs execute strictly in the
         # order they were taken — the first computes, every follower
         # unblocks here and exits run_task through the cache-hit path.
@@ -257,24 +338,75 @@ class SynthesisService:
                 verify=self.verify,
             )
         except Exception as exc:  # CertificateError and genuine bugs alike
-            error_type = type(exc).__name__
-            with self._guard:
-                self._summary.total += 1
-                self._summary.infeasible += 1
-                self._summary.computed += 1
-                if error_type == "CertificateError":
-                    self._summary.certificate_errors += 1
-                # failed jobs stay visible in per_strategy too, so its
-                # "jobs" counts always sum to summary.total
-                stats = self._strategy_stats.setdefault(
-                    job.task.scheduler, dict(_STRATEGY_ZERO)
-                )
-                stats["jobs"] += 1
-                stats["failed"] += 1
-            self.queue.finish(job, error=str(exc), error_type=error_type)
+            self._note_failure(job, str(exc), type(exc).__name__)
+            self.queue.finish(job, error=str(exc), error_type=type(exc).__name__)
             return
         self._note_record(job, record)
         self.queue.finish(job, record=record.to_dict())
+
+    def _execute_in_child(self, slot: int, job: Job) -> None:
+        """Run one job on the slot's child process, surviving its death.
+
+        The in-process key claim still orders content-identical jobs of
+        *this* service (the follower's child then exits through the
+        cache-hit path); the child itself additionally takes the
+        store-level claim file, which is what serializes against other
+        service processes on the same cache directory.
+        """
+        self.queue.wait_for_key_turn(job)
+        child = self._children[slot]
+        if child is None or not child.alive:
+            child = self._children[slot] = self._spawn_child(slot)
+        try:
+            outcome = child.run(job.task, owner=job.id)
+        except WorkerCrash as crash:
+            with self._guard:
+                self._worker_crashes += 1
+            if not self._stop.is_set():
+                self._children[slot] = self._spawn_child(slot)
+            if job.requeues < self.max_requeues:
+                self.queue.requeue(job)
+                return
+            message = f"{crash} after {job.requeues} requeue(s)"
+            self._note_failure(job, message, "WorkerCrash")
+            self.queue.finish(job, error=message, error_type="WorkerCrash")
+            return
+        if "feasible" not in outcome:
+            # an execution *error* (certificate rejection, genuine bug),
+            # not an infeasible record — those come back as data with
+            # feasible=False and their own error fields
+            self._note_failure(job, outcome.get("error", ""), outcome["error_type"])
+            self.queue.finish(
+                job, error=outcome.get("error", ""), error_type=outcome["error_type"]
+            )
+            return
+        record = TaskResult.from_dict(outcome)
+        with self._guard:
+            # the child's cache instance did the real lookup/write; fold
+            # the outcome into the parent's counters so /stats keeps
+            # describing this service's serving work in one place
+            if record.cached:
+                self.cache.stats.hits += 1
+            else:
+                self.cache.stats.misses += 1
+                self.cache.stats.writes += 1
+        self._note_record(job, record)
+        self.queue.finish(job, record=outcome)
+
+    def _note_failure(self, job: Job, message: str, error_type: str) -> None:
+        with self._guard:
+            self._summary.total += 1
+            self._summary.infeasible += 1
+            self._summary.computed += 1
+            if error_type == "CertificateError":
+                self._summary.certificate_errors += 1
+            # failed jobs stay visible in per_strategy too, so its
+            # "jobs" counts always sum to summary.total
+            stats = self._strategy_stats.setdefault(
+                job.task.scheduler, dict(_STRATEGY_ZERO)
+            )
+            stats["jobs"] += 1
+            stats["failed"] += 1
 
     def _note_record(self, job: Job, record: TaskResult) -> None:
         """Fold one finished record into the running counters (O(1)).
@@ -347,7 +479,14 @@ class SynthesisService:
         return {
             "uptime": time.time() - self.started_at if self.started_at else 0.0,
             "workers": self.workers,
-            "queue": {"depth": self.queue.depth, "jobs": counts},
+            "worker_mode": self.worker_mode,
+            "worker_crashes": self._worker_crashes,
+            "stale_claims_broken": self._stale_claims_broken,
+            "queue": {
+                "depth": self.queue.depth,
+                "max_depth": self.queue.max_depth,
+                "jobs": counts,
+            },
             "cache": {
                 "backend": self.cache.backend,
                 "hits": cache_stats.hits,
@@ -368,6 +507,18 @@ class SynthesisService:
         return {
             "status": "ok" if self.running else "stopped",
             "workers": self.workers,
+            "worker_mode": self.worker_mode,
             "queue_depth": self.queue.depth,
             "uptime": time.time() - self.started_at if self.started_at else 0.0,
         }
+
+    def worker_pids(self) -> List[int]:
+        """Pids of the live synthesis child processes (process mode).
+
+        What the crash tests aim their SIGKILL at; empty in thread mode.
+        """
+        return [
+            child.pid
+            for child in self._children
+            if child is not None and child.alive and child.pid is not None
+        ]

@@ -13,6 +13,12 @@ One interface, two backends:
   record, torn tails repaired), merged by :meth:`compact` into sorted,
   indexed column files that answer range queries with partial reads.
 
+:mod:`~repro.store.claims` adds the cross-process single-flight
+protocol on top of either backend: per-content-address claim files
+(atomic link-into-place, dead-pid/lease staleness, serialized breaking)
+that let many processes share one store directory without ever
+synthesizing the same task twice.
+
 :func:`open_store` picks the backend for a directory — an existing
 layout always wins over the caller's preference, so ``--cache-dir``
 autodetects — and :func:`~repro.store.migrate.migrate_store` /
@@ -38,6 +44,15 @@ from .base import (
     StoredRow,
     family_of,
     row_from_payload,
+)
+from .claims import (
+    Claim,
+    ClaimError,
+    ClaimInfo,
+    break_stale_claims,
+    claim_path,
+    holder,
+    try_acquire,
 )
 from .columnar import MANIFEST_NAME, ColumnarStore
 from .journal import (
@@ -107,6 +122,9 @@ def open_store(
 __all__ = [
     "BACKENDS",
     "COLUMN_NAMES",
+    "Claim",
+    "ClaimError",
+    "ClaimInfo",
     "ColumnarStore",
     "JOURNAL_NAME",
     "LegacyStore",
@@ -115,7 +133,11 @@ __all__ = [
     "StoreQuery",
     "StoredRow",
     "append_journal_line",
+    "break_stale_claims",
+    "claim_path",
     "detect_backend",
+    "holder",
+    "try_acquire",
     "family_of",
     "iter_journal",
     "iter_journal_payloads",

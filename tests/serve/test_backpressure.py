@@ -1,0 +1,165 @@
+"""Backpressure and fairness regressions for the selector HTTP front.
+
+Three promises, each with a regression here:
+
+* a queue at ``max_queue_depth`` answers ``429`` with a ``Retry-After``
+  header instead of buffering without bound — and admits nothing from
+  the rejected batch (all-or-nothing),
+* per-job priorities strictly order dequeues (higher first, FIFO within
+  a priority class),
+* a flood of idle connections (the slow-poller pathology that sank the
+  thread-per-connection front) does not starve live requests —
+  ``/healthz`` stays fast with hundreds of silent sockets parked on the
+  server.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api.task import SynthesisTask
+from repro.serve import Client, ClientError, start_server
+from repro.serve.http import SynthesisServer
+from repro.serve.queue import DONE
+from repro.serve.service import SynthesisService
+
+
+def task_spec(power):
+    return {"graph": "hal", "latency": 17, "power_budget": power}
+
+
+def unstarted_server(tmp_path, **service_kwargs):
+    """An HTTP front over a service whose workers never start.
+
+    Nothing drains the queue, so depth is fully under the test's
+    control — the only way to make a ``max_queue_depth`` assertion
+    deterministic.
+    """
+    service = SynthesisService(tmp_path, **service_kwargs)
+    server = SynthesisServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return service, server, thread
+
+
+class TestQueueFull:
+    def test_full_queue_is_429_with_retry_after(self, tmp_path):
+        service, server, thread = unstarted_server(
+            tmp_path, workers=1, max_queue_depth=2
+        )
+        try:
+            client = Client(server.url, retries=0)
+            client.submit([task_spec(10.0), task_spec(11.0)])
+            with pytest.raises(ClientError) as excinfo:
+                client.submit(task_spec(12.0))
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after >= 1.0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(5)
+
+    def test_rejected_batch_admits_nothing(self, tmp_path):
+        service, server, thread = unstarted_server(
+            tmp_path, workers=1, max_queue_depth=3
+        )
+        try:
+            client = Client(server.url, retries=0)
+            client.submit([task_spec(10.0), task_spec(11.0)])
+            with pytest.raises(ClientError) as excinfo:
+                # 2 pending + 3 would overflow: the whole batch bounces
+                client.submit([task_spec(12.0), task_spec(13.0), task_spec(14.0)])
+            assert excinfo.value.status == 429
+            assert service.queue.depth == 2, "partial admission is forbidden"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(5)
+
+    def test_client_backoff_retries_429_until_capacity_frees(self, tmp_path):
+        service, server, thread = unstarted_server(
+            tmp_path, workers=1, max_queue_depth=1
+        )
+        try:
+            blocking = Client(server.url, retries=0)
+            blocking.submit(task_spec(10.0))
+
+            sleeps = []
+
+            def sleep_and_free(delay):
+                sleeps.append(delay)
+                # simulate the queue draining while we back off
+                with service.queue._lock:
+                    service.queue._pending.clear()
+
+            retrying = Client(server.url, retries=2, sleep=sleep_and_free)
+            accepted = retrying.submit(task_spec(11.0))
+            assert len(accepted) == 1
+            assert len(sleeps) == 1  # one 429, one backoff, then admitted
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(5)
+
+
+class TestPriorities:
+    def test_priority_strictly_orders_dequeues(self, tmp_path):
+        service, server, thread = unstarted_server(tmp_path, workers=1)
+        try:
+            client = Client(server.url, retries=0)
+            submitted = {}
+            # submission order deliberately scrambles priority order
+            for power, priority in ((10.0, 0), (11.0, 5), (12.0, 2), (13.0, 5)):
+                (entry,) = client.submit(task_spec(power), priority=priority)
+                submitted[entry["id"]] = priority
+            service.start()  # only now does anything dequeue
+            jobs = [service.job(job_id) for job_id in submitted]
+            service.wait(jobs, timeout=120)
+            assert all(job.state == DONE for job in jobs)
+
+            by_start = sorted(jobs, key=lambda job: job.started_at)
+            assert [job.priority for job in by_start] == [5, 5, 2, 0]
+            first, second = by_start[0], by_start[1]
+            assert first.seq < second.seq, "FIFO within a priority class"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown(drain=False)
+            thread.join(5)
+
+
+class TestSlowPollerFlood:
+    IDLE_CONNECTIONS = 500
+
+    def test_healthz_stays_fast_under_idle_connection_flood(self, tmp_path):
+        with start_server(state_dir=tmp_path, workers=1) as handle:
+            client = Client(handle.url, retries=0)
+            assert client.healthz()["status"] == "ok"
+            host, port = handle.server.server_address[:2]
+            idle = []
+            try:
+                for _ in range(self.IDLE_CONNECTIONS):
+                    sock = socket.create_connection((host, port), timeout=10)
+                    idle.append(sock)
+                # half-written requests park in the server's parser, the
+                # nastier cousin of a silent connection
+                for sock in idle[::10]:
+                    sock.sendall(b"GET /healthz HTTP/1.1\r\nHos")
+
+                latencies = []
+                for _ in range(5):
+                    started = time.perf_counter()
+                    payload = client.healthz()
+                    latencies.append(time.perf_counter() - started)
+                    assert payload["status"] == "ok"
+                worst = max(latencies)
+                assert worst < 0.5, (
+                    f"/healthz took {worst:.3f}s with "
+                    f"{self.IDLE_CONNECTIONS} idle connections parked"
+                )
+            finally:
+                for sock in idle:
+                    sock.close()

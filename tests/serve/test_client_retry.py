@@ -1,0 +1,199 @@
+"""Unit tests for the client's timeouts and bounded retry policy.
+
+A scripted socket server plays the service's part, one canned response
+per connection, so every transport behavior — 429 storms, silent
+servers, permanent errors — is exercised deterministically and without
+a real synthesis service.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve import Client, ClientError
+
+OK_BODY = json.dumps({"status": "ok"}).encode()
+OK = (
+    b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+    + f"Content-Length: {len(OK_BODY)}\r\n".encode()
+    + b"Connection: close\r\n\r\n"
+    + OK_BODY
+)
+
+
+def too_many_requests(retry_after):
+    body = json.dumps({"error": "queue full"}).encode()
+    return (
+        b"HTTP/1.1 429 Too Many Requests\r\n"
+        b"Content-Type: application/json\r\n"
+        + f"Content-Length: {len(body)}\r\n".encode()
+        + f"Retry-After: {retry_after}\r\n".encode()
+        + b"Connection: close\r\n\r\n"
+        + body
+    )
+
+
+BAD_REQUEST_BODY = json.dumps({"error": "bad spec"}).encode()
+BAD_REQUEST = (
+    b"HTTP/1.1 400 Bad Request\r\nContent-Type: application/json\r\n"
+    + f"Content-Length: {len(BAD_REQUEST_BODY)}\r\n".encode()
+    + b"Connection: close\r\n\r\n"
+    + BAD_REQUEST_BODY
+)
+
+#: Sentinel: accept the connection, read the request, never answer.
+SILENT = object()
+
+
+class ScriptedServer:
+    """One canned response per accepted connection; repeats the last."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.connections = 0
+        self._open = []
+        self._lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self.url = "http://127.0.0.1:%d" % self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            with self._lock:
+                index = min(self.connections, len(self.script) - 1)
+                self.connections += 1
+                self._open.append(conn)
+            response = self.script[index]
+            try:
+                conn.settimeout(5)
+                self._drain_request(conn)
+                if response is SILENT:
+                    continue  # leave the socket open and mute
+                conn.sendall(response)
+                conn.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _drain_request(conn):
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = conn.recv(65536)
+            if not chunk:
+                return
+            data += chunk
+
+    def close(self):
+        self._listener.close()
+        with self._lock:
+            for conn in self._open:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+
+@pytest.fixture()
+def scripted():
+    servers = []
+
+    def factory(script):
+        server = ScriptedServer(script)
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.close()
+
+
+class TestRetryPolicy:
+    def test_429_then_200_succeeds_after_backoff(self, scripted):
+        server = scripted([too_many_requests(1), OK])
+        sleeps = []
+        client = Client(
+            server.url, retries=3, backoff=0.01, backoff_cap=0.5,
+            sleep=sleeps.append,
+        )
+        assert client.healthz() == {"status": "ok"}
+        assert server.connections == 2
+        # the server asked for 1s; the cap bounds what we actually wait
+        assert sleeps == [0.5]
+
+    def test_backoff_grows_exponentially_without_retry_after(self, scripted):
+        server = scripted(
+            [too_many_requests(""), too_many_requests(""), OK]
+        )
+        sleeps = []
+        client = Client(
+            server.url, retries=5, backoff=0.1, backoff_cap=10.0,
+            sleep=sleeps.append,
+        )
+        assert client.healthz() == {"status": "ok"}
+        assert sleeps == [0.1, 0.2]
+
+    def test_gives_up_after_bounded_retries(self, scripted):
+        server = scripted([too_many_requests(1)])
+        client = Client(
+            server.url, retries=2, backoff=0.001, backoff_cap=0.001,
+            sleep=lambda _delay: None,
+        )
+        with pytest.raises(ClientError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 429
+        assert server.connections == 3  # first try + exactly 2 retries
+
+    def test_permanent_errors_are_not_retried(self, scripted):
+        server = scripted([BAD_REQUEST])
+        client = Client(server.url, retries=5, sleep=lambda _d: None)
+        with pytest.raises(ClientError) as excinfo:
+            client.submit({"graph": "hal", "latency": 17})
+        assert excinfo.value.status == 400
+        assert server.connections == 1, "a 400 cannot be fixed by retrying"
+
+    def test_retries_disabled_surfaces_first_429(self, scripted):
+        server = scripted([too_many_requests(3), OK])
+        client = Client(server.url, retries=0)
+        with pytest.raises(ClientError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after == 3.0
+        assert server.connections == 1
+
+
+class TestTimeouts:
+    def test_read_timeout_on_silent_server(self, scripted):
+        server = scripted([SILENT])
+        client = Client(server.url, read_timeout=0.2, retries=0)
+        started = time.perf_counter()
+        with pytest.raises(ClientError) as excinfo:
+            client.healthz()
+        elapsed = time.perf_counter() - started
+        assert "read timed out" in str(excinfo.value)
+        assert excinfo.value.status is None
+        assert elapsed < 2.0, "a silent server must not hang the client"
+
+    def test_connection_refused_is_a_transport_error(self):
+        client = Client("http://127.0.0.1:1", connect_timeout=0.2, retries=3)
+        with pytest.raises(ClientError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status is None
+
+    def test_timeout_split_defaults_from_single_timeout(self):
+        client = Client("http://127.0.0.1:1", timeout=7.5)
+        assert client.connect_timeout == 7.5
+        assert client.read_timeout == 7.5
+        split = Client("http://127.0.0.1:1", connect_timeout=0.5, read_timeout=30.0)
+        assert split.connect_timeout == 0.5
+        assert split.read_timeout == 30.0

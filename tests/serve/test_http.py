@@ -24,16 +24,31 @@ def client(server):
 
 class TestParseSubmission:
     def test_single_spec_object(self):
-        tasks = parse_submission('{"graph": "hal", "latency": 17}')
-        assert len(tasks) == 1 and tasks[0].graph == "hal"
+        submission = parse_submission('{"graph": "hal", "latency": 17}')
+        assert len(submission.tasks) == 1 and submission.tasks[0].graph == "hal"
+        assert submission.priority == 0
 
     def test_list_and_batch_file_forms(self):
-        assert len(parse_submission('[{"graph": "hal", "latency": 17}]')) == 1
+        assert len(parse_submission('[{"graph": "hal", "latency": 17}]').tasks) == 1
         batch = {
             "tasks": [{"graph": "hal", "latency": 17}],
             "sweeps": [{"graph": "hal", "latency": 17, "power_budgets": [10, 12]}],
         }
-        assert len(parse_submission(json.dumps(batch))) == 3
+        assert len(parse_submission(json.dumps(batch)).tasks) == 3
+
+    def test_priority_rides_the_envelope(self):
+        single = parse_submission('{"graph": "hal", "latency": 17, "priority": 5}')
+        assert single.priority == 5 and single.tasks[0].graph == "hal"
+        batch = parse_submission(
+            '{"tasks": [{"graph": "hal", "latency": 17}], "priority": -2}'
+        )
+        assert batch.priority == -2 and len(batch.tasks) == 1
+
+    def test_non_integer_priority_is_rejected(self):
+        from repro.api.task import TaskError
+
+        with pytest.raises(TaskError):
+            parse_submission('{"graph": "hal", "priority": "high"}')
 
     def test_invalid_json_raises_task_error(self):
         from repro.api.task import TaskError

@@ -51,7 +51,9 @@ class TestExecution:
         import repro.serve.service as service_module
 
         monkeypatch.setattr(service_module, "run_task", rejecting_run_task)
-        with SynthesisService(tmp_path, workers=1) as service:
+        # thread mode: the monkeypatched run_task must be visible to the
+        # executing worker, which a child process would not see
+        with SynthesisService(tmp_path, workers=1, worker_mode="thread") as service:
             (job,) = service.submit_many([task()])
             service.wait([job], timeout=10)
         assert job.state == FAILED

@@ -1,0 +1,219 @@
+"""Tests for the store-level single-flight claim protocol.
+
+The unit half exercises the state machine directly: acquire/release,
+dead-pid and lease staleness, the byte-compare breaking rule, the boot
+sweep.  The property half is a seeded multiprocess interleaving test:
+workers race to claim one key, hold it, and randomly *crash while
+holding* — across every interleaving there must never be two live
+holders inside the critical section at once, and a crashed holder's
+claim must always be recoverable by dead-pid breaking alone (the lease
+is set far too long to help).
+"""
+
+import json
+import multiprocessing
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.store import claims
+from repro.store.claims import (
+    Claim,
+    ClaimInfo,
+    break_stale_claims,
+    claim_path,
+    holder,
+    pid_is_dead,
+    try_acquire,
+)
+
+KEY = "ab" + "0" * 62
+
+
+def plant_claim(root, key, *, pid, age=0.0, lease=claims.DEFAULT_LEASE) -> Path:
+    """Write a claim file directly (simulating another process's claim)."""
+    path = claim_path(root, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    info = ClaimInfo(
+        key=key, pid=pid, acquired_at=time.time() - age, lease=lease, nonce="t"
+    )
+    path.write_bytes(info.to_json().encode())
+    return path
+
+
+@pytest.fixture()
+def dead_pid():
+    """A pid that provably belonged to an exited process."""
+    proc = multiprocessing.Process(target=lambda: None)
+    proc.start()
+    proc.join()
+    assert pid_is_dead(proc.pid)
+    return proc.pid
+
+
+class TestAcquireRelease:
+    def test_acquire_then_conflict_then_release(self, tmp_path):
+        claim = try_acquire(tmp_path, KEY, owner="first")
+        assert isinstance(claim, Claim) and claim.key == KEY
+        assert try_acquire(tmp_path, KEY) is None  # held (we are alive)
+        info = holder(tmp_path, KEY)
+        assert info.pid == os.getpid() and info.owner == "first"
+        claim.release()
+        assert holder(tmp_path, KEY) is None
+        assert try_acquire(tmp_path, KEY) is not None
+
+    def test_release_is_idempotent_and_survives_breaking(self, tmp_path):
+        claim = try_acquire(tmp_path, KEY)
+        os.unlink(claim.path)  # someone broke us
+        claim.release()
+        claim.release()
+
+    def test_context_manager_releases(self, tmp_path):
+        with try_acquire(tmp_path, KEY) as claim:
+            assert holder(tmp_path, KEY) is not None
+        assert holder(tmp_path, KEY) is None
+        assert claim._released
+
+    def test_no_temp_file_litter(self, tmp_path):
+        try_acquire(tmp_path, KEY).release()
+        blocked = plant_claim(tmp_path, KEY, pid=os.getpid())
+        assert try_acquire(tmp_path, KEY) is None
+        leftovers = [
+            p for p in blocked.parent.iterdir() if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+
+class TestStaleness:
+    def test_dead_pid_claim_is_broken_and_taken(self, tmp_path, dead_pid):
+        plant_claim(tmp_path, KEY, pid=dead_pid)
+        claim = try_acquire(tmp_path, KEY)
+        assert claim is not None
+        assert holder(tmp_path, KEY).pid == os.getpid()
+        claim.release()
+
+    def test_expired_lease_claim_is_broken_even_with_live_pid(self, tmp_path):
+        plant_claim(tmp_path, KEY, pid=os.getpid(), age=100.0, lease=1.0)
+        assert try_acquire(tmp_path, KEY) is not None
+
+    def test_live_claim_within_lease_is_respected(self, tmp_path):
+        plant_claim(tmp_path, KEY, pid=os.getpid(), age=1.0, lease=600.0)
+        assert try_acquire(tmp_path, KEY) is None
+
+    def test_garbage_claim_body_does_not_wedge_the_key(self, tmp_path):
+        path = claim_path(tmp_path, KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not json at all")
+        assert try_acquire(tmp_path, KEY) is not None
+
+    def test_breaker_backs_off_when_claim_changes_hands(self, tmp_path, dead_pid):
+        path = plant_claim(tmp_path, KEY, pid=dead_pid)
+        observed = path.read_bytes()
+        # a new, live holder replaces the stale claim before we break it
+        plant_claim(tmp_path, KEY, pid=os.getpid())
+        assert claims._break_if_unchanged(path, observed) is False
+        assert holder(tmp_path, KEY).pid == os.getpid()
+
+
+class TestBootSweep:
+    def test_sweep_breaks_only_stale_claims(self, tmp_path, dead_pid):
+        plant_claim(tmp_path, "aa" + "0" * 62, pid=dead_pid)
+        plant_claim(tmp_path, "bb" + "0" * 62, pid=os.getpid(), age=50.0, lease=1.0)
+        plant_claim(tmp_path, "cc" + "0" * 62, pid=os.getpid())
+        assert break_stale_claims(tmp_path) == 2
+        assert holder(tmp_path, "aa" + "0" * 62) is None
+        assert holder(tmp_path, "bb" + "0" * 62) is None
+        assert holder(tmp_path, "cc" + "0" * 62) is not None
+
+    def test_sweep_on_missing_directory_is_zero(self, tmp_path):
+        assert break_stale_claims(tmp_path / "nowhere") == 0
+
+
+# --------------------------------------------------------------------- #
+# Seeded multiprocess interleaving property
+# --------------------------------------------------------------------- #
+
+WORKERS = 4
+ITERATIONS = 12
+CRASH_PROBABILITY = 0.3
+#: Long enough that lease expiry can never fire inside the test —
+#: recovery from a crashed holder must come from dead-pid breaking.
+LONG_LEASE = 3600.0
+
+
+def _contend(root, worker, seed):
+    """One worker: loop of acquire → critical section → release or crash.
+
+    The critical section is guarded by an ``O_CREAT | O_EXCL`` sentinel
+    recording the holder's pid.  Two *live* processes inside at once is
+    the violation this test hunts; a sentinel left by a crashed (dead
+    pid) holder is expected debris that the next rightful claim holder
+    cleans up.
+    """
+    rng = random.Random(seed * 1000 + worker)
+    root = Path(root)
+    sentinel = root / "critical.sentinel"
+    violations = root / "violations.log"
+    for _round in range(ITERATIONS):
+        claim = try_acquire(root, KEY, lease=LONG_LEASE, owner=f"w{worker}")
+        if claim is None:
+            time.sleep(rng.uniform(0.0, 0.003))
+            continue
+        try:
+            os.close(
+                os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            )
+            sentinel.write_text(str(os.getpid()))
+        except FileExistsError:
+            try:
+                previous = int(sentinel.read_text() or "0")
+            except (OSError, ValueError):
+                previous = 0
+            if previous and not pid_is_dead(previous):
+                with open(violations, "a") as handle:  # two live holders!
+                    handle.write(
+                        json.dumps({"worker": worker, "other_pid": previous})
+                        + "\n"
+                    )
+            # crashed predecessor's debris: we hold the claim, reclaim it
+            sentinel.write_text(str(os.getpid()))
+        time.sleep(rng.uniform(0.0, 0.002))
+        if rng.random() < CRASH_PROBABILITY:
+            os._exit(1)  # SIGKILL-equivalent: no release, no cleanup
+        sentinel.unlink()
+        claim.release()
+
+
+@pytest.mark.parametrize("seed", [7, 1234])
+def test_random_crash_interleavings_never_double_hold(tmp_path, seed):
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+    for wave in range(2):
+        procs = [
+            ctx.Process(
+                target=_contend, args=(str(tmp_path), wave * WORKERS + w, seed)
+            )
+            for w in range(WORKERS)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(60)
+            assert proc.exitcode is not None, "worker wedged"
+
+    violations = tmp_path / "violations.log"
+    assert not violations.exists(), violations.read_text()
+
+    # whatever a crashed final holder left behind must be recoverable:
+    # the claim (if any) is stale by dead pid, and one sweep clears it
+    leftover = holder(tmp_path, KEY)
+    if leftover is not None:
+        assert pid_is_dead(leftover.pid)
+        assert break_stale_claims(tmp_path) >= 1
+    claim = try_acquire(tmp_path, KEY, lease=LONG_LEASE)
+    assert claim is not None
+    claim.release()
