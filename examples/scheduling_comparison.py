@@ -24,7 +24,9 @@ from repro.reporting.table import render_table
 #: operations, and the ILP — while it does scale to the paper-sized
 #: benchmarks (see examples/ilp_quickstart.py) — needs minutes, not
 #: seconds, at this (T, P) corner.  The heuristic shoot-out stays fast.
-SKIP = {"exact", "ilp"}
+#: ``portfolio`` is skipped too: it is a meta-strategy racing the others,
+#: and its record carries scalar metrics only (no schedule to inspect).
+SKIP = {"exact", "ilp", "portfolio"}
 
 
 def main() -> None:

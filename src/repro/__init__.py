@@ -34,7 +34,12 @@ The package provides:
 * :mod:`repro.lp` — a zero-dependency exact LP/ILP core (rational
   simplex + branch-and-bound) and the time-indexed ``ilp`` scheduling
   strategy: a second exact oracle without the exhaustive search's size
-  cap, and the only scheduler honouring a task's ``register_budget``.
+  cap, and the only scheduler honouring a task's ``register_budget``,
+* :mod:`repro.portfolio` — the ``portfolio`` racing meta-strategy: fan
+  one task across a configurable strategy subset, return the
+  canonically-first certified result (or the best-area one under a
+  deadline), cancel the losers, and learn launch-order priors from the
+  result store (see :mod:`repro.store.priors`).
 
 Quickstart::
 
@@ -102,13 +107,23 @@ from .store import (
     Claim,
     ColumnarStore,
     LegacyStore,
+    Priors,
     ResultStore,
     StoreQuery,
     StoredRow,
     break_stale_claims,
+    constraint_bucket,
     migrate_store,
+    mine_priors,
     open_store,
     try_acquire,
+)
+from .portfolio import (
+    PortfolioConfig,
+    PortfolioOutcome,
+    PortfolioRunner,
+    portfolio_task,
+    run_portfolio,
 )
 from .verify import (
     CertificateError,
@@ -135,7 +150,7 @@ from .lp import (
     solve_milp,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "CDFG",
@@ -195,6 +210,14 @@ __all__ = [
     "Claim",
     "try_acquire",
     "break_stale_claims",
+    "Priors",
+    "mine_priors",
+    "constraint_bucket",
+    "PortfolioConfig",
+    "PortfolioOutcome",
+    "PortfolioRunner",
+    "portfolio_task",
+    "run_portfolio",
     "CertificateError",
     "CertificateReport",
     "Violation",

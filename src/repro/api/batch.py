@@ -32,7 +32,7 @@ from ..scheduling.pasap import PowerInfeasibleError
 from ..scheduling.schedule import ScheduleError
 from ..synthesis.result import SynthesisError, SynthesisResult
 from .pipeline import Pipeline
-from .task import SynthesisTask, TaskError
+from .task import PORTFOLIO_SCHEDULER, SynthesisTask, TaskError
 
 #: Exception types recorded as an infeasible task rather than raised.
 INFEASIBLE_ERRORS = (
@@ -65,6 +65,9 @@ class TaskResult:
         cached: True when this record was served from a
             :class:`~repro.explore.cache.ResultCache` instead of being
             synthesized (``elapsed`` then reports the *original* run).
+        winner: For ``portfolio`` records only: the pair label of the
+            concrete strategy whose result this is (``"engine"``,
+            ``"ilp+greedy"``, …).  ``None`` everywhere else.
         result: The full result object — only populated for in-process
             (sequential) execution; worker processes and the result cache
             return scalars only.
@@ -82,11 +85,12 @@ class TaskResult:
     error_type: Optional[str] = None
     elapsed: float = 0.0
     cached: bool = False
+    winner: Optional[str] = None
     result: Optional[SynthesisResult] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe form (drops the heavy ``result`` object)."""
-        return {
+        payload = {
             "task": self.task.to_dict(),
             "feasible": self.feasible,
             "area": self.area,
@@ -100,6 +104,11 @@ class TaskResult:
             "elapsed": self.elapsed,
             "cached": self.cached,
         }
+        # only portfolio records carry a winner; omitting the key keeps
+        # every pre-portfolio record byte-identical on disk
+        if self.winner is not None:
+            payload["winner"] = self.winner
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TaskResult":
@@ -223,6 +232,15 @@ def run_task(
     lookup.  Callers holding live objects cache through an inline task
     instead (what :func:`repro.synthesis.explore.probe_point` does).
 
+    A ``scheduler="portfolio"`` task dispatches to
+    :func:`repro.portfolio.run_portfolio` after the cache check: the
+    contender subset races, each contender individually certificate-gated
+    (``verify`` adds nothing — the gate always runs), and the winning
+    record comes back with its ``winner`` pair label set.  Custom
+    pipelines and live ``cdfg``/``library`` overrides are rejected for
+    portfolio tasks.  Non-verdict outcomes (deadline expiry, crash-tainted
+    all-infeasible races) are returned but never cached.
+
     ``verify=True`` additionally runs the certificate checker
     (:func:`repro.verify.check_certificate`) on a feasible result and
     **raises** :class:`~repro.verify.CertificateError` on violations —
@@ -242,6 +260,21 @@ def run_task(
         hit = cache.get(task)
         if hit is not None:
             return hit
+    if task.scheduler == PORTFOLIO_SCHEDULER:
+        if pipeline is not None or cdfg is not None or library is not None:
+            raise TaskError(
+                "a portfolio task cannot take a custom pipeline or live "
+                "cdfg/library overrides; contenders resolve the task spec "
+                "themselves"
+            )
+        from ..portfolio.runner import run_portfolio  # avoid a cycle
+
+        outcome = run_portfolio(task, cache=cache)
+        # deadline expiries and crash-tainted infeasibles are not verdicts
+        # on the spec; caching them would poison honest lookups
+        if use_cache and outcome.cacheable:
+            cache.put(task, outcome.record)
+        return outcome.record
     pipeline = pipeline or Pipeline.default()
     started = time.perf_counter()
     try:

@@ -44,7 +44,12 @@ from ..scheduling.constraints import (
 from ..scheduling.schedule import Schedule
 from ..synthesis.engine import EngineOptions
 from ..synthesis.result import SynthesisResult
-from .task import SynthesisTask, TaskError
+from .task import (
+    PORTFOLIO_SCHEDULER,
+    SynthesisTask,
+    TaskError,
+    split_portfolio_options,
+)
 
 
 class PipelineError(RuntimeError):
@@ -279,11 +284,16 @@ class Pipeline:
         library: Optional[FULibrary] = None,
     ) -> PipelineContext:
         """Build the initial context (exposed for tests and custom drivers)."""
+        overrides = task.options
+        if task.scheduler == PORTFOLIO_SCHEDULER:
+            # the reserved race-config keys are not engine options; what
+            # remains is the override set every contender inherits
+            _, overrides = split_portfolio_options(overrides)
         return PipelineContext(
             task=task,
             cdfg=cdfg if cdfg is not None else task.resolve_graph(),
             library=library if library is not None else task.resolve_library(),
-            options=_engine_options(task.options),
+            options=_engine_options(overrides),
         )
 
     def __repr__(self) -> str:

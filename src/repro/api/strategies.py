@@ -26,6 +26,7 @@ from ..registries import BINDERS
 # Imported for their registration side effects (see module docstring).
 from .. import library as _library  # noqa: F401
 from .. import lp as _lp  # noqa: F401
+from .. import portfolio as _portfolio  # noqa: F401
 from .. import scheduling as _scheduling  # noqa: F401
 from ..synthesis import engine as _engine  # noqa: F401
 

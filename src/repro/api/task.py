@@ -40,6 +40,28 @@ class TaskError(ValueError):
 #: v2: register_budget joined the spec.
 CACHE_KEY_VERSION = 2
 
+#: Name of the racing meta-strategy.  Tasks with this scheduler are
+#: executed by :func:`repro.portfolio.run_portfolio` (dispatched from
+#: ``run_task``), never by a pipeline pass.
+PORTFOLIO_SCHEDULER = "portfolio"
+
+#: Option keys reserved for the portfolio meta-strategy's own config.
+#: On a portfolio task they are split out of ``options`` before the
+#: engine-option validation; on any other task they are unknown options.
+PORTFOLIO_OPTION_KEYS = ("portfolio_strategies", "portfolio_deadline_s")
+
+
+def split_portfolio_options(options: Dict[str, Any]) -> "tuple[Dict[str, Any], Dict[str, Any]]":
+    """Split a portfolio task's options into (portfolio config, engine overrides).
+
+    The engine overrides are what every contender of the race inherits;
+    the portfolio keys configure the race itself (strategy subset,
+    deadline).  See :class:`repro.portfolio.PortfolioConfig`.
+    """
+    config = {k: v for k, v in options.items() if k in PORTFOLIO_OPTION_KEYS}
+    rest = {k: v for k, v in options.items() if k not in PORTFOLIO_OPTION_KEYS}
+    return config, rest
+
 
 # --------------------------------------------------------------------------- #
 # Inline library (de)serialization
@@ -205,7 +227,12 @@ class SynthesisTask:
             (every scheduler except ``engine``).
         selector: Module-selection policy name feeding the scheduler.
         options: Plain-dict overrides for
-            :class:`repro.synthesis.engine.EngineOptions` fields.
+            :class:`repro.synthesis.engine.EngineOptions` fields.  Tasks
+            with ``scheduler="portfolio"`` may additionally carry the
+            reserved ``portfolio_strategies`` / ``portfolio_deadline_s``
+            keys configuring the race (see
+            :class:`repro.portfolio.PortfolioConfig`); the remaining
+            options are inherited by every contender.
         verify: Re-check precedence/latency/power/conflicts on the result
             and raise on violation.
         label: Optional free-form label echoed in reports.
@@ -400,7 +427,19 @@ class SynthesisTask:
             library = _canonical_library(library_to_dict(LIBRARIES.get(self.library)()))
         else:
             library = _canonical_library(self.library)
-        return {
+        portfolio = None
+        options = self.options
+        if self.scheduler == PORTFOLIO_SCHEDULER:
+            # The race's own config (strategy subset, deadline) is part of
+            # what the task *means*, so it joins the content address as an
+            # extra spec entry; the remaining options are the engine
+            # overrides every contender inherits.  Non-portfolio specs are
+            # byte-identical to before — their keys never move.
+            from ..portfolio.config import PortfolioConfig  # avoid an import cycle
+
+            config, options = PortfolioConfig.from_task_options(self.options)
+            portfolio = config.canonical(default_binder=self.binder)
+        spec = {
             "version": CACHE_KEY_VERSION,
             "graph": graph,
             "library": library,
@@ -410,9 +449,12 @@ class SynthesisTask:
             "scheduler": self.scheduler,
             "binder": self.binder,
             "selector": self.selector,
-            "options": _canonical_options(self.options),
+            "options": _canonical_options(options),
             "verify": self.verify,
         }
+        if portfolio is not None:
+            spec["portfolio"] = portfolio
+        return spec
 
     def cache_key(self) -> str:
         """SHA-256 of the canonical spec: the task's content address.

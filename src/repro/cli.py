@@ -18,6 +18,9 @@ flows without writing any Python:
 * ``store`` — inspect and maintain a result-store directory: ``stats``,
   ``compact``, ``migrate`` (legacy ↔ columnar, verified bit-identical)
   and ``query`` (columnar range scans; see :mod:`repro.store`),
+* ``priors`` — show the portfolio launch priors a result store mines
+  (per-family, per-constraint-bucket win/latency statistics; see
+  :mod:`repro.store.priors`),
 * ``serve`` — run the long-lived HTTP synthesis service (persistent job
   queue + worker pool + shared result cache; see :mod:`repro.serve`),
 * ``submit`` — send a batch file to a running server and (optionally)
@@ -137,6 +140,14 @@ def _cmd_benchmarks(_: argparse.Namespace) -> int:
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
+    options = {}
+    if args.scheduler == "portfolio":
+        if args.contenders:
+            options["portfolio_strategies"] = list(args.contenders)
+        if args.deadline is not None:
+            options["portfolio_deadline_s"] = args.deadline
+    elif args.contenders or args.deadline is not None:
+        raise SystemExit("--contenders/--deadline require --scheduler portfolio")
     task = SynthesisTask(
         graph=_graph_spec(args),
         latency=args.latency,
@@ -144,12 +155,29 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         register_budget=args.registers,
         scheduler=args.scheduler,
         binder=args.binder,
+        options=options,
     )
-    record = run_task(task)
+    cache = _open_cache(args)
+    if args.scheduler == "portfolio":
+        return _synthesize_portfolio(args, task, cache)
+    record = run_task(task, cache=cache)
     if not record.feasible:
         print(f"infeasible: {record.error}", file=sys.stderr)
         return EXIT_INFEASIBLE
     result = record.result
+    if result is None:
+        # a --resume cache hit carries scalar metrics only
+        print(
+            f"{task.scheduler} (cached): area={record.area:g}  "
+            f"peak={record.peak_power:g}  latency={record.latency}"
+        )
+        if args.schedule or args.datapath or args.verilog is not None or args.verify:
+            raise SystemExit(
+                "--schedule/--datapath/--verilog/--verify need a full "
+                "synthesis result, but this point was answered from the "
+                "cache (scalar metrics only); re-run without --resume"
+            )
+        return 0
     print(result.describe())
     if args.verify:
         report = check_certificate(result)
@@ -165,6 +193,67 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     if args.verilog is not None:
         Path(args.verilog).write_text(result.datapath.to_structural_verilog())
         print(f"\nwrote structural Verilog skeleton to {args.verilog}")
+    return 0
+
+
+def _synthesize_portfolio(
+    args: argparse.Namespace,
+    task: SynthesisTask,
+    cache: Optional[ResultCache] = None,
+) -> int:
+    """Race a portfolio task and print who won (the ``--explain`` view).
+
+    Portfolio records carry scalar metrics only (the full datapath lives
+    with the winning concrete strategy), so the result-object options of
+    the plain synthesize path do not apply here.  With ``--cache-dir``
+    the race files its results for later runs; adding ``--resume`` also
+    pre-answers warm contenders and launches in mined-prior order.
+    """
+    from .portfolio import run_portfolio
+
+    if args.schedule or args.datapath or args.verilog is not None or args.verify:
+        raise SystemExit(
+            "--schedule/--datapath/--verilog/--verify need a full synthesis "
+            "result; a portfolio race returns scalar metrics — re-run the "
+            "winning strategy directly for those views"
+        )
+    try:
+        outcome = run_portfolio(task, cache=cache)
+    except TaskError as exc:
+        raise SystemExit(f"bad portfolio task: {exc}")
+    record = outcome.record
+    if cache is not None and cache.write and outcome.cacheable:
+        # file the portfolio-level verdict too (run_task does the same),
+        # so a --resume re-race answers without launching anything
+        cache.put(task, record)
+    if not record.feasible:
+        print(f"infeasible: {record.error}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+    print(
+        f"portfolio winner: {outcome.winner}  "
+        f"area={record.area:g}  peak={record.peak_power:g}  "
+        f"latency={record.latency}  ({outcome.elapsed:.2f}s)"
+    )
+    print(f"launch order: {', '.join(outcome.launch_order)}"
+          + ("  (prior-ranked)" if outcome.priors_ranked else ""))
+    rows = [
+        [
+            entry["label"],
+            entry["status"],
+            f"{entry['area']:g}" if entry.get("area") is not None else "-",
+            f"{entry['elapsed']:.2f}" if entry.get("elapsed") is not None else "-",
+            entry.get("error_type") or "-",
+            "yes" if entry.get("from_cache") else "no",
+        ]
+        for entry in outcome.contenders
+    ]
+    print(
+        render_table(
+            ["contender", "status", "area", "sec", "error", "cached"],
+            rows,
+            title="Race contenders (canonical order)",
+        )
+    )
     return 0
 
 
@@ -339,6 +428,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         binders=tuple(args.binders or ()),
         max_slack=args.max_slack,
         register_fraction=args.register_fraction,
+        portfolio_fraction=args.portfolio_fraction,
     )
     cache = _open_cache(args)
     started = time.perf_counter()
@@ -433,6 +523,7 @@ def _cmd_store_query(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         binder=args.binder,
         selector=args.selector,
+        key_prefix=args.key_prefix,
         feasible=(
             True if args.feasible else False if args.infeasible else None
         ),
@@ -475,6 +566,51 @@ def _cmd_store_query(args: argparse.Namespace) -> int:
     )
     if args.limit is not None and matched > args.limit:
         print(f"(showing {args.limit} of {matched}; raise --limit)")
+    return 0
+
+
+def _cmd_priors_show(args: argparse.Namespace) -> int:
+    from .store import mine_priors, open_store
+
+    store = open_store(args.dir)
+    priors = mine_priors(store, family=args.family)
+    if args.json:
+        print(json.dumps(priors.to_dict(), indent=2, sort_keys=True))
+        return 0
+    if priors.is_empty:
+        print(f"no prior evidence in {args.dir} (store is empty or all-portfolio)")
+        return 0
+    rows = []
+    for scope_label, stats in sorted(priors.to_dict().items()):
+        family, _, bucket = scope_label.partition("|")
+        ranked = sorted(
+            stats.items(),
+            key=lambda item: (-item[1]["win_rate"], item[1]["mean_elapsed"], item[0]),
+        )
+        for rank, (pair, prior) in enumerate(ranked, start=1):
+            rows.append(
+                [
+                    family or "<global>",
+                    bucket,
+                    rank,
+                    pair,
+                    prior["races"],
+                    prior["wins"],
+                    f"{prior['win_rate']:.2f}",
+                    f"{prior['mean_elapsed']:.3f}",
+                ]
+            )
+    print(
+        render_table(
+            ["family", "bucket", "#", "pair", "races", "wins", "win rate", "mean sec"],
+            rows,
+            title=f"Portfolio launch priors mined from {args.dir} [{store.backend}]",
+        )
+    )
+    print(
+        "\npriors rank launch order only; the race's canonical decision "
+        "rule never changes with them"
+    )
     return 0
 
 
@@ -535,7 +671,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
     client = Client(args.url, timeout=args.timeout)
     try:
-        accepted = client.submit(tasks, priority=args.priority)
+        accepted = client.submit(
+            tasks, priority=args.priority, deadline_s=args.deadline
+        )
         print(f"submitted {len(accepted)} job(s) to {args.url}")
         for entry in accepted:
             print(f"  {entry['id']}  key={entry['key'][:16]}…")
@@ -592,6 +730,29 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--benchmark", "-b", default="hal", choices=benchmark_names())
         p.add_argument("--cdfg", help="path to a CDFG JSON file (overrides --benchmark)")
 
+    def add_cache_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            help="record every computed point in this content-addressed cache "
+            "directory (JSONL journal included) so a later --resume run "
+            "skips them",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="also consult --cache-dir before synthesizing: previously "
+            "computed points (from any sweep, batch or killed run) return "
+            "instantly",
+        )
+        p.add_argument(
+            "--cache-backend",
+            choices=["auto", "legacy", "columnar"],
+            default="auto",
+            help="storage backend for a fresh --cache-dir (an existing "
+            "directory's layout is always autodetected; default: auto)",
+        )
+
     synth = sub.add_parser("synthesize", help="run synthesis with any registered strategy")
     add_graph_options(synth)
     synth.add_argument("--latency", "-T", type=int, required=True)
@@ -615,6 +776,23 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BINDERS.names(),
         help="binder strategy for non-engine schedulers",
     )
+    synth.add_argument(
+        "--contenders",
+        nargs="+",
+        default=None,
+        metavar="PAIR",
+        help="portfolio mode: contender subset as 'scheduler' or "
+        "'scheduler+binder' entries in canonical decision order "
+        "(default: the built-in spread); requires --scheduler portfolio",
+    )
+    synth.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="portfolio mode: collect certified results for this many "
+        "seconds and return the best-area one instead of the "
+        "canonically-first; requires --scheduler portfolio",
+    )
     synth.add_argument("--schedule", action="store_true", help="print the schedule")
     synth.add_argument("--datapath", action="store_true", help="print the datapath")
     synth.add_argument(
@@ -627,30 +805,8 @@ def build_parser() -> argparse.ArgumentParser:
         "past the pipeline gate)",
     )
     synth.add_argument("--verilog", help="write a structural Verilog skeleton to this path")
+    add_cache_options(synth)
     synth.set_defaults(handler=_cmd_synthesize)
-
-    def add_cache_options(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--cache-dir",
-            default=None,
-            help="record every computed point in this content-addressed cache "
-            "directory (JSONL journal included) so a later --resume run "
-            "skips them",
-        )
-        p.add_argument(
-            "--resume",
-            action="store_true",
-            help="also consult --cache-dir before synthesizing: previously "
-            "computed points (from any sweep, batch or killed run) return "
-            "instantly",
-        )
-        p.add_argument(
-            "--cache-backend",
-            choices=["auto", "legacy", "columnar"],
-            default="auto",
-            help="storage backend for a fresh --cache-dir (an existing "
-            "directory's layout is always autodetected; default: auto)",
-        )
 
     sweep = sub.add_parser("sweep", help="power/area sweep (one Figure-2 curve)")
     add_graph_options(sweep)
@@ -743,6 +899,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="share of cases carrying a register budget (default: 0.25)",
+    )
+    fuzz.add_argument(
+        "--portfolio-fraction",
+        type=float,
+        default=0.15,
+        help="share of cases that also race the portfolio meta-strategy "
+        "and hold its verdict to the agreement invariant (default: 0.15)",
     )
     fuzz.add_argument("--output", "-o", help="also write a structured JSON report here")
     add_cache_options(fuzz)
@@ -857,10 +1020,29 @@ def build_parser() -> argparse.ArgumentParser:
     store_query.add_argument("--power", "-P", help="power budget: exact P or LO:HI")
     store_query.add_argument("--register", "-R", help="register budget: exact R or LO:HI")
     store_query.add_argument(
+        "--key-prefix",
+        help="content-address prefix (hex); shard-pruned, so a 1-char "
+        "prefix opens roughly 1/16th of the shards",
+    )
+    store_query.add_argument(
         "--limit", type=int, default=40, help="rows to display (default: 40)"
     )
     store_query.add_argument("--json", action="store_true", help="machine-readable output")
     store_query.set_defaults(handler=_cmd_store_query)
+
+    priors = sub.add_parser(
+        "priors",
+        help="portfolio launch priors mined from a result store "
+        "(per-family, per-constraint-bucket win/latency statistics)",
+    )
+    priors_sub = priors.add_subparsers(dest="priors_command", required=True)
+    priors_show = priors_sub.add_parser(
+        "show", help="rank every strategy pair the store has evidence for"
+    )
+    priors_show.add_argument("dir", help="cache / store directory")
+    priors_show.add_argument("--family", help="narrow the scan to one scenario family")
+    priors_show.add_argument("--json", action="store_true", help="machine-readable output")
+    priors_show.set_defaults(handler=_cmd_priors_show)
 
     submit = sub.add_parser(
         "submit",
@@ -891,6 +1073,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="queue priority for this batch (higher runs first; default 0)",
+    )
+    submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="portfolio job option: stamp portfolio_deadline_s onto every "
+        "submitted task before admission (tasks must all be portfolio "
+        "tasks; the server answers 400 otherwise)",
     )
     submit.set_defaults(handler=_cmd_submit)
 

@@ -51,6 +51,8 @@ class AdaptiveSweepResult(SweepResult):
 
     Attributes:
         resolution: The refinement resolution that was requested.
+        portfolio: Whether every probe raced the ``portfolio``
+            meta-strategy instead of running the engine alone.
         probes: Budgets evaluated by the refiner, including ones answered
             by the cache.
         synthesis_calls: Synthesis pipeline runs actually performed over
@@ -61,6 +63,7 @@ class AdaptiveSweepResult(SweepResult):
     """
 
     resolution: float = 0.0
+    portfolio: bool = False
     probes: int = 0
     synthesis_calls: int = 0
 
@@ -118,6 +121,7 @@ def adaptive_power_sweep(
     cache=None,
     cumulative_best: bool = False,
     area_tolerance: float = 1e-6,
+    portfolio: bool = False,
 ) -> AdaptiveSweepResult:
     """Refine one benchmark's power/area frontier to ``resolution``.
 
@@ -147,6 +151,15 @@ def adaptive_power_sweep(
         cumulative_best: Rewrite the probed points with the running-best
             area, exactly like the fixed-grid sweep's flag.
         area_tolerance: Areas closer than this count as "the same step".
+        portfolio: Race every probe across the default ``portfolio``
+            contender subset instead of running the engine alone — the
+            frontier then reflects the best certified area *any*
+            contender reaches at each budget.  The internal ``p_min``
+            bisection stays on the engine path (a budget feasible for
+            the engine is feasible for every portfolio containing it,
+            and the bisection only needs a feasible anchor); portfolio
+            probes are separate content addresses, so portfolio and
+            engine sweeps never collide in the cache.
 
     Returns:
         An :class:`AdaptiveSweepResult` whose ``points`` are the probed
@@ -190,7 +203,10 @@ def adaptive_power_sweep(
         nonlocal calls
         if budget in evaluated:
             return evaluated[budget]
-        record = probe_point(cdfg, library, latency, budget, options, cache=probe_cache)
+        record = probe_point(
+            cdfg, library, latency, budget, options,
+            cache=probe_cache, portfolio=portfolio,
+        )
         if not record.cached:
             calls += 1
         point = point_from_record(budget, record)
@@ -221,6 +237,7 @@ def adaptive_power_sweep(
         benchmark=cdfg.name,
         latency_bound=latency,
         resolution=resolution,
+        portfolio=portfolio,
         probes=len(evaluated),
         synthesis_calls=calls,
     )

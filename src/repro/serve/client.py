@@ -199,12 +199,17 @@ class Client:
         tasks: Union[SynthesisTask, Dict[str, Any], Sequence[Union[SynthesisTask, Dict[str, Any]]]],
         *,
         priority: int = 0,
+        deadline_s: Optional[float] = None,
     ) -> List[Dict[str, Any]]:
         """POST tasks; returns the accepted ``{id, key, state}`` entries.
 
         Accepts a single :class:`~repro.api.task.SynthesisTask` or spec
         dict, or a sequence of either.  ``priority`` orders the queue:
-        higher-priority jobs are dequeued first.
+        higher-priority jobs are dequeued first.  ``deadline_s`` is the
+        portfolio job option: every submitted task must then be a
+        portfolio task, and the server stamps the deadline into its
+        content address before admission (non-portfolio tasks draw a
+        400).
         """
         if isinstance(tasks, (SynthesisTask, dict)):
             tasks = [tasks]
@@ -212,9 +217,10 @@ class Client:
             task.to_dict() if isinstance(task, SynthesisTask) else dict(task)
             for task in tasks
         ]
-        return self._request(
-            "/tasks", body={"tasks": specs, "priority": int(priority)}
-        )["jobs"]
+        body: Dict[str, Any] = {"tasks": specs, "priority": int(priority)}
+        if deadline_s is not None:
+            body["deadline_s"] = float(deadline_s)
+        return self._request("/tasks", body=body)["jobs"]
 
     def job(self, job_id: str) -> Dict[str, Any]:
         """GET one job's status record."""
@@ -299,7 +305,8 @@ class Client:
         *,
         timeout: float = 120.0,
         priority: int = 0,
+        deadline_s: Optional[float] = None,
     ) -> List[TaskResult]:
         """Submit, wait, and reconstruct one :class:`TaskResult` per task."""
-        accepted = self.submit(tasks, priority=priority)
+        accepted = self.submit(tasks, priority=priority, deadline_s=deadline_s)
         return self.records_from_states(self.wait(accepted, timeout=timeout))

@@ -17,7 +17,9 @@ Endpoints:
 * ``POST /tasks`` — submit work.  The body is a single task spec object,
   a JSON list of specs, or a full batch file (``{"tasks": [...],
   "sweeps": [...]}``, the same format ``repro batch`` reads); an
-  enclosing object may carry ``"priority": N`` (higher runs first).
+  enclosing object may carry ``"priority": N`` (higher runs first) and
+  ``"deadline_s": S`` (a race budget stamped onto submitted
+  ``portfolio`` tasks before admission keys them).
   Returns ``202`` with one ``{id, key, state}`` entry per accepted job,
   or ``429`` with a ``Retry-After`` header when the queue is at its
   configured depth — backpressure, not silent buffering.
@@ -75,6 +77,7 @@ class Submission:
 
     tasks: List[SynthesisTask]
     priority: int = 0
+    deadline_s: Optional[float] = None
 
 
 def parse_submission(text: str) -> Submission:
@@ -83,24 +86,35 @@ def parse_submission(text: str) -> Submission:
     Accepts the single-spec object form (``{"graph": "hal", ...}``) as
     sugar on top of everything :func:`~repro.api.task.tasks_from_json`
     reads (a list of specs, or ``{"tasks": [...], "sweeps": [...]}``).
-    An object form may carry a ``"priority"`` integer; higher-priority
-    jobs are dequeued first.
+    An object form may carry a ``"priority"`` integer (higher-priority
+    jobs are dequeued first) and a ``"deadline_s"`` number — a race
+    budget stamped onto every submitted ``portfolio`` task before
+    admission (it is part of the content address, so it must be in the
+    spec before the job is keyed).
     """
     try:
         payload = json.loads(text)
     except ValueError as exc:
         raise TaskError(f"request body is not valid JSON: {exc}") from exc
     priority = 0
+    deadline_s: Optional[float] = None
     if isinstance(payload, dict) and "priority" in payload:
         raw = payload.pop("priority")
         if isinstance(raw, bool) or not isinstance(raw, int):
             raise TaskError(f"priority must be an integer, got {raw!r}")
         priority = raw
+    if isinstance(payload, dict) and "deadline_s" in payload:
+        raw = payload.pop("deadline_s")
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise TaskError(f"deadline_s must be a number of seconds, got {raw!r}")
+        if float(raw) <= 0:
+            raise TaskError(f"deadline_s must be positive, got {raw!r}")
+        deadline_s = float(raw)
     if isinstance(payload, dict) and "graph" in payload:
-        return Submission([SynthesisTask.from_dict(payload)], priority)
+        return Submission([SynthesisTask.from_dict(payload)], priority, deadline_s)
     if isinstance(payload, dict):
-        return Submission(tasks_from_json(json.dumps(payload)), priority)
-    return Submission(tasks_from_json(text), priority)
+        return Submission(tasks_from_json(json.dumps(payload)), priority, deadline_s)
+    return Submission(tasks_from_json(text), priority, deadline_s)
 
 
 class _HTTPError(Exception):
@@ -365,8 +379,13 @@ class SynthesisServer:
             raise _HTTPError(400, f"bad task submission: {exc}") from None
         try:
             jobs = self.service.submit_many(
-                submission.tasks, priority=submission.priority
+                submission.tasks,
+                priority=submission.priority,
+                deadline_s=submission.deadline_s,
             )
+        except TaskError as exc:
+            # a deadline_s submission containing non-portfolio tasks
+            raise _HTTPError(400, f"bad task submission: {exc}") from None
         except QueueFullError as exc:
             retry_after = max(1, math.ceil(exc.retry_after))
             raise _HTTPError(

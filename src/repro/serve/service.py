@@ -83,6 +83,9 @@ _STRATEGY_ZERO = {
     "computed": 0,
     "failed": 0,
     "computed_seconds": 0.0,
+    # races this concrete strategy won (counted on its own row, so the
+    # ``portfolio`` row's jobs and the winners' portfolio_wins reconcile)
+    "portfolio_wins": 0,
 }
 
 
@@ -252,14 +255,28 @@ class SynthesisService:
         return self.submit_many([task], priority=priority)[0]
 
     def submit_many(
-        self, tasks: Iterable[SynthesisTask], *, priority: int = 0
+        self,
+        tasks: Iterable[SynthesisTask],
+        *,
+        priority: int = 0,
+        deadline_s: Optional[float] = None,
     ) -> List[Job]:
         """Accept a batch atomically, in order; returns the jobs.
+
+        ``deadline_s`` stamps a race budget onto every task *before*
+        admission — the deadline is part of a portfolio task's content
+        address, so it must be in the spec before the job is keyed.  A
+        ``deadline_s`` submission containing non-portfolio tasks raises
+        :class:`~repro.api.task.TaskError` (nothing admitted).
 
         A full queue raises :class:`~repro.serve.queue.QueueFullError`
         (backpressure — retryable, nothing admitted); other queue errors
         (closed for shutdown) surface as :class:`ServiceError`.
         """
+        if deadline_s is not None:
+            from ..portfolio.config import with_deadline  # avoid an import cycle
+
+            tasks = [with_deadline(task, deadline_s) for task in tasks]
         try:
             return self.queue.submit_many(tasks, priority=priority)
         except QueueFullError:
@@ -444,6 +461,13 @@ class SynthesisService:
             else:
                 stats["computed"] += 1
                 stats["computed_seconds"] += record.elapsed
+            if record.winner:
+                # a portfolio verdict credits the winning concrete
+                # strategy's row, keyed by its scheduler half
+                winner_row = self._strategy_stats.setdefault(
+                    record.winner.split("+", 1)[0], dict(_STRATEGY_ZERO)
+                )
+                winner_row["portfolio_wins"] += 1
 
     # ------------------------------------------------------------------ #
     # Introspection

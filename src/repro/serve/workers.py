@@ -195,17 +195,69 @@ class ProcessWorker:
     def alive(self) -> bool:
         return self._process.is_alive()
 
+    @property
+    def connection(self):
+        """The parent's pipe end — for callers multiplexing many workers.
+
+        The portfolio executor hands these to
+        :func:`multiprocessing.connection.wait` so one thread can collect
+        whichever contender finishes first.
+        """
+        return self._conn
+
     def run(self, task: SynthesisTask, *, owner: str = "") -> Dict[str, Any]:
         """Ship one task to the child; block for its record dict.
 
         Raises :class:`WorkerCrash` if the child dies before answering.
         """
+        self.submit(task, owner=owner)
         try:
-            self._conn.send({"task": task.to_dict(), "owner": owner})
             return self._conn.recv()
         except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
             self._process.join(timeout=5.0)
             raise WorkerCrash(self._process.pid, self._process.exitcode) from None
+
+    def submit(self, task: SynthesisTask, *, owner: str = "") -> None:
+        """Non-blocking half of :meth:`run`: ship the payload and return.
+
+        The answer arrives on :attr:`connection` whenever the child
+        finishes; :class:`WorkerCrash` is raised if the pipe is already
+        dead at send time.
+        """
+        try:
+            self._conn.send({"task": task.to_dict(), "owner": owner})
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            self._process.join(timeout=5.0)
+            raise WorkerCrash(self._process.pid, self._process.exitcode) from None
+
+    def crash_outcome(self) -> Dict[str, Any]:
+        """The ``{"error", "error_type"}`` dict for this child's death.
+
+        Shaped exactly like a :func:`run_claimed_task` execution error so
+        a crashed race contender flows through the same outcome channel
+        as an infeasible one.
+        """
+        self._process.join(timeout=5.0)
+        crash = WorkerCrash(self._process.pid, self._process.exitcode)
+        return {"error": str(crash), "error_type": type(crash).__name__}
+
+    def kill(self, timeout: float = 2.0) -> None:
+        """Hard-stop a mid-job child (portfolio loser cancellation).
+
+        Unlike :meth:`stop`, this does not wait for the current job: the
+        child gets SIGTERM (then SIGKILL) immediately, because a race
+        loser's result is no longer wanted.
+        """
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout)
+        if self._process.is_alive():  # pragma: no cover - SIGTERM ignored
+            self._process.kill()
+            self._process.join(timeout)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
 
     def stop(self, timeout: float = 5.0) -> None:
         """Graceful stop: sentinel, join, then terminate as a last resort."""

@@ -222,6 +222,11 @@ class StoreQuery:
 
     ``StoreQuery(family="elliptic", scheduler="pasap", power=(8, 40))``
     is "every elliptic point pasap computed with P between 8 and 40".
+
+    ``key_prefix`` restricts the scan to content addresses starting with
+    the given hex prefix.  Backends use it to *prune*: the columnar store
+    skips every shard whose directory prefix is incompatible, the legacy
+    store skips object files without opening them.
     """
 
     family: Optional[str] = None
@@ -232,11 +237,24 @@ class StoreQuery:
     latency: Any = None
     power: Any = None
     register: Any = None
+    key_prefix: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "latency", _normalize_range(self.latency, "latency"))
         object.__setattr__(self, "power", _normalize_range(self.power, "power"))
         object.__setattr__(self, "register", _normalize_range(self.register, "register"))
+        if self.key_prefix is not None:
+            if not isinstance(self.key_prefix, str):
+                raise StoreError(
+                    f"query key_prefix must be a hex string, got {self.key_prefix!r}"
+                )
+            prefix = self.key_prefix.lower()
+            if not prefix or len(prefix) > 64 or set(prefix) - set("0123456789abcdef"):
+                raise StoreError(
+                    "query key_prefix must be 1..64 hex chars, "
+                    f"got {self.key_prefix!r}"
+                )
+            object.__setattr__(self, "key_prefix", prefix)
 
     @property
     def is_empty(self) -> bool:
@@ -245,6 +263,8 @@ class StoreQuery:
 
     def matches(self, row: StoredRow) -> bool:
         """Whether one row satisfies every filter of this query."""
+        if self.key_prefix is not None and not row.key.startswith(self.key_prefix):
+            return False
         if self.family is not None and row.family != self.family:
             return False
         if self.scheduler is not None and row.scheduler != self.scheduler:

@@ -9,8 +9,9 @@ Layout under one root::
 
 Records shard by the first ``shard_width`` hex chars of their content
 address (16 shards at the default width of 1), so concurrent writers
-contend on a shard, not the store, and every scan can skip whole shards
-once key-prefix pruning applies.
+contend on a shard, not the store, and a scan whose
+:class:`~repro.store.base.StoreQuery` carries a ``key_prefix`` skips
+whole shards without opening them.
 
 **Write path.**  :meth:`ColumnarStore.put` encodes one
 :class:`~repro.store.format.Frame` and lands it with a single ``write``
@@ -321,7 +322,12 @@ class ColumnarStore(ResultStore):
         with_records: bool = False,
     ) -> Iterator[Any]:
         query = query or StoreQuery()
+        key_prefix = query.key_prefix
         for prefix in self._all_prefixes():
+            if key_prefix is not None and not (
+                prefix.startswith(key_prefix) or key_prefix.startswith(prefix)
+            ):
+                continue  # no address under this shard can match
             shard = self._shard(prefix)
             shard.refresh()
             overlay = shard.frames
@@ -331,6 +337,8 @@ class ColumnarStore(ResultStore):
                     key = reader.key_at(index)
                     if key in overlay:
                         continue  # the uncompacted tail overrides
+                    if key_prefix is not None and not key.startswith(key_prefix):
+                        continue
                     row = reader.row(index)
                     if with_records:
                         yield row, reader.record(index)

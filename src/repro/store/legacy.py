@@ -81,6 +81,8 @@ class LegacyStore(ResultStore):
         query = query or StoreQuery()
         for path in self._object_files():
             key = path.stem
+            if query.key_prefix is not None and not key.startswith(query.key_prefix):
+                continue  # pruned by filename — the object is never opened
             try:
                 payload = json.loads(path.read_text())
                 row = row_from_payload(key, payload)

@@ -1,0 +1,248 @@
+"""Launch-order priors for portfolio races, mined from the result store.
+
+Every record the cache files carries the indexed columns a race cares
+about — ``family``, ``scheduler``, ``binder``, ``feasible``, ``elapsed``
+and the (T, P, R) constraint axes — so the store doubles as training
+data: :func:`mine_priors` runs one :meth:`~repro.store.base.ResultStore.scan`
+over those columns and folds each row into per-(family, constraint-bucket)
+win/latency statistics.  :meth:`Priors.rank` then reorders a race's
+candidate strategy pairs so the historically-best pair launches first.
+
+Priors are deliberately *advisory*: they permute launch order only.  The
+portfolio runner's decision rule (see :mod:`repro.portfolio.runner`) is
+canonical — the same completions produce the same winner regardless of
+the order they were launched in — so stale or misleading priors cost
+time, never correctness.
+
+Constraint buckets are power-of-two: a latency bound of 17 lands in
+``T16``, a power budget of 12.0 in ``P8``, an unbounded axis in ``T-`` /
+``P-`` / ``R-``.  Rows also accumulate into a family-wide ``*`` bucket
+and a global one, which :meth:`Priors.rank` falls back to when the exact
+bucket has no evidence yet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .base import ResultStore, StoreQuery
+
+__all__ = [
+    "PairPrior",
+    "Priors",
+    "constraint_bucket",
+    "mine_priors",
+    "pair_label",
+]
+
+#: Schedulers that bind while scheduling — their pair label is the bare
+#: scheduler name (mirrors ``repro.verify.differential.SELF_BINDING_SCHEDULERS``).
+SELF_BINDING = ("engine",)
+
+#: Bucket label for a family-wide (any-constraint) aggregate.
+ANY_BUCKET = "*"
+
+
+def pair_label(scheduler: str, binder: str) -> str:
+    """Canonical display/statistics label of one (scheduler, binder) pair.
+
+    Self-binding schedulers (``engine``) label as the bare scheduler name;
+    every two-phase pair labels as ``"<scheduler>+<binder>"``.  This is
+    the currency shared by :meth:`Priors.rank`, the portfolio config and
+    the ``winner`` field on portfolio records.
+    """
+    if scheduler in SELF_BINDING:
+        return scheduler
+    return f"{scheduler}+{binder}"
+
+
+def _axis_bucket(tag: str, value: Optional[float]) -> str:
+    if value is None:
+        return f"{tag}-"
+    value = float(value)
+    if value <= 1.0:
+        return f"{tag}1"
+    return f"{tag}{2 ** int(math.floor(math.log2(value)))}"
+
+
+def constraint_bucket(
+    latency: Optional[int],
+    power_budget: Optional[float],
+    register_budget: Optional[int],
+) -> str:
+    """The power-of-two bucket label of one (T, P, R) constraint point.
+
+    ``constraint_bucket(17, 12.0, None)`` is ``"T16|P8|R-"``: tight
+    enough that priors distinguish constraint regimes (an unbounded-power
+    race and a starved one have different winners), coarse enough that a
+    handful of sweeps populates the bucket.
+    """
+    return "|".join(
+        (
+            _axis_bucket("T", latency),
+            _axis_bucket("P", power_budget),
+            _axis_bucket("R", register_budget),
+        )
+    )
+
+
+@dataclass
+class PairPrior:
+    """Accumulated evidence for one strategy pair in one constraint bucket.
+
+    Attributes:
+        races: Rows observed (feasible or not).
+        wins: Rows that were certified feasible.
+        elapsed_total: Summed synthesis seconds across all observed rows.
+    """
+
+    races: int = 0
+    wins: int = 0
+    elapsed_total: float = 0.0
+
+    def observe(self, feasible: bool, elapsed: float) -> None:
+        """Fold one stored row into the statistics."""
+        self.races += 1
+        if feasible:
+            self.wins += 1
+        self.elapsed_total += max(0.0, float(elapsed))
+
+    @property
+    def win_rate(self) -> float:
+        """Fraction of observed rows that were feasible (0.0 when unseen)."""
+        return self.wins / self.races if self.races else 0.0
+
+    @property
+    def mean_elapsed(self) -> float:
+        """Mean synthesis seconds per observed row (0.0 when unseen)."""
+        return self.elapsed_total / self.races if self.races else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-safe form (what ``repro priors show`` prints)."""
+        return {
+            "races": self.races,
+            "wins": self.wins,
+            "win_rate": self.win_rate,
+            "mean_elapsed": self.mean_elapsed,
+        }
+
+
+@dataclass
+class Priors:
+    """Per-(family, constraint-bucket) win/latency statistics for races.
+
+    ``table`` maps ``(family, bucket)`` scopes to per-pair-label
+    :class:`PairPrior` entries.  Three scopes accumulate per row: the
+    exact ``(family, bucket)``, the family-wide ``(family, "*")`` and the
+    global ``("", "*")`` — :meth:`rank` uses the most specific scope that
+    has evidence for any candidate pair.
+    """
+
+    table: Dict[Tuple[str, str], Dict[str, PairPrior]] = field(default_factory=dict)
+
+    def observe(
+        self,
+        family: str,
+        bucket: str,
+        pair: str,
+        *,
+        feasible: bool,
+        elapsed: float,
+    ) -> None:
+        """Fold one observation into the exact, family-wide and global scopes."""
+        for scope in ((family, bucket), (family, ANY_BUCKET), ("", ANY_BUCKET)):
+            self.table.setdefault(scope, {}).setdefault(pair, PairPrior()).observe(
+                feasible, elapsed
+            )
+
+    def scope_for(
+        self, family: str, bucket: str, pairs: Sequence[str]
+    ) -> Optional[Dict[str, PairPrior]]:
+        """The most specific scope with evidence for any candidate pair."""
+        for scope in ((family, bucket), (family, ANY_BUCKET), ("", ANY_BUCKET)):
+            stats = self.table.get(scope)
+            if stats and any(pair in stats for pair in pairs):
+                return stats
+        return None
+
+    def rank(
+        self,
+        pairs: Sequence[str],
+        *,
+        family: str = "",
+        latency: Optional[int] = None,
+        power_budget: Optional[float] = None,
+        register_budget: Optional[int] = None,
+    ) -> List[str]:
+        """Reorder candidate pair labels into prior-ranked launch order.
+
+        Pairs with evidence sort by descending win rate, then ascending
+        mean elapsed (fast reliable winners first); unseen pairs keep
+        their given relative order at the end.  The result is always a
+        permutation of ``pairs`` — ranking never adds or removes a
+        candidate, so it can only change *when* a contender launches,
+        never *whether* it races.
+        """
+        ordered = list(pairs)
+        stats = self.scope_for(
+            family, constraint_bucket(latency, power_budget, register_budget), ordered
+        )
+        if stats is None:
+            return ordered
+
+        def sort_key(item: Tuple[int, str]):
+            index, pair = item
+            prior = stats.get(pair)
+            if prior is None or not prior.races:
+                return (1, 0.0, 0.0, index)
+            return (0, -prior.win_rate, prior.mean_elapsed, index)
+
+        return [pair for _, pair in sorted(enumerate(ordered), key=sort_key)]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no rows were mined (ranking is then the identity)."""
+        return not self.table
+
+    def to_dict(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """JSON-safe nested form: ``{"family|bucket": {pair: stats}}``."""
+        return {
+            f"{family}|{bucket}": {
+                pair: prior.to_dict() for pair, prior in sorted(stats.items())
+            }
+            for (family, bucket), stats in sorted(self.table.items())
+        }
+
+
+def mine_priors(
+    store: ResultStore,
+    *,
+    family: Optional[str] = None,
+    query: Optional[StoreQuery] = None,
+) -> Priors:
+    """Scan the store's indexed columns into portfolio launch priors.
+
+    One :meth:`~repro.store.base.ResultStore.scan` over the scalar
+    columns — no record blobs are deserialized.  Rows filed by the
+    ``portfolio`` meta-strategy itself are skipped so priors never feed
+    back on their own verdicts; rows without a scheduler (malformed) are
+    skipped too.  ``family`` narrows the scan server-side; ``query``
+    replaces the filter entirely for callers that want e.g. a
+    ``key_prefix``-pruned sample.
+    """
+    priors = Priors()
+    if query is None:
+        query = StoreQuery(family=family) if family is not None else StoreQuery()
+    for row in store.scan(query):
+        if not row.scheduler or row.scheduler == "portfolio":
+            continue
+        priors.observe(
+            row.family,
+            constraint_bucket(row.latency, row.power_budget, row.register_budget),
+            pair_label(row.scheduler, row.binder),
+            feasible=row.feasible,
+            elapsed=row.elapsed,
+        )
+    return priors

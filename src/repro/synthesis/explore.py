@@ -108,12 +108,15 @@ def _point_task(
     power_budget: Optional[float],
     options: Optional[EngineOptions],
     inline: bool = False,
+    portfolio: bool = False,
 ):
     """One (T, P) point as a task.
 
     ``inline=True`` serializes the graph and library into the spec so it
     can ship to worker processes; otherwise the fields are nominal and
     the caller passes the live objects to the executor directly.
+    ``portfolio=True`` addresses the point to the ``portfolio`` racing
+    meta-strategy (default contender subset) instead of the engine.
     """
     from ..api.task import SynthesisTask
 
@@ -122,6 +125,7 @@ def _point_task(
         library=library if inline else library.name,
         latency=latency,
         power_budget=power_budget,
+        scheduler="portfolio" if portfolio else "engine",
         options=options,
     )
 
@@ -154,6 +158,8 @@ def probe_point(
     power_budget: Optional[float],
     options: Optional[EngineOptions] = None,
     cache=None,
+    *,
+    portfolio: bool = False,
 ):
     """One (T, P) point as a scalar-metrics :class:`TaskResult` record.
 
@@ -170,11 +176,19 @@ def probe_point(
     spec the record is filed under).  A cache miss therefore pays one
     inline-dict round-trip, a few percent of a synthesis run; hits pay
     nothing.
+
+    ``portfolio=True`` races the point across the default portfolio
+    contender subset instead of running the engine alone.  Portfolio
+    tasks always inline (``run_task`` rejects live-object overrides for
+    them — the racing contenders may run in other processes).
     """
     from ..api.batch import run_task
 
-    if cache is not None:
-        task = _point_task(cdfg, library, latency, power_budget, options, inline=True)
+    if cache is not None or portfolio:
+        task = _point_task(
+            cdfg, library, latency, power_budget, options,
+            inline=True, portfolio=portfolio,
+        )
         return run_task(task, keep_result=False, cache=cache)
     task = _point_task(cdfg, library, latency, power_budget, options)
     return run_task(task, cdfg=cdfg, library=library, keep_result=False)

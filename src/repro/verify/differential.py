@@ -42,6 +42,15 @@ both produce a verdict they must agree on feasibility — and on the
 optimal makespan when both are feasible.  Any split is a bug in one of
 the two exact engines.
 
+The fourth invariant is **portfolio agreement**: when a ``portfolio``
+meta-strategy participates (it must be listed explicitly — see
+:data:`META_SCHEDULERS`), its verdict is cross-examined against the
+standalone runs of the very strategies it raced.  A feasible portfolio
+record must be reproducible by its named winner (same feasibility, same
+area); an infeasible portfolio verdict must not be contradicted by a
+certified witness from its own contender subset.  Disagreement is a
+``differential-oracle`` violation.
+
 What is deliberately **not** an invariant is feasibility agreement
 between heuristics: pasap/palap/two_step are incomplete by design (the
 paper says so), and the combined ``engine`` upgrades modules so it can be
@@ -67,6 +76,14 @@ from .certificate import CertificateReport, Violation, check_certificate
 #: Schedulers that bind while scheduling; the binder field is inert for
 #: them, so only one pair per scheduler is generated.
 SELF_BINDING_SCHEDULERS = ("engine",)
+
+#: Meta-strategies that race *other* schedulers rather than scheduling
+#: themselves.  Excluded from the default all-registered pair expansion
+#: (a portfolio inside a cross-check would re-run the very pairs the
+#: harness already runs); included only when explicitly listed — the
+#: fuzzer does so for a sampled fraction of cases, and the portfolio
+#: verdict is then cross-examined against its own winning strategy.
+META_SCHEDULERS = ("portfolio",)
 
 #: Schedulers that run without a latency bound (everything else is
 #: skipped when the task has ``latency=None``).
@@ -96,7 +113,21 @@ REGISTER_GUARANTEEING = ("ilp",)
 #: constraint dimension).  Recognised structurally by exception type name
 #: so the harness never has to pattern-match error prose.
 NON_VERDICT_ERRORS = frozenset(
-    {"ExactSizeError", "ILPLimitError", "UnsupportedConstraintError"}
+    {
+        "ExactSizeError",
+        "ILPLimitError",
+        "UnsupportedConstraintError",
+        # A portfolio that expired or whose contenders failed to produce
+        # verdicts abstains: it never decided feasibility.
+        "PortfolioDeadlineError",
+        "PortfolioExecutionError",
+    }
+)
+
+#: Portfolio abstentions are never cacheable (see repro.portfolio.runner)
+#: — keep them out of the harness's deferred cache writes too.
+_PORTFOLIO_ABSTENTIONS = frozenset(
+    {"PortfolioDeadlineError", "PortfolioExecutionError"}
 )
 
 #: Violation kinds that express a missed (T, P, R) constraint rather
@@ -137,6 +168,8 @@ def strategy_pairs(
     binder_names = BINDERS.names() if binders is None else list(binders)
     pairs: List[Tuple[str, str]] = []
     for scheduler in scheduler_names:
+        if schedulers is None and scheduler in META_SCHEDULERS:
+            continue
         if not needs_latency and scheduler not in BOUNDLESS_SCHEDULERS:
             continue
         if scheduler in SELF_BINDING_SCHEDULERS:
@@ -167,6 +200,11 @@ class StrategyOutcome:
             elsewhere) — what the oracle-agreement invariant compares.
         cached: The outcome was answered by a result cache (scalars only).
         elapsed: Wall-clock seconds of the underlying run.
+        winner: For a ``portfolio`` outcome: the pair label of the
+            contender whose certified result the race returned.
+        portfolio_subset: For a ``portfolio`` outcome: the canonical pair
+            labels of the contenders it raced — the scope of the
+            portfolio-agreement invariant.
     """
 
     scheduler: str
@@ -182,6 +220,8 @@ class StrategyOutcome:
     optimal_latency: Optional[int] = None
     cached: bool = False
     elapsed: float = 0.0
+    winner: Optional[str] = None
+    portfolio_subset: Optional[List[str]] = None
 
     @property
     def is_verdict(self) -> bool:
@@ -207,6 +247,10 @@ class StrategyOutcome:
             "cached": self.cached,
             "elapsed": self.elapsed,
         }
+        if self.winner is not None:
+            data["winner"] = self.winner
+        if self.portfolio_subset is not None:
+            data["portfolio_subset"] = list(self.portfolio_subset)
         if self.certificate is not None and not self.certificate.ok:
             data["certificate"] = self.certificate.to_dict()
         return data
@@ -339,6 +383,12 @@ def cross_check(
         outcome.peak_power = record.peak_power
         outcome.latency = record.latency
         outcome.elapsed = record.elapsed
+        if outcome.scheduler in META_SCHEDULERS:
+            from ..portfolio.config import PortfolioConfig
+
+            outcome.winner = getattr(record, "winner", None)
+            config, _ = PortfolioConfig.from_task_options(pair_task.options)
+            outcome.portfolio_subset = list(config.labels(outcome.binder))
         buggy = False
         if hit is not None and record.feasible:
             # Scalar cache hits cannot be re-certified, but a constraint
@@ -394,10 +444,17 @@ def cross_check(
                     outcome.area = None
                     outcome.peak_power = None
                     outcome.latency = None
-        elif not record.feasible and record.error_type == "CertificateError":
+        elif (
+            not record.feasible
+            and record.error_type == "CertificateError"
+            and outcome.scheduler not in META_SCHEDULERS
+        ):
             # With the pipeline gate off, only a self-checking strategy
             # (the engine verifies its own result) raises this — and the
             # engine guarantees every contract, so it is always a bug.
+            # (A portfolio record relays the canonical-first contender's
+            # error type; its contenders race with their gates *on*, so a
+            # CertificateError there is an ordinary reclassified miss.)
             buggy = True
             report.violations.append(
                 Violation(
@@ -406,12 +463,17 @@ def cross_check(
                     f"strategy failed its own certification: {record.error}",
                 )
             )
-        if not buggy and hit is None:
+        if (
+            not buggy
+            and hit is None
+            and record.error_type not in _PORTFOLIO_ABSTENTIONS
+        ):
             pending_puts.append((outcome, pair_task, record))
         report.outcomes.append(outcome)
 
     implicated = _check_exact_soundness(report)
     implicated.extend(_check_oracle_agreement(report))
+    implicated.extend(_check_portfolio_agreement(report))
     # A record that exposed a bug must never enter the cache — a later
     # --resume would silently serve the lie as scalars.  That includes
     # the certified witnesses of a soundness violation (a scalar hit
@@ -564,4 +626,95 @@ def _check_oracle_agreement(report: CrossCheckReport) -> List[StrategyOutcome]:
                 )
             )
             implicate(reference.scheduler, other.scheduler)
+    return implicated
+
+
+def _outcome_label(outcome: StrategyOutcome) -> str:
+    """The canonical pair label a portfolio would use for this outcome."""
+    if outcome.scheduler in SELF_BINDING_SCHEDULERS:
+        return outcome.scheduler
+    return outcome.pair
+
+
+def _check_portfolio_agreement(report: CrossCheckReport) -> List[StrategyOutcome]:
+    """A portfolio verdict must agree with the strategies it raced.
+
+    The portfolio is a *derived* oracle: its record is (by construction)
+    the certified result of one concrete contender, so when the same
+    cross-check also ran that contender standalone, the two must agree —
+    a feasible portfolio whose named winner produced no certified result
+    (or a different area) means the race returned something its winner
+    cannot reproduce; an infeasible portfolio verdict contradicted by a
+    certified witness *from its own contender subset* means the race
+    dropped a feasible answer.  Abstentions on either side
+    (:data:`NON_VERDICT_ERRORS`) prove nothing and are skipped.
+
+    Returns the implicated outcomes so their records stay out of the
+    cache.
+    """
+    portfolios = [o for o in report.outcomes if o.scheduler in META_SCHEDULERS]
+    if not portfolios:
+        return []
+    by_label: Dict[str, StrategyOutcome] = {}
+    for outcome in report.outcomes:
+        if outcome.scheduler in META_SCHEDULERS:
+            continue
+        by_label.setdefault(_outcome_label(outcome), outcome)
+    implicated: List[StrategyOutcome] = []
+    for portfolio in portfolios:
+        if portfolio.feasible:
+            winner = by_label.get(portfolio.winner) if portfolio.winner else None
+            if winner is None or not winner.is_verdict:
+                continue
+            if not winner.feasible:
+                report.violations.append(
+                    Violation(
+                        "differential-oracle",
+                        f"{portfolio.pair}/{portfolio.winner}",
+                        f"portfolio won through {portfolio.winner} "
+                        f"(area={portfolio.area:g}) but that strategy produced "
+                        f"no certified result standalone "
+                        f"({winner.error_type}: {winner.error})",
+                        {"winner": portfolio.winner, "area": portfolio.area},
+                    )
+                )
+                implicated.extend((portfolio, winner))
+            elif (
+                portfolio.area is not None
+                and winner.area is not None
+                and abs(portfolio.area - winner.area) > 1e-9
+            ):
+                report.violations.append(
+                    Violation(
+                        "differential-oracle",
+                        f"{portfolio.pair}/{portfolio.winner}",
+                        f"portfolio area {portfolio.area:g} disagrees with its "
+                        f"winner {portfolio.winner} standalone "
+                        f"(area={winner.area:g})",
+                        {
+                            "winner": portfolio.winner,
+                            "portfolio_area": portfolio.area,
+                            "winner_area": winner.area,
+                        },
+                    )
+                )
+                implicated.extend((portfolio, winner))
+        elif portfolio.is_verdict:
+            subset = set(portfolio.portfolio_subset or ())
+            for label, outcome in by_label.items():
+                if subset and label not in subset:
+                    continue
+                if outcome.feasible and outcome.certified:
+                    report.violations.append(
+                        Violation(
+                            "differential-oracle",
+                            f"{portfolio.pair}/{label}",
+                            f"portfolio called the race infeasible "
+                            f"({portfolio.error_type}: {portfolio.error}) but "
+                            f"contender {label} holds a certified result "
+                            f"(area={outcome.area:g})",
+                            {"witness": label, "witness_area": outcome.area},
+                        )
+                    )
+                    implicated.extend((portfolio, outcome))
     return implicated

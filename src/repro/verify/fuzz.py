@@ -38,7 +38,12 @@ from ..scheduling.alap import alap_schedule
 from ..scheduling.asap import asap_schedule
 from ..scheduling.constraints import minimum_feasible_power
 from ..suite.generators import FAMILIES, family_cdfg
-from .differential import COMPLETE_SCHEDULERS, CrossCheckReport, cross_check
+from .differential import (
+    COMPLETE_SCHEDULERS,
+    META_SCHEDULERS,
+    CrossCheckReport,
+    cross_check,
+)
 
 
 @dataclass(frozen=True)
@@ -62,6 +67,13 @@ class FuzzConfig:
             register-aware schedulers produce verdicts on these cases;
             everyone else must report a typed
             ``UnsupportedConstraintError``.
+        portfolio_fraction: Share of cases that additionally race the
+            ``portfolio`` meta-strategy (default contender subset)
+            alongside the standalone pairs, so
+            :func:`~repro.verify.differential.cross_check` can hold its
+            verdict to the portfolio-agreement invariant.  Below-floor
+            cases never race (the portfolio's complete contenders would
+            re-prove a known infeasibility at exploding cost).
     """
 
     families: Tuple[str, ...] = ()
@@ -73,6 +85,7 @@ class FuzzConfig:
     unbounded_fraction: float = 0.2
     tight_fraction: float = 0.25
     register_fraction: float = 0.25
+    portfolio_fraction: float = 0.15
 
     def __post_init__(self) -> None:
         if self.seeds < 1:
@@ -83,6 +96,8 @@ class FuzzConfig:
             raise ValueError("case-mix fractions must sum to within [0, 1]")
         if not 0.0 <= self.register_fraction <= 1.0:
             raise ValueError("register_fraction must be within [0, 1]")
+        if not 0.0 <= self.portfolio_fraction <= 1.0:
+            raise ValueError("portfolio_fraction must be within [0, 1]")
 
     def family_names(self) -> List[str]:
         return list(self.families) if self.families else FAMILIES.names()
@@ -98,6 +113,7 @@ class FuzzConfig:
             "unbounded_fraction": self.unbounded_fraction,
             "tight_fraction": self.tight_fraction,
             "register_fraction": self.register_fraction,
+            "portfolio_fraction": self.portfolio_fraction,
         }
 
 
@@ -114,12 +130,16 @@ class FuzzCase:
         power_floor: The analytic feasibility floor for the task's
             min-power selection (max of energy/T and the largest single
             per-cycle power).  A budget below it is provably infeasible.
+        portfolio: Whether this case also races the ``portfolio``
+            meta-strategy (a separate seeded draw; never on below-floor
+            cases).
     """
 
     family: str
     seed: int
     task: SynthesisTask
     power_floor: float
+    portfolio: bool = False
 
     @property
     def below_floor(self) -> bool:
@@ -153,6 +173,16 @@ def fuzz_case_tasks(config: FuzzConfig) -> Iterator[FuzzCase]:
             register_budget = _sample_register_budget(
                 config, family, seed, cdfg, delays, powers, latency
             )
+            # Separate stream, like the register draw, so enabling the
+            # portfolio mix never perturbs existing (latency, power)
+            # coordinates.  Below-floor cases never race: the portfolio's
+            # complete contenders would re-prove a known infeasibility.
+            below_floor = budget is not None and budget < floor - 1e-9
+            portfolio = (
+                not below_floor
+                and random.Random(f"fuzz-portfolio:{family}:{seed}").random()
+                < config.portfolio_fraction
+            )
             task = SynthesisTask.of(
                 cdfg,
                 latency=latency,
@@ -160,7 +190,13 @@ def fuzz_case_tasks(config: FuzzConfig) -> Iterator[FuzzCase]:
                 register_budget=register_budget,
                 label=f"{family}/s{seed}",
             )
-            yield FuzzCase(family=family, seed=seed, task=task, power_floor=floor)
+            yield FuzzCase(
+                family=family,
+                seed=seed,
+                task=task,
+                power_floor=floor,
+                portfolio=portfolio,
+            )
 
 
 def _sample_register_budget(
@@ -219,6 +255,15 @@ class FuzzReport:
         )
 
     @property
+    def portfolio_runs(self) -> int:
+        return sum(
+            1
+            for _, _, report in self.cases
+            for outcome in report.outcomes
+            if outcome.scheduler in META_SCHEDULERS
+        )
+
+    @property
     def cached_runs(self) -> int:
         return sum(
             1
@@ -263,7 +308,8 @@ class FuzzReport:
         lines = [
             f"fuzz: {len(self.cases)} case(s), {self.runs} strategy run(s), "
             f"{self.feasible_runs} feasible, {self.disagreements} feasibility "
-            f"split(s), {self.cached_runs} resumed from cache"
+            f"split(s), {self.portfolio_runs} portfolio race(s), "
+            f"{self.cached_runs} resumed from cache"
         ]
         for family, row in sorted(self.family_summary().items()):
             lines.append(
@@ -290,6 +336,7 @@ class FuzzReport:
             "runs": self.runs,
             "feasible": self.feasible_runs,
             "cached": self.cached_runs,
+            "portfolio_runs": self.portfolio_runs,
             "disagreements": self.disagreements,
             "families": self.family_summary(),
             "violations": self.violations(),
@@ -329,12 +376,25 @@ def run_fuzz(
             # exact scheduler re-prove it by search is the one
             # combination whose cost explodes (seconds per case) while
             # adding no differential signal.  The heuristics still run
-            # and must all report typed infeasibility.
+            # and must all report typed infeasibility.  (The explicit
+            # list would also re-admit the portfolio meta-strategy that
+            # strategy_pairs excludes by default — filter it here too.)
             case_schedulers = [
                 name
                 for name in (schedulers or SCHEDULERS.names())
-                if name not in COMPLETE_SCHEDULERS
+                if name not in COMPLETE_SCHEDULERS and name not in META_SCHEDULERS
             ]
+        elif case.portfolio and schedulers is None:
+            # Race the portfolio alongside the standalone pairs: its
+            # verdict becomes a differential-oracle participant that
+            # must agree with its own winning strategy.  An explicitly
+            # configured scheduler list is honoured as-is — listing
+            # "portfolio" there races it on every case instead.
+            case_schedulers = [
+                name
+                for name in SCHEDULERS.names()
+                if name not in META_SCHEDULERS
+            ] + ["portfolio"]
         outcome = cross_check(case.task, case_schedulers, binders, cache=cache)
         report.cases.append((case.family, case.seed, outcome))
         if progress is not None:

@@ -1,0 +1,96 @@
+"""Portfolio jobs through the serving layer: deadlines, stats, HTTP.
+
+``deadline_s`` is a submission-level job option that must be stamped
+into the portfolio task's content address *before* admission (the
+deadline changes what the spec means), and a portfolio win must credit
+the winning concrete strategy's ``portfolio_wins`` counter in ``/stats``
+so the portfolio row's jobs and the winners' credits reconcile.
+"""
+
+import pytest
+
+from repro.api.task import TaskError
+from repro.portfolio import portfolio_task
+from repro.serve import Client, ClientError, SynthesisService, start_server
+from repro.serve.http import parse_submission
+
+SMALL = dict(latency=17, power_budget=12.0, strategies=["engine", "pasap"])
+
+
+def small_task(**kwargs):
+    return portfolio_task("hal", **{**SMALL, **kwargs})
+
+
+class TestParseSubmissionDeadline:
+    def test_deadline_rides_the_envelope(self):
+        submission = parse_submission(
+            '{"graph": "hal", "latency": 17, "scheduler": "portfolio",'
+            ' "deadline_s": 5}'
+        )
+        assert submission.deadline_s == 5.0
+        assert submission.tasks[0].scheduler == "portfolio"
+
+    @pytest.mark.parametrize("bad", ['"soon"', "-1", "0", "true"])
+    def test_malformed_deadline_is_rejected(self, bad):
+        with pytest.raises(TaskError):
+            parse_submission(
+                '{"graph": "hal", "latency": 17, "scheduler": "portfolio",'
+                f' "deadline_s": {bad}}}'
+            )
+
+
+class TestServiceDeadlineStamping:
+    def test_deadline_is_stamped_before_keying(self):
+        service = SynthesisService(workers=1)  # not started: queue only
+        task = small_task()
+        jobs = service.submit_many([task], deadline_s=30.0)
+        stamped = jobs[0].task
+        assert stamped.options["portfolio_deadline_s"] == 30.0
+        assert jobs[0].key == stamped.cache_key()
+        assert jobs[0].key != task.cache_key()  # the deadline changed the spec
+
+    def test_non_portfolio_tasks_draw_a_task_error_atomically(self):
+        from repro.api.task import SynthesisTask
+
+        service = SynthesisService(workers=1)  # not started: queue only
+        plain = SynthesisTask(graph="hal", latency=17, power_budget=12.0)
+        with pytest.raises(TaskError):
+            service.submit_many([small_task(), plain], deadline_s=30.0)
+        assert service.stats()["queue"]["depth"] == 0  # nothing admitted
+
+
+class TestPortfolioOverHTTP:
+    @pytest.fixture(scope="class")
+    def server(self):
+        with start_server(workers=2) as handle:
+            yield handle
+
+    @pytest.fixture()
+    def client(self, server):
+        return Client(server.url)
+
+    def test_race_with_deadline_serves_a_certified_winner(self, client):
+        records = client.submit_and_wait([small_task()], deadline_s=60.0)
+        assert len(records) == 1
+        record = records[0]
+        assert record.feasible is True
+        assert record.winner in ("engine", "pasap+greedy")
+        assert record.area is not None
+
+        stats = client.stats()["per_strategy"]
+        assert stats["portfolio"]["jobs"] >= 1
+        winner_scheduler = record.winner.split("+", 1)[0]
+        assert stats[winner_scheduler]["portfolio_wins"] >= 1
+        # wins reconcile: every finished portfolio job credits one winner
+        total_wins = sum(row.get("portfolio_wins", 0) for row in stats.values())
+        assert total_wins >= stats["portfolio"]["jobs"] - stats["portfolio"].get(
+            "failed", 0
+        )
+
+    def test_deadline_on_a_non_portfolio_task_is_a_400(self, client):
+        with pytest.raises(ClientError) as excinfo:
+            client.submit(
+                {"graph": "hal", "latency": 17, "power_budget": 12.0},
+                deadline_s=5.0,
+            )
+        assert excinfo.value.status == 400

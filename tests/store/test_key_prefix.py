@@ -1,0 +1,152 @@
+"""Key-prefix queries: correctness on both backends, shard pruning on columnar.
+
+``StoreQuery.key_prefix`` narrows a scan to content addresses under one
+hex prefix.  On the columnar backend that is more than a row filter: the
+scan must skip entire shard directories whose prefix is incompatible
+with the requested one — these tests count ``_Shard.refresh`` calls to
+prove the skipped shards are never even opened.
+"""
+
+import pytest
+
+from repro.store import ColumnarStore, LegacyStore, StoreQuery
+from repro.store.base import StoreError
+
+from .conftest import fill, make_payload
+
+
+def scanned_keys(store, query):
+    return {row.key for row in store.scan(query)}
+
+
+class TestKeyPrefixValidation:
+    def test_lowercases_hex(self):
+        assert StoreQuery(key_prefix="AB12").key_prefix == "ab12"
+
+    @pytest.mark.parametrize("bad", ["", "xyz", "12g4", "0" * 65, "a b"])
+    def test_rejects_non_hex_and_oversized(self, bad):
+        with pytest.raises(StoreError):
+            StoreQuery(key_prefix=bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(StoreError):
+            StoreQuery(key_prefix=123)
+
+    def test_matches_filters_rows_by_key(self, columnar):
+        expected = fill(columnar, 8)
+        some_key = sorted(expected)[0]
+        query = StoreQuery(key_prefix=some_key[:6])
+        for row in columnar.scan():
+            assert query.matches(row) == row.key.startswith(some_key[:6])
+
+
+@pytest.mark.parametrize("backend", ["columnar", "legacy"])
+class TestKeyPrefixCorrectness:
+    @pytest.fixture
+    def store(self, backend, tmp_path):
+        cls = ColumnarStore if backend == "columnar" else LegacyStore
+        return cls(tmp_path / backend)
+
+    def test_exact_prefix_subset(self, store):
+        expected = fill(store, 48)
+        prefix = sorted(expected)[0][:1]
+        want = {key for key in expected if key.startswith(prefix)}
+        assert want  # the chosen prefix matches at least one record
+        assert scanned_keys(store, StoreQuery(key_prefix=prefix)) == want
+
+    def test_full_key_as_prefix_matches_one(self, store):
+        expected = fill(store, 12)
+        target = sorted(expected)[3]
+        assert scanned_keys(store, StoreQuery(key_prefix=target)) == {target}
+
+    def test_no_match_is_empty_not_error(self, store):
+        fill(store, 6)
+        present = {key[:8] for key in scanned_keys(store, StoreQuery())}
+        probe = next(
+            f"{value:08x}" for value in range(1 << 16) if f"{value:08x}" not in present
+        )
+        assert scanned_keys(store, StoreQuery(key_prefix=probe)) == set()
+
+    def test_composes_with_column_filters(self, store):
+        for index in range(24):
+            family = "hal" if index % 2 else "cosine"
+            key, payload = make_payload(index, family=family)
+            store.put(key, payload)
+        prefix = sorted(scanned_keys(store, StoreQuery()))[0][:1]
+        combined = StoreQuery(family="hal", key_prefix=prefix)
+        rows = list(store.scan(combined))
+        assert all(row.family == "hal" for row in rows)
+        assert all(row.key.startswith(prefix) for row in rows)
+        assert {row.key for row in rows} == (
+            scanned_keys(store, StoreQuery(family="hal"))
+            & scanned_keys(store, StoreQuery(key_prefix=prefix))
+        )
+
+
+class TestColumnarShardPruning:
+    """The columnar scan must skip shards no matching address can live in."""
+
+    @pytest.fixture
+    def counted_refresh(self, monkeypatch):
+        from repro.store.columnar import _Shard
+
+        opened = []
+        original = _Shard.refresh
+
+        def counting(self, force=False):
+            opened.append(self.root.name)
+            return original(self, force)
+
+        monkeypatch.setattr(_Shard, "refresh", counting)
+        return opened
+
+    def test_unfiltered_scan_opens_every_shard(self, columnar, counted_refresh):
+        fill(columnar, 48)
+        shard_count = len(columnar._all_prefixes())
+        assert shard_count > 1  # 48 sha256 keys spread over >1 of 16 shards
+        counted_refresh.clear()
+        list(columnar.scan())
+        assert sorted(set(counted_refresh)) == columnar._all_prefixes()
+
+    def test_one_char_prefix_opens_one_shard(self, columnar, counted_refresh):
+        expected = fill(columnar, 48)
+        prefix = sorted(expected)[0][:1]
+        counted_refresh.clear()
+        keys = scanned_keys(columnar, StoreQuery(key_prefix=prefix))
+        assert keys == {key for key in expected if key.startswith(prefix)}
+        assert set(counted_refresh) == {prefix}  # shard_width=1: exactly one
+
+    def test_long_prefix_still_opens_one_shard(self, columnar, counted_refresh):
+        expected = fill(columnar, 48)
+        target = sorted(expected)[0]
+        counted_refresh.clear()
+        assert scanned_keys(columnar, StoreQuery(key_prefix=target[:12])) == {target} | {
+            key for key in expected if key.startswith(target[:12])
+        }
+        assert set(counted_refresh) == {target[:1]}
+
+    def test_short_prefix_on_wide_shards_opens_the_subtree(self, tmp_path, counted_refresh):
+        store = ColumnarStore(tmp_path / "wide", shard_width=2)
+        expected = fill(store, 64)
+        prefix = sorted(expected)[0][:1]
+        counted_refresh.clear()
+        keys = scanned_keys(store, StoreQuery(key_prefix=prefix))
+        assert keys == {key for key in expected if key.startswith(prefix)}
+        compatible = [p for p in store._all_prefixes() if p.startswith(prefix)]
+        assert sorted(set(counted_refresh)) == compatible
+        assert len(compatible) < len(store._all_prefixes())
+
+    def test_pruning_survives_compaction(self, columnar, counted_refresh):
+        expected = fill(columnar, 32)
+        columnar.compact()
+        late = {}
+        for index in range(32, 48):  # a fresh uncompacted overlay on top
+            key, payload = make_payload(index)
+            columnar.put(key, payload)
+            late[key] = payload
+        expected.update(late)
+        prefix = sorted(expected)[0][:1]
+        counted_refresh.clear()
+        keys = scanned_keys(columnar, StoreQuery(key_prefix=prefix))
+        assert keys == {key for key in expected if key.startswith(prefix)}
+        assert set(counted_refresh) == {prefix}

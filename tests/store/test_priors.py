@@ -1,0 +1,162 @@
+"""Launch-order priors: bucket math, ranking invariants, store mining.
+
+Priors are advisory — they permute a race's launch order, never its
+membership or outcome — so the load-bearing properties here are that
+:meth:`Priors.rank` is always a permutation of its input and that
+:func:`mine_priors` never learns from the portfolio meta-strategy's own
+rows (no feedback loops).
+"""
+
+import random
+
+import pytest
+
+from repro.store import StoreQuery, constraint_bucket, mine_priors
+from repro.store.priors import PairPrior, Priors, pair_label
+
+from .conftest import make_payload
+
+
+class TestPairLabel:
+    def test_two_phase_pairs_join_with_plus(self):
+        assert pair_label("pasap", "greedy") == "pasap+greedy"
+
+    def test_self_binding_engine_is_bare(self):
+        assert pair_label("engine", "greedy") == "engine"
+
+
+class TestConstraintBucket:
+    def test_power_of_two_axes(self):
+        assert constraint_bucket(17, 12.0, None) == "T16|P8|R-"
+
+    def test_exact_powers_keep_their_bucket(self):
+        assert constraint_bucket(16, 8.0, 4) == "T16|P8|R4"
+
+    def test_unbounded_axes(self):
+        assert constraint_bucket(None, None, None) == "T-|P-|R-"
+
+    def test_tiny_values_floor_at_one(self):
+        assert constraint_bucket(1, 0.5, None) == "T1|P1|R-"
+
+
+class TestPriorsRank:
+    def make_priors(self):
+        priors = Priors()
+        # engine wins fast, pasap wins slow, palap mostly loses
+        for _ in range(4):
+            priors.observe("hal", "T16|P8|R-", "engine", feasible=True, elapsed=0.1)
+            priors.observe("hal", "T16|P8|R-", "pasap+greedy", feasible=True, elapsed=0.5)
+        priors.observe("hal", "T16|P8|R-", "palap+greedy", feasible=False, elapsed=0.2)
+        return priors
+
+    def test_rank_orders_by_win_rate_then_speed(self):
+        priors = self.make_priors()
+        ranked = priors.rank(
+            ["palap+greedy", "pasap+greedy", "engine"],
+            family="hal",
+            latency=17,
+            power_budget=12.0,
+        )
+        assert ranked == ["engine", "pasap+greedy", "palap+greedy"]
+
+    def test_unseen_pairs_keep_relative_order_at_the_end(self):
+        priors = self.make_priors()
+        ranked = priors.rank(
+            ["mystery+naive", "engine", "other+greedy"],
+            family="hal",
+            latency=17,
+            power_budget=12.0,
+        )
+        assert ranked == ["engine", "mystery+naive", "other+greedy"]
+
+    def test_rank_is_always_a_permutation(self):
+        priors = self.make_priors()
+        rng = random.Random(7)
+        labels = ["engine", "pasap+greedy", "palap+greedy", "ilp+naive", "fd+greedy"]
+        for _ in range(25):
+            candidates = rng.sample(labels, k=rng.randint(1, len(labels)))
+            ranked = priors.rank(
+                candidates,
+                family=rng.choice(["hal", "cosine", "unknown"]),
+                latency=rng.choice([None, 3, 17, 64]),
+                power_budget=rng.choice([None, 0.5, 12.0]),
+            )
+            assert sorted(ranked) == sorted(candidates)
+
+    def test_empty_priors_rank_is_identity(self):
+        assert Priors().rank(["b", "a", "c"], family="hal") == ["b", "a", "c"]
+        assert Priors().is_empty
+
+    def test_falls_back_family_wide_then_global(self):
+        priors = Priors()
+        # observe() itself folds into all three scopes; build scopes by hand
+        # to prove scope_for picks the most specific one with evidence.
+        priors.table[("hal", "*")] = {"pasap+greedy": PairPrior(2, 2, 0.2)}
+        priors.table[("", "*")] = {"engine": PairPrior(2, 2, 0.1)}
+        # exact bucket empty -> family-wide scope ranks pasap first
+        assert priors.rank(
+            ["engine", "pasap+greedy"], family="hal", latency=17, power_budget=12.0
+        ) == ["pasap+greedy", "engine"]
+        # unknown family -> global scope ranks engine first
+        assert priors.rank(
+            ["pasap+greedy", "engine"], family="fir", latency=17, power_budget=12.0
+        ) == ["engine", "pasap+greedy"]
+
+    def test_observe_populates_all_three_scopes(self):
+        priors = Priors()
+        priors.observe("hal", "T16|P8|R-", "engine", feasible=True, elapsed=0.25)
+        assert set(priors.table) == {("hal", "T16|P8|R-"), ("hal", "*"), ("", "*")}
+        for stats in priors.table.values():
+            assert stats["engine"].races == 1
+            assert stats["engine"].win_rate == 1.0
+            assert stats["engine"].mean_elapsed == pytest.approx(0.25)
+
+
+class TestMinePriors:
+    def test_mines_wins_and_latency_per_bucket(self, columnar):
+        for index in range(6):
+            key, payload = make_payload(
+                index, scheduler="pasap", feasible=index % 2 == 0
+            )
+            columnar.put(key, payload)
+        priors = mine_priors(columnar, family="hal")
+        stats = priors.table[("hal", "T16|P8|R-")]["pasap+greedy"]
+        assert stats.races == 6
+        assert stats.wins == 3
+        assert stats.mean_elapsed > 0.0
+
+    def test_skips_portfolio_rows(self, columnar):
+        key, payload = make_payload(0, scheduler="engine")
+        columnar.put(key, payload)
+        key, payload = make_payload(1, scheduler="portfolio")
+        columnar.put(key, payload)
+        priors = mine_priors(columnar)
+        labels = {
+            pair for stats in priors.table.values() for pair in stats
+        }
+        assert "engine" in labels
+        assert all("portfolio" not in pair for pair in labels)
+
+    def test_family_filter_narrows_the_scan(self, columnar):
+        key, payload = make_payload(0, family="hal", scheduler="pasap")
+        columnar.put(key, payload)
+        key, payload = make_payload(1, family="cosine", scheduler="palap")
+        columnar.put(key, payload)
+        priors = mine_priors(columnar, family="cosine")
+        families = {family for family, _ in priors.table if family}
+        assert families == {"cosine"}
+
+    def test_custom_query_replaces_the_filter(self, columnar):
+        keys = {}
+        for index in range(8):
+            key, payload = make_payload(index)
+            columnar.put(key, payload)
+            keys[key] = payload
+        prefix = sorted(keys)[0][:1]
+        expected_rows = sum(1 for key in keys if key.startswith(prefix))
+        priors = mine_priors(columnar, query=StoreQuery(key_prefix=prefix))
+        stats = priors.table[("", "*")]["pasap+greedy"]
+        assert stats.races == expected_rows
+
+    def test_empty_store_mines_empty_priors(self, columnar):
+        assert mine_priors(columnar).is_empty

@@ -8,14 +8,26 @@ from repro.api.task import SynthesisTask
 from repro.explore import ResultCache
 from repro.registries import BINDERS, SCHEDULERS
 from repro.verify import CrossCheckReport, StrategyOutcome, cross_check, strategy_pairs
-from repro.verify.differential import _check_exact_soundness, _check_oracle_agreement
+from repro.verify.differential import (
+    META_SCHEDULERS,
+    _check_exact_soundness,
+    _check_oracle_agreement,
+)
 
 
 class TestStrategyPairs:
     def test_covers_every_scheduler(self):
+        # Every registered scheduler except the meta-strategies, which
+        # race the others and only join when explicitly listed.
         pairs = strategy_pairs()
         schedulers = {scheduler for scheduler, _ in pairs}
-        assert schedulers == set(SCHEDULERS.names())
+        assert schedulers == set(SCHEDULERS.names()) - set(META_SCHEDULERS)
+
+    def test_meta_schedulers_join_only_when_explicitly_listed(self):
+        assert "portfolio" in META_SCHEDULERS
+        assert all(scheduler != "portfolio" for scheduler, _ in strategy_pairs())
+        explicit = strategy_pairs(["portfolio"], ["greedy"])
+        assert explicit == [("portfolio", "greedy")]
 
     def test_engine_contributes_a_single_pair(self):
         pairs = strategy_pairs()

@@ -1,0 +1,205 @@
+"""The portfolio-agreement invariant and the fuzz harness's portfolio mix.
+
+A portfolio record is a *derived* oracle — by construction the certified
+result of one concrete contender — so the differential harness must flag
+a portfolio verdict its own winner cannot reproduce, and an infeasible
+race verdict contradicted by a certified witness from its own contender
+subset.  These tests drive :func:`_check_portfolio_agreement` on
+synthetic reports (no synthesis), then pin the fuzz harness's seeded
+portfolio sampling: deterministic, floor-aware, and coordinate-stable.
+"""
+
+import pytest
+
+from repro.api.task import SynthesisTask
+from repro.verify.differential import (
+    CrossCheckReport,
+    META_SCHEDULERS,
+    StrategyOutcome,
+    _check_portfolio_agreement,
+)
+from repro.verify.fuzz import FuzzConfig, FuzzReport, fuzz_case_tasks
+
+SUBSET = ["engine", "pasap+greedy"]
+
+
+def task():
+    return SynthesisTask(graph="hal", latency=17, power_budget=12.0)
+
+
+def portfolio_outcome(**kwargs):
+    defaults = dict(
+        scheduler="portfolio",
+        binder="greedy",
+        feasible=True,
+        area=500.0,
+        winner="engine",
+        portfolio_subset=list(SUBSET),
+    )
+    defaults.update(kwargs)
+    return StrategyOutcome(**defaults)
+
+
+def contender_outcome(scheduler="engine", **kwargs):
+    defaults = dict(
+        scheduler=scheduler,
+        binder="greedy",
+        feasible=True,
+        certified=True,
+        area=500.0,
+    )
+    defaults.update(kwargs)
+    return StrategyOutcome(**defaults)
+
+
+def check(*outcomes):
+    report = CrossCheckReport(task=task(), outcomes=list(outcomes))
+    implicated = _check_portfolio_agreement(report)
+    return report, implicated
+
+
+class TestFeasiblePortfolio:
+    def test_agreeing_winner_passes(self):
+        report, implicated = check(portfolio_outcome(), contender_outcome())
+        assert report.ok
+        assert implicated == []
+
+    def test_winner_infeasible_standalone_is_a_violation(self):
+        portfolio = portfolio_outcome()
+        winner = contender_outcome(
+            feasible=False,
+            certified=None,
+            area=None,
+            error="no schedule",
+            error_type="SynthesisError",
+        )
+        report, implicated = check(portfolio, winner)
+        assert not report.ok
+        assert report.violations[0].kind == "differential-oracle"
+        assert portfolio in implicated and winner in implicated
+
+    def test_winner_area_mismatch_is_a_violation(self):
+        report, implicated = check(
+            portfolio_outcome(area=450.0), contender_outcome(area=500.0)
+        )
+        assert not report.ok
+        assert "disagrees" in str(report.violations[0])
+        assert len(implicated) == 2
+
+    def test_winner_abstention_proves_nothing(self):
+        # the standalone winner hit a capacity limit: no verdict, no flag
+        winner = contender_outcome(
+            scheduler="ilp",
+            feasible=False,
+            certified=None,
+            area=None,
+            error_type="ILPLimitError",
+        )
+        report, implicated = check(
+            portfolio_outcome(winner="ilp+greedy"), winner
+        )
+        assert report.ok and implicated == []
+
+    def test_winner_not_rerun_standalone_is_skipped(self):
+        report, implicated = check(portfolio_outcome(winner="palap+naive"))
+        assert report.ok and implicated == []
+
+    def test_self_binding_winner_matches_bare_label(self):
+        # engine outcomes label as bare "engine", matching the winner field
+        report, _ = check(
+            portfolio_outcome(winner="engine"), contender_outcome("engine")
+        )
+        assert report.ok
+
+
+class TestInfeasiblePortfolio:
+    def infeasible_portfolio(self, **kwargs):
+        fields = dict(
+            feasible=False,
+            area=None,
+            winner=None,
+            error="all contenders infeasible",
+            error_type="SynthesisError",
+        )
+        fields.update(kwargs)
+        return portfolio_outcome(**fields)
+
+    def test_certified_witness_in_subset_is_a_violation(self):
+        portfolio = self.infeasible_portfolio()
+        witness = contender_outcome("pasap", area=480.0)
+        report, implicated = check(portfolio, witness)
+        assert not report.ok
+        assert "certified result" in str(report.violations[0])
+        assert portfolio in implicated and witness in implicated
+
+    def test_witness_outside_the_subset_is_out_of_scope(self):
+        report, implicated = check(
+            self.infeasible_portfolio(),
+            contender_outcome("force_directed", area=480.0),
+        )
+        assert report.ok and implicated == []
+
+    def test_uncertified_witness_proves_nothing(self):
+        report, _ = check(
+            self.infeasible_portfolio(),
+            contender_outcome("pasap", certified=None),
+        )
+        assert report.ok
+
+    def test_abstentions_are_skipped(self):
+        for error_type in ("PortfolioDeadlineError", "PortfolioExecutionError"):
+            abstention = self.infeasible_portfolio(error_type=error_type)
+            assert abstention.is_verdict is False
+            report, implicated = check(abstention, contender_outcome("pasap"))
+            assert report.ok and implicated == []
+
+    def test_no_portfolio_outcomes_is_a_noop(self):
+        report, implicated = check(contender_outcome())
+        assert report.ok and implicated == []
+
+
+class TestFuzzPortfolioSampling:
+    def cases(self, **kwargs):
+        config = FuzzConfig(families=("chain", "tree"), seeds=6, **kwargs)
+        return list(fuzz_case_tasks(config))
+
+    def test_fraction_validation(self):
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError):
+                FuzzConfig(portfolio_fraction=bad)
+        assert FuzzConfig(portfolio_fraction=0.3).to_dict()[
+            "portfolio_fraction"
+        ] == pytest.approx(0.3)
+
+    def test_sampling_is_deterministic(self):
+        first = [(c.family, c.seed, c.portfolio) for c in self.cases(portfolio_fraction=0.5)]
+        second = [(c.family, c.seed, c.portfolio) for c in self.cases(portfolio_fraction=0.5)]
+        assert first == second
+        assert any(flag for _, _, flag in first)
+
+    def test_fraction_never_perturbs_task_coordinates(self):
+        plain = self.cases(portfolio_fraction=0.0)
+        mixed = self.cases(portfolio_fraction=1.0)
+        assert [c.task.cache_key() for c in plain] == [
+            c.task.cache_key() for c in mixed
+        ]
+        assert not any(c.portfolio for c in plain)
+
+    def test_below_floor_cases_never_race(self):
+        cases = self.cases(portfolio_fraction=1.0)
+        for case in cases:
+            budget = case.task.power_budget
+            if budget is not None and budget < case.power_floor - 1e-9:
+                assert case.portfolio is False
+
+    def test_portfolio_runs_counts_meta_outcomes(self):
+        report = FuzzReport(config=FuzzConfig())
+        inner = CrossCheckReport(
+            task=task(),
+            outcomes=[contender_outcome(), portfolio_outcome()],
+        )
+        report.cases.append(("hal", 0, inner))
+        assert report.portfolio_runs == 1
+        assert "portfolio race(s)" in report.describe()
+        assert report.to_dict()["portfolio_runs"] == 1
+        assert "portfolio" in META_SCHEDULERS
